@@ -1,0 +1,89 @@
+"""Ablation A1: what each rendering stage contributes (Section 2.1).
+
+The paper argues AR visualization needs occlusion handling and content
+that is "seamlessly integrated", not floating bubbles.  We ablate the
+compositor on one dense scene: declutter on/off x occlusion policy
+(ignore / hide / xray), reporting overlap, useful-label ratio, and how
+much hidden-but-relevant content each policy preserves.
+"""
+
+import numpy as np
+
+from repro.render import (
+    Annotation,
+    BoxOccluder,
+    Compositor,
+    OcclusionWorld,
+    SceneGraph,
+)
+from repro.util.rng import make_rng
+from repro.vision import CameraIntrinsics, look_at
+
+from tableprint import print_table
+
+INTR = CameraIntrinsics(fx=400, fy=400, cx=160, cy=120, width=320,
+                        height=240)
+
+
+def _scene(rng, n=60):
+    scene = SceneGraph()
+    for i in range(n):
+        scene.add(Annotation(
+            annotation_id=f"a{i:02d}",
+            anchor=np.array([float(rng.uniform(-2.5, 2.5)),
+                             float(rng.uniform(-1.5, 1.5)),
+                             float(rng.uniform(4.0, 14.0))]),
+            text=f"a{i}", priority=float(rng.uniform(0.5, 5.0)),
+            width_px=70.0, height_px=20.0))
+    return scene
+
+
+def run_experiment():
+    rng = make_rng(71)
+    scene = _scene(rng)
+    wall = OcclusionWorld([BoxOccluder("wall", (-3.0, -2.0, 8.0),
+                                       (3.0, 2.0, 9.0))])
+    pose = look_at(eye=[0.0, 0.0, 0.0], target=[0.0, 0.0, 10.0])
+    rows = []
+    for declutter in (False, True):
+        for policy in ("ignore", "hide", "xray"):
+            compositor = Compositor(INTR, occlusion=wall,
+                                    occlusion_policy=policy,
+                                    declutter=declutter)
+            frame = compositor.compose(scene, pose)
+            xray_items = sum(1 for item in frame.items
+                             if item.xray and not item.label.dropped)
+            rows.append([
+                "on" if declutter else "off", policy, frame.drawn,
+                frame.culled_occluded, xray_items,
+                frame.layout.overlap_ratio,
+                frame.layout.useful_ratio])
+    return rows
+
+
+def bench_a1_render_ablation(benchmark):
+    rows = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    print_table(
+        "A1  ablation: declutter x occlusion policy (60-label scene)",
+        ["declutter", "occlusion", "drawn", "culled occluded",
+         "xray styled", "overlap ratio", "useful ratio"],
+        rows,
+        note="'ignore'+no-declutter is the AR-browser baseline the paper "
+             "criticizes; xray+declutter keeps hidden content visible "
+             "AND legible")
+    by_config = {(r[0], r[1]): r for r in rows}
+    baseline = by_config[("off", "ignore")]
+    best = by_config[("on", "xray")]
+    # Declutter removes overlap entirely; baseline is badly overlapped.
+    assert baseline[5] > 0.05
+    assert best[5] == 0.0
+    assert best[6] > baseline[6]
+    # hide drops occluded content entirely; xray still *draws* occluded
+    # content (in see-through style) — the capability hide lacks.
+    hide = by_config[("on", "hide")]
+    assert hide[3] > 0
+    assert hide[4] == 0
+    assert best[4] > 0
+    assert best[2] > hide[2]  # xray view shows more of the scene
+    # Occlusion detection itself is identical across declutter settings.
+    assert by_config[("off", "hide")][3] == hide[3]

@@ -1,0 +1,109 @@
+"""Ablation A2: event-log partitioning and consumer-group scaling.
+
+The "velocity" leg of the 3Vs needs horizontal scaling: more partitions
+let more consumers drain a topic in parallel.  We measure drain work per
+member as the group grows, replication write amplification, and failover
+data safety — the substrate guarantees every experiment above relies on.
+"""
+
+import time
+
+from repro.eventlog import ConsumerGroup, LogCluster, Producer, TopicConfig
+from repro.util.rng import make_rng
+
+from tableprint import print_table
+
+RECORDS = 20_000
+PARTITIONS = 8
+GROUP_SIZES = [1, 2, 4, 8]
+
+
+def _loaded_cluster(replication=2):
+    cluster = LogCluster(num_brokers=3)
+    cluster.create_topic(TopicConfig("events", partitions=PARTITIONS,
+                                     replication=replication))
+    producer = Producer(cluster)
+    rng = make_rng(72)
+    for i in range(RECORDS):
+        producer.send("events", {"i": i, "v": float(rng.random())},
+                      key=f"k{i % 997}")
+    return cluster
+
+
+def run_experiment():
+    rows = []
+    cluster = _loaded_cluster()
+    for size in GROUP_SIZES:
+        group = ConsumerGroup(cluster, "events", f"g{size}")
+        for m in range(size):
+            group.join(f"m{m}")
+        start = time.perf_counter()
+        consumed_per_member = []
+        for m in range(size):
+            consumer = group.member(f"m{m}")
+            count = 0
+            while True:
+                batch = consumer.poll(max_records=2048)
+                if not batch:
+                    break
+                count += len(batch)
+            consumed_per_member.append(count)
+        elapsed = time.perf_counter() - start
+        total = sum(consumed_per_member)
+        rows.append([size, total, max(consumed_per_member),
+                     min(consumed_per_member),
+                     total / elapsed / 1e6])
+    return rows
+
+
+def run_failover():
+    cluster = _loaded_cluster(replication=2)
+    end_before = sum(cluster.end_offset("events", p)
+                     for p in range(PARTITIONS))
+    cluster.fail_broker(0)
+    end_after = sum(cluster.end_offset("events", p)
+                    for p in range(PARTITIONS))
+    return end_before, end_after
+
+
+def bench_a2_group_scaling(benchmark):
+    rows = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    print_table(
+        "A2a ablation: consumer-group scaling over 8 partitions",
+        ["members", "records drained", "max/member", "min/member",
+         "Mrec/s"],
+        rows,
+        note="work per member shrinks ~1/n up to the partition count")
+    for row in rows:
+        assert row[1] == RECORDS  # nothing lost, nothing duplicated
+    max_per_member = [r[2] for r in rows]
+    # Per-member load drops as the group grows (range assignment).
+    assert max_per_member[-1] < max_per_member[0] / (len(GROUP_SIZES) - 1)
+
+
+def bench_a2_failover_safety(benchmark):
+    before, after = benchmark.pedantic(run_failover, rounds=1,
+                                       iterations=1)
+    print_table(
+        "A2b ablation: broker failover data safety (acks=all, rf=2)",
+        ["records before failure", "records after failover"],
+        [[before, after]],
+        note="synchronous ISR replication: leader loss costs zero "
+             "acknowledged records")
+    assert before == RECORDS
+    assert after == before
+
+
+def bench_a2_produce_throughput(benchmark):
+    """Micro-benchmark: keyed produce path."""
+    cluster = LogCluster(3)
+    cluster.create_topic(TopicConfig("t", partitions=8, replication=2))
+    producer = Producer(cluster)
+    counter = iter(range(10**9))
+
+    def produce_batch():
+        for _ in range(1000):
+            i = next(counter)
+            producer.send("t", {"i": i}, key=f"k{i % 97}")
+
+    benchmark(produce_batch)

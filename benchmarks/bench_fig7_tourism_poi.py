@@ -1,0 +1,107 @@
+"""Experiment F7 (Figure 7 and Section 3.2: tourism overlays and the
+Ingress-style game).
+
+Claims under test: "a cluster of bobbling tags, not aligned with
+anything ... seem not interesting, unhelpful, and not better than simply
+displaying the data on a 2D map" — we quantify the bubble failure vs the
+registered/decluttered overlay as POI density grows; and "AR promotes
+gamification of travel to increase tourists' interest" — portal capture
+vs organic encounters along mobility traces.
+"""
+
+import numpy as np
+
+from repro.apps import TourismApp
+from repro.core import ARBigDataPipeline, DEFAULT_INTRINSICS, PipelineConfig
+from repro.datagen import MobilityConfig, generate_population
+from repro.sensors import Poi, PoiDatabase
+from repro.util.geometry import Rect
+from repro.util.rng import make_rng
+
+from tableprint import print_table
+
+DENSITIES = [10, 30, 60, 120]  # POIs in the downtown view
+
+
+def _app(rng, downtown):
+    pois = PoiDatabase(Rect(0, 0, 3000, 3000))
+    for i in range(downtown):
+        pois.add(Poi(poi_id=f"dt-{i:03d}", name=f"POI {i}",
+                     category="landmark",
+                     x=min(max(1500.0 + float(rng.normal(0, 150.0)), 0.0),
+                           3000.0),
+                     y=min(max(1500.0 + float(rng.normal(0, 150.0)), 0.0),
+                           3000.0),
+                     popularity=float(downtown - i)))
+    for i in range(60):
+        pois.add(Poi(poi_id=f"sub-{i:03d}", name=f"Suburb {i}",
+                     category="cafe",
+                     x=float(rng.uniform(0, 3000)),
+                     y=float(rng.uniform(0, 3000)),
+                     popularity=1.0))
+    return TourismApp(ARBigDataPipeline(PipelineConfig(seed=42)), pois)
+
+
+def run_overlay_experiment():
+    rows = []
+    for density in DENSITIES:
+        rng = make_rng(42)
+        app = _app(rng, density)
+        comparison = app.compare_overlays(1500, 1500, (1600, 1500),
+                                          DEFAULT_INTRINSICS,
+                                          radius_m=600, limit=100)
+        rows.append([density, comparison.labels,
+                     comparison.naive_useful_ratio,
+                     comparison.smart_useful_ratio,
+                     comparison.naive_overlap_ratio,
+                     comparison.smart_overlap_ratio])
+    return rows
+
+
+def run_game_experiment():
+    rng = make_rng(43)
+    app = _app(rng, 60)
+    rows = []
+    for n_tourists in [5, 20, 50]:
+        traces = generate_population(
+            n_tourists, rng, MobilityConfig(steps=150, area_m=3000.0))
+        stats = app.run_game(traces, portal_count=15, encounter_m=40.0,
+                             detour_m=180.0)
+        rows.append([n_tourists, stats.visits_plain,
+                     stats.visits_gamified, stats.engagement_uplift])
+    return rows
+
+
+def bench_fig7_tourism_overlays(benchmark):
+    rows = benchmark.pedantic(run_overlay_experiment, rounds=1,
+                              iterations=1)
+    print_table(
+        "F7a Sec 3.2: floating bubbles vs registered/decluttered overlay",
+        ["downtown POIs", "labels in view", "naive useful",
+         "smart useful", "naive overlap", "smart overlap"],
+        rows,
+        note="as density grows the bubble overlay collapses "
+             "(MacIntyre's 'POIs are pointless'); declutter holds")
+    for row in rows:
+        assert row[3] >= row[2]  # smart never worse
+        assert row[5] <= row[4] + 1e-9  # smart never more overlapped
+    # Dense view: bubbles collapse, declutter keeps most labels useful.
+    dense = rows[-1]
+    assert dense[2] < 0.3
+    assert dense[3] > 0.5
+    assert dense[4] > 0.0
+    assert dense[5] == 0.0
+
+
+def bench_fig7_tourism_game(benchmark):
+    rows = benchmark.pedantic(run_game_experiment, rounds=1, iterations=1)
+    print_table(
+        "F7b Figure 7: Ingress-style gamification engagement",
+        ["tourists", "organic POI encounters", "gamified encounters",
+         "engagement uplift"],
+        rows,
+        note="portals within detour range attract players the plain "
+             "overlay never brings to the spot")
+    for row in rows:
+        assert row[2] >= row[1]
+    assert rows[-1][3] > 0.1  # game adds real engagement at scale

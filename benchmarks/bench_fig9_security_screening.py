@@ -1,0 +1,66 @@
+"""Experiment F9 (Figure 9: AR-assisted security screening).
+
+Claim under test: "an analyzed personal profile is overlaid on an
+agency's field of vision for fast security screening", and "personal
+information overlaid on passengers will enable security specialists to
+very quickly verify identification and reduce screening traffic".  We
+sweep passenger arrival rate and compare manual vs AR-overlay screening
+lanes on wait time and throughput, locating the arrival rate at which
+manual lanes saturate but AR lanes do not.
+"""
+
+import numpy as np
+
+from repro.apps import PublicServicesApp
+from repro.core import ARBigDataPipeline, PipelineConfig
+from repro.util.rng import make_rng
+
+from tableprint import print_table
+
+ARRIVAL_RATES = [0.1, 0.2, 0.3, 0.5, 0.8]  # passengers per second
+PASSENGERS = 250
+LANES = 2
+
+
+def run_experiment():
+    rows = []
+    for rate in ARRIVAL_RATES:
+        rng = make_rng(61)
+        app = PublicServicesApp(ARBigDataPipeline(PipelineConfig(seed=61)))
+        arrivals = list(np.cumsum(rng.exponential(1.0 / rate,
+                                                  size=PASSENGERS)))
+        manual = app.run_screening(rng, passengers=PASSENGERS,
+                                   arrival_rate_per_s=rate, lanes=LANES,
+                                   mode="manual", arrivals=arrivals)
+        ar = app.run_screening(rng, passengers=PASSENGERS,
+                               arrival_rate_per_s=rate, lanes=LANES,
+                               mode="ar", arrivals=arrivals)
+        rows.append([rate, manual.mean_wait_s, ar.mean_wait_s,
+                     manual.p95_wait_s, ar.p95_wait_s,
+                     manual.throughput_per_min, ar.throughput_per_min])
+    return rows
+
+
+def bench_fig9_security_screening(benchmark):
+    rows = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    print_table(
+        "F9  Figure 9: screening queues, manual vs AR profile overlay",
+        ["arrivals/s", "manual wait s", "ar wait s", "manual p95 s",
+         "ar p95 s", "manual tput/min", "ar tput/min"],
+        rows,
+        note=f"{LANES} lanes, {PASSENGERS} passengers; manual service "
+             "~8 s, AR ~2.5 s with 5% manual fallback")
+    # AR never waits longer and never moves fewer passengers.
+    for row in rows:
+        assert row[2] <= row[1] + 1e-9
+        assert row[6] >= row[5] - 1e-9
+    # Saturation shape: manual lanes (capacity 2/8s = 0.25/s) blow up
+    # past 0.25 arrivals/s; AR lanes (capacity ~0.74/s) stay stable
+    # until much later.
+    mid = rows[2]  # 0.3 arrivals/s
+    assert mid[1] > 10 * mid[2], "manual saturated, AR not"
+    heavy = rows[-1]  # 0.8 arrivals/s: beyond both capacities
+    assert heavy[1] > heavy[2], "AR still degrades more gracefully"
+    # Under saturation manual throughput is pinned at service capacity.
+    assert rows[-1][5] == __import__("pytest").approx(
+        60.0 * LANES / 8.0, rel=0.15)

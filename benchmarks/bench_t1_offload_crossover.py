@@ -1,0 +1,100 @@
+"""Experiment T1 (Section 4.1, timeliness via offloading).
+
+Claim under test: local processing cannot hold the AR real-time cap as
+frames get heavy; cloud offloading can, "within a fixed time cap", with
+edge in between; the winner flips at a crossover input size, and the
+crossover moves with network quality.
+
+Output: per (resolution, network) the frame latency of always-local /
+edge / cloud / greedy, deadline-miss rate at a 33 ms cap, and the
+measured crossover resolution.
+"""
+
+import pytest
+
+from repro.core import ARBigDataPipeline, PipelineConfig
+from repro.offload import AlwaysLocal, AlwaysRemote, GreedyLatency
+from repro.simnet.network import LINK_PRESETS
+from repro.vision.tracker import StageProfile
+
+from tableprint import print_table
+
+DEADLINE_S = 1.0 / 30.0
+RESOLUTIONS = [(160, 120), (320, 240), (640, 480), (1280, 720),
+               (1920, 1080)]
+NETWORKS = ["lte", "wifi", "5g"]
+
+
+def _profile(width, height):
+    pixels = width * height
+    # Feature/match counts scale sub-linearly with pixels (detector caps).
+    features = min(1200, int(80 * (pixels / (160 * 120)) ** 0.5))
+    return StageProfile(pixels=pixels, features=features,
+                        matches=int(features * 0.4),
+                        ransac_iterations=80)
+
+
+def run_experiment():
+    rows = []
+    crossovers = {}
+    for network in NETWORKS:
+        previous_winner = None
+        crossovers[network] = None
+        for width, height in RESOLUTIONS:
+            pipeline = ARBigDataPipeline(PipelineConfig(
+                seed=1, access_link=network, deadline_s=DEADLINE_S))
+            profile = _profile(width, height)
+            latencies = {}
+            misses = {}
+            for name, policy in (
+                    ("local", AlwaysLocal()),
+                    ("edge", AlwaysRemote("edge")),
+                    ("cloud", AlwaysRemote("cloud")),
+                    ("greedy", GreedyLatency())):
+                pipeline.set_offload_policy(policy)
+                for _ in range(30):
+                    pipeline.timeliness.admit_frame(profile)
+                report = pipeline.timeliness.report
+                latencies[name] = report.mean_latency_s * 1000
+                misses[name] = report.miss_rate
+            winner = min(("local", "edge", "cloud"),
+                         key=lambda k: latencies[k])
+            if (previous_winner == "local" and winner != "local"
+                    and crossovers[network] is None):
+                crossovers[network] = f"{width}x{height}"
+            previous_winner = winner
+            rows.append([network, f"{width}x{height}",
+                         latencies["local"], latencies["edge"],
+                         latencies["cloud"], latencies["greedy"],
+                         misses["local"], misses["greedy"], winner])
+    return rows, crossovers
+
+
+def bench_t1_offload_crossover(benchmark):
+    rows, crossovers = benchmark.pedantic(run_experiment, rounds=1,
+                                          iterations=1)
+    print_table(
+        "T1  Sec 4.1: offload crossover (frame latency, ms)",
+        ["net", "resolution", "local", "edge", "cloud", "greedy",
+         "miss%local", "miss%greedy", "winner"],
+        rows,
+        note=f"33ms deadline; crossover resolutions: {crossovers}")
+    by_key = {(r[0], r[1]): r for r in rows}
+    # Shape checks: small frames favour local...
+    small = by_key[("lte", "160x120")]
+    assert small[8] == "local"
+    # ...heavy frames favour offloading on good networks (wifi/5g); a
+    # thin LTE uplink legitimately keeps heavy frames local — the
+    # crossover's position depends on bandwidth, which is the point.
+    for network in ("wifi", "5g"):
+        heavy = by_key[(network, "1920x1080")]
+        assert heavy[8] != "local", "offload must win on a fast network"
+        assert crossovers[network] is not None
+    # Greedy never loses to the best static choice (it includes them all).
+    for row in rows:
+        assert row[5] <= min(row[2], row[3], row[4]) * 1.05
+    # The paper's cap claim: at VGA the device alone misses the 33 ms
+    # deadline on every frame; offloading over 5G meets it (sometimes).
+    vga_5g = by_key[("5g", "640x480")]
+    assert vga_5g[6] == 1.0  # local misses everything
+    assert vga_5g[7] < 1.0  # greedy meets the cap

@@ -1,0 +1,95 @@
+"""Experiment T3 (Section 4.2, interpretation).
+
+Claim under test: AR needs "semantically meaningful information to
+relate to the users' context"; a standard semantic markup (ARML) plus
+native tagging is the proposed fix.  We stream social posts where only a
+fraction carries semantic tags, interpret them into AR content, and
+measure binding coverage as the tagged fraction varies — plus the ARML
+round-trip cost of exchanging the bound content.
+"""
+
+import numpy as np
+
+from repro.context import (
+    ContextStore,
+    InterpretationEngine,
+    SemanticEntity,
+    parse_arml,
+    serialize_arml,
+)
+from repro.datagen import SocialStreamConfig, generate_posts
+from repro.util.rng import make_rng
+
+from tableprint import print_table
+
+TAGGED_FRACTIONS = [0.0, 0.25, 0.5, 0.75, 1.0]
+
+
+def _world(rng, n_pois=40):
+    store = ContextStore()
+    pois = []
+    for i in range(n_pois):
+        x, y = float(rng.uniform(0, 1000)), float(rng.uniform(0, 1000))
+        store.add_entity(SemanticEntity(
+            entity_id=f"poi-{i}", entity_type="poi",
+            position=np.array([x, y, 2.0]), name=f"POI {i}"))
+        pois.append((f"poi-{i}", x, y))
+    engine = InterpretationEngine(store)
+    engine.register_default("poi-activity")
+    return engine, pois
+
+
+def run_experiment():
+    rng = make_rng(4)
+    engine, pois = _world(rng)
+    rows = []
+    for fraction in TAGGED_FRACTIONS:
+        posts = generate_posts(rng, pois, SocialStreamConfig(
+            rate_per_s=3.0, horizon_s=300.0, tagged_fraction=fraction))
+        results = [{"tag": "poi-activity" if p.poi_id else None,
+                    "subject": p.poi_id, "value": p.topic}
+                   for p in posts]
+        bound = engine.interpret(results)
+        doc = engine.to_arml(bound)
+        # Round-trip the exchange format to prove interop fidelity.
+        parsed = parse_arml(serialize_arml(doc))
+        # Feature ids may collide across posts about the same POI — the
+        # document keeps the first; coverage is still measured per post.
+        rows.append([fraction, len(posts), bound.bound,
+                     bound.unbound_untagged, bound.coverage,
+                     len(parsed)])
+    return rows
+
+
+def bench_t3_interpretation(benchmark):
+    rows = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    print_table(
+        "T3  Sec 4.2: semantic tagging -> interpretation coverage",
+        ["tagged frac", "posts", "bound", "untagged", "coverage",
+         "arml features"],
+        rows,
+        note="untagged results cannot be related to the user's context; "
+             "coverage tracks the tagged fraction")
+    coverages = [r[4] for r in rows]
+    # Coverage is monotone in the tagged fraction, ~0 at 0 and ~1 at 1.
+    assert all(b >= a - 0.02 for a, b in zip(coverages, coverages[1:]))
+    assert coverages[0] == 0.0
+    assert coverages[-1] > 0.98
+    # Coverage approximately equals the tagged fraction itself.
+    for row in rows:
+        assert abs(row[4] - row[0]) < 0.1
+
+
+def bench_t3_arml_roundtrip_throughput(benchmark):
+    """Micro-benchmark: ARML serialize+parse for a 200-feature document."""
+    rng = make_rng(5)
+    engine, pois = _world(rng, n_pois=200)
+    results = [{"tag": "poi-activity", "subject": f"poi-{i}",
+                "value": i} for i in range(200)]
+    bound = engine.interpret(results)
+    doc = engine.to_arml(bound)
+
+    def roundtrip():
+        return len(parse_arml(serialize_arml(doc)))
+
+    assert benchmark(roundtrip) == 200

@@ -1,0 +1,207 @@
+"""Experiment T4 (Section 4.3, differential privacy utility).
+
+Claims under test: (a) "differential privacy is a possible way of
+accessing data with a limited privacy risk, however the information is
+reduced too far to be useful in practice" — utility collapses as epsilon
+shrinks; (b) "it is ill-suited for dynamically changing data" — a static
+DP release goes stale on a drifting stream, and refreshing it burns the
+budget linearly.
+
+Output: per epsilon, the error of a DP-noised product-popularity
+histogram and the precision of recommendations re-ranked by it; plus the
+staleness-vs-budget trade for a drifting stream.
+"""
+
+import numpy as np
+
+from repro.analytics import precision_at_k
+from repro.datagen import RetailWorld
+from repro.privacy import (
+    BudgetAccountant,
+    LaplaceMechanism,
+    private_top_k,
+)
+from repro.util.errors import BudgetExhausted
+from repro.util.rng import make_rng
+
+from tableprint import print_table
+
+EPSILONS = [10.0, 1.0, 0.5, 0.1, 0.05, 0.01]
+
+
+def _popularity(world, interactions):
+    counts = {p.product_id: 0.0 for p in world.products}
+    for interaction in interactions:
+        counts[interaction.item] += 1.0
+    return counts
+
+
+def run_utility():
+    rng = make_rng(6)
+    world = RetailWorld.generate(rng, num_products=100,
+                                 num_categories=10, num_shoppers=80,
+                                 preference_concentration=0.3)
+    interactions = world.interactions(rng, events_per_shopper=30)
+    truth = _popularity(world, interactions)
+    items = sorted(truth)
+    true_vec = np.array([truth[i] for i in items])
+    true_rank = [i for _c, i in
+                 sorted(((-truth[i], i) for i in items))]
+    # Ground-truth relevance: top-decile products.
+    relevant = set(true_rank[:10])
+    rows = []
+    for epsilon in EPSILONS:
+        mechanism = LaplaceMechanism(epsilon=epsilon, sensitivity=1.0,
+                                     rng=rng)
+        errors, precisions = [], []
+        for _trial in range(15):
+            noisy = mechanism.release(true_vec)
+            errors.append(float(np.abs(noisy - true_vec).mean()))
+            noisy_rank = [items[j] for j in np.argsort(-noisy)]
+            precisions.append(precision_at_k(noisy_rank[:10], relevant,
+                                             10))
+        rows.append([epsilon, float(np.mean(errors)),
+                     float(np.mean(precisions))])
+    return rows
+
+
+def run_drift():
+    """Static release vs drifting truth, refresh vs budget."""
+    rng = make_rng(7)
+    accountant = BudgetAccountant(epsilon=1.0)
+    mechanism = LaplaceMechanism(epsilon=0.2, sensitivity=1.0, rng=rng,
+                                 accountant=accountant)
+    truth = 100.0
+    release = mechanism.release(truth)
+    rows = []
+    refusals = 0
+    for step in range(10):
+        truth += 30.0  # the stream drifts
+        stale_error = abs(release - truth)
+        try:
+            release = mechanism.release(truth)
+            refreshed = True
+        except BudgetExhausted:
+            refreshed = False
+            refusals += 1
+        rows.append([step, truth, round(stale_error, 1), refreshed,
+                     round(accountant.remaining_epsilon, 2)])
+    return rows, refusals
+
+
+def run_selection_comparison():
+    """Laplace-then-rank vs exponential-mechanism peeling at *equal,
+    correctly calibrated* user-level epsilon.
+
+    Releasing the whole noisy histogram must pay a user's full L1
+    footprint (every interaction they made) in sensitivity; selecting
+    top-k by peeling pays only the user's largest per-item contribution
+    per pick.  That asymmetry is why selection mechanisms survive tight
+    budgets that flatten noisy histograms.
+    """
+    rng = make_rng(8)
+    world = RetailWorld.generate(rng, num_products=100,
+                                 num_categories=10, num_shoppers=80,
+                                 preference_concentration=0.3)
+    interactions = world.interactions(rng, events_per_shopper=30)
+    # Contribution capping (standard DP practice): count *distinct
+    # users* per item, so one user moves any single count by at most 1.
+    pairs = {(it.user, it.item) for it in interactions}
+    truth: dict[str, float] = {p.product_id: 0.0
+                               for p in world.products}
+    for _user, item in pairs:
+        truth[item] += 1.0
+    items = sorted(truth)
+    true_vec = np.array([truth[i] for i in items])
+    relevant = {items[j] for j in np.argsort(-true_vec)[:10]}
+    # A user still touches many distinct items: the histogram release
+    # pays that whole footprint; each selection pick pays 1.
+    footprint: dict[str, int] = {}
+    for user, _item in pairs:
+        footprint[user] = footprint.get(user, 0) + 1
+    histogram_sensitivity = float(max(footprint.values()))
+    selection_sensitivity = 1.0
+    rows = []
+    for epsilon in [3.0, 1.0, 0.3]:
+        lap_scores, exp_scores = [], []
+        for _trial in range(40):
+            lap = LaplaceMechanism(epsilon=epsilon,
+                                   sensitivity=histogram_sensitivity,
+                                   rng=rng)
+            noisy = lap.release(true_vec)
+            lap_rank = [items[j] for j in np.argsort(-noisy)[:10]]
+            lap_scores.append(len(set(lap_rank) & relevant) / 10)
+            picks = private_top_k(dict(zip(items, true_vec)), k=10,
+                                  epsilon=epsilon, rng=rng,
+                                  sensitivity=selection_sensitivity)
+            exp_scores.append(len(set(picks) & relevant) / 10)
+        rows.append([epsilon, float(np.mean(lap_scores)),
+                     float(np.mean(exp_scores))])
+    return rows, histogram_sensitivity, selection_sensitivity
+
+
+def bench_t4_private_selection(benchmark):
+    rows, hist_sens, sel_sens = benchmark.pedantic(
+        run_selection_comparison, rounds=1, iterations=1)
+    print_table(
+        "T4c Sec 4.3: private top-10 selection — Laplace ranking vs "
+        "exponential mechanism (user-level DP)",
+        ["epsilon", "laplace-then-rank recall", "exp-mechanism recall"],
+        rows,
+        note=f"histogram sensitivity {hist_sens:.0f} (a user's whole "
+             f"footprint) vs selection sensitivity {sel_sens:.0f} per "
+             "pick; with head counts of only ~50 distinct users, BOTH "
+             "correctly-calibrated mechanisms collapse below eps~1 — "
+             "the paper's 'reduced too far to be useful', quantified")
+    lap = [r[1] for r in rows]
+    exp = [r[2] for r in rows]
+    # Both degrade monotonically as epsilon shrinks.
+    assert lap == sorted(lap, reverse=True)
+    assert exp == sorted(exp, reverse=True)
+    # At a generous budget both recover real signal...
+    assert lap[0] > 0.4
+    assert exp[0] > 0.4
+    # ...and the two calibrated mechanisms stay in the same class
+    # (neither dodges the collapse; the paper's skepticism stands).
+    for l, e in zip(lap, exp):
+        assert abs(l - e) < 0.15
+    assert lap[-1] < 0.35
+    assert exp[-1] < 0.35
+
+
+def bench_t4_dp_utility(benchmark):
+    rows = benchmark.pedantic(run_utility, rounds=1, iterations=1)
+    print_table(
+        "T4a Sec 4.3: DP epsilon vs utility (popularity histogram)",
+        ["epsilon", "mean abs error", "precision@10 of noisy ranking"],
+        rows,
+        note="true top-decile ~24 interactions/product; at small epsilon "
+             "the ranking is near-random (paper: 'reduced too far to be "
+             "useful')")
+    errors = [r[1] for r in rows]
+    precisions = [r[2] for r in rows]
+    # Error grows monotonically as epsilon shrinks (EPSILONS descending).
+    assert all(b > a for a, b in zip(errors, errors[1:]))
+    # Utility collapses: strong privacy ranking ~ random (10/100 = 0.1).
+    assert precisions[0] > 0.9
+    assert precisions[-1] < 0.35
+    # Monotone-ish utility decline (allow small sampling wiggle).
+    assert all(b <= a + 0.1 for a, b in zip(precisions, precisions[1:]))
+
+
+def bench_t4_dp_dynamic_data(benchmark):
+    (rows, refusals) = benchmark.pedantic(run_drift, rounds=1,
+                                          iterations=1)
+    print_table(
+        "T4b Sec 4.3: static DP release on drifting data",
+        ["step", "true value", "staleness error", "refreshed",
+         "epsilon left"],
+        rows,
+        note=f"budget 1.0, 0.2/refresh: {refusals} refresh refusals — "
+             "the paper's 'ill-suited for dynamically changing data'")
+    # Budget supports only 4 refreshes after the initial release.
+    assert refusals == 6
+    # Once the budget is gone, staleness error grows without bound.
+    stale_tail = [r[2] for r in rows[-3:]]
+    assert stale_tail == sorted(stale_tail)
+    assert stale_tail[-1] >= 90.0

@@ -1,0 +1,97 @@
+"""Experiment T5 (Section 4.3, mobility re-identification).
+
+Claims under test: "users' identities and their movement patterns have a
+close correlation [Gonzalez et al.]" — a handful of known
+spatio-temporal points re-identifies most users; location defences
+(k-anonymity cloaking granularity, geo-indistinguishability noise)
+reduce the rate at a measurable utility cost.
+
+Output: re-identification rate vs number of known points, undefended vs
+planar-Laplace defended (two strengths) and vs coarser cloaking cells.
+"""
+
+import numpy as np
+
+from repro.datagen import MobilityConfig, generate_population
+from repro.privacy import PlanarLaplace, TraceDatabase
+from repro.util.rng import make_rng
+
+from tableprint import print_table
+
+KNOWN_POINTS = [1, 2, 4, 6, 10]
+USERS = 60
+
+
+def _build_databases():
+    rng = make_rng(8)
+    traces = generate_population(USERS, rng, MobilityConfig(
+        steps=180, area_m=5_000.0))
+    truth = TraceDatabase(cell_m=250.0, bucket_s=600.0)
+    coarse = TraceDatabase(cell_m=1_000.0, bucket_s=3_600.0)
+    weak_noise = TraceDatabase(cell_m=250.0, bucket_s=600.0)
+    strong_noise = TraceDatabase(cell_m=250.0, bucket_s=600.0)
+    weak = PlanarLaplace(epsilon_per_m=0.01, rng=rng)  # ~200 m noise
+    strong = PlanarLaplace(epsilon_per_m=0.002, rng=rng)  # ~1 km noise
+    for trace in traces:
+        truth.add_trace(trace.user, trace.xs, trace.ys, trace.ts)
+        coarse.add_trace(trace.user, trace.xs, trace.ys, trace.ts)
+        points = np.column_stack([trace.xs, trace.ys])
+        noisy_weak = weak.perturb_many(points)
+        noisy_strong = strong.perturb_many(points)
+        weak_noise.add_trace(trace.user, noisy_weak[:, 0],
+                             noisy_weak[:, 1], trace.ts)
+        strong_noise.add_trace(trace.user, noisy_strong[:, 0],
+                               noisy_strong[:, 1], trace.ts)
+    return truth, coarse, weak_noise, strong_noise, weak, strong
+
+
+def run_experiment():
+    truth, coarse, weak_noise, strong_noise, weak, strong = \
+        _build_databases()
+    rows = []
+    for p in KNOWN_POINTS:
+        raw = truth.attack(make_rng(100 + p), known_points=p)
+        cloaked = coarse.attack(make_rng(100 + p), known_points=p,
+                                observed=coarse)
+        defended_weak = weak_noise.attack(make_rng(100 + p),
+                                          known_points=p, observed=truth)
+        defended_strong = strong_noise.attack(make_rng(100 + p),
+                                              known_points=p,
+                                              observed=truth)
+        rows.append([p, raw.reidentification_rate,
+                     cloaked.reidentification_rate,
+                     defended_weak.reidentification_rate,
+                     defended_strong.reidentification_rate])
+    utility = [round(weak.expected_displacement_m),
+               round(strong.expected_displacement_m)]
+    return rows, utility
+
+
+def bench_t5_reidentification(benchmark):
+    rows, utility = benchmark.pedantic(run_experiment, rounds=1,
+                                       iterations=1)
+    print_table(
+        "T5  Sec 4.3: mobility re-identification rate vs known points",
+        ["known points", "undefended (250m/10min)",
+         "coarse cells (1km/1h)", f"geo-ind eps=0.01 (~{utility[0]}m)",
+         f"geo-ind eps=0.002 (~{utility[1]}m)"],
+        rows,
+        note="the Gonzalez et al. claim: a handful of points uniquely "
+             "identifies most users; defences trade it against location "
+             "utility")
+    raw = {r[0]: r[1] for r in rows}
+    # A handful of points re-identifies the vast majority.
+    assert raw[4] > 0.8
+    assert raw[10] > 0.9
+    # Rates grow with known points for the undefended database.
+    rates = [r[1] for r in rows]
+    assert all(b >= a - 0.05 for a, b in zip(rates, rates[1:]))
+    # Both defences cut re-identification at 4 points; stronger noise
+    # cuts it more.
+    for r in rows:
+        if r[0] == 4:
+            assert r[3] < r[1]
+            assert r[4] <= r[3]
+            assert r[4] < 0.3
+        # Coarser cells never make the attack easier.
+        assert r[2] <= r[1] + 0.05

@@ -1,0 +1,40 @@
+"""Shared table printing for the experiment benches.
+
+Every bench regenerates the rows/series of one paper figure or claim and
+prints them through here, so `pytest benchmarks/ --benchmark-only -s`
+produces a readable experiment report.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+
+def print_table(title: str, headers: Sequence[str],
+                rows: Sequence[Sequence[Any]], note: str = "") -> None:
+    """Print one experiment's table to stdout (survives pytest capture
+    via -s; also written to stderr so --benchmark-only logs keep it)."""
+    widths = [len(h) for h in headers]
+    rendered = []
+    for row in rows:
+        cells = [_fmt(cell) for cell in row]
+        widths = [max(w, len(c)) for w, c in zip(widths, cells)]
+        rendered.append(cells)
+    line = "  ".join(h.ljust(w) for h, w in zip(headers, widths))
+    out = [f"\n== {title} ==", line, "-" * len(line)]
+    for cells in rendered:
+        out.append("  ".join(c.ljust(w) for c, w in zip(cells, widths)))
+    if note:
+        out.append(f"note: {note}")
+    text = "\n".join(out)
+    print(text)
+
+
+def _fmt(cell: Any) -> str:
+    if isinstance(cell, float):
+        if cell == 0:
+            return "0"
+        if abs(cell) >= 1000 or abs(cell) < 0.001:
+            return f"{cell:.3g}"
+        return f"{cell:.3f}"
+    return str(cell)

@@ -1,0 +1,49 @@
+"""Big-data analytics: sketches, incremental aggregation, recommenders,
+anomaly detection, correlation mining."""
+
+from .anomaly import Alarm, EwmaDetector, ThresholdDetector
+from .correlation import AssociationRule, LiftMiner, StreamingPearson
+from .heavyhitters import HeavyHitters
+from .incremental import (
+    DecayedCounter,
+    IncrementalQuery,
+    IncrementalTopK,
+    RunningStats,
+)
+from .quantiles import P2Quantile
+from .recommend import (
+    ContextRanker,
+    Interaction,
+    ItemCFRecommender,
+    PopularityRecommender,
+    Recommender,
+    hit_rate,
+    precision_at_k,
+)
+from .sketches import BloomFilter, CountMinSketch, HyperLogLog, ReservoirSample
+
+__all__ = [
+    "Alarm",
+    "EwmaDetector",
+    "ThresholdDetector",
+    "AssociationRule",
+    "LiftMiner",
+    "StreamingPearson",
+    "HeavyHitters",
+    "DecayedCounter",
+    "IncrementalQuery",
+    "IncrementalTopK",
+    "RunningStats",
+    "P2Quantile",
+    "ContextRanker",
+    "Interaction",
+    "ItemCFRecommender",
+    "PopularityRecommender",
+    "Recommender",
+    "hit_rate",
+    "precision_at_k",
+    "BloomFilter",
+    "CountMinSketch",
+    "HyperLogLog",
+    "ReservoirSample",
+]

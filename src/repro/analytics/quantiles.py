@@ -1,0 +1,97 @@
+"""Streaming quantile estimation (P² algorithm, Jain & Chlamtac 1985).
+
+Constant memory per tracked quantile; used for latency percentiles in
+the timeliness experiments without retaining full samples.
+"""
+
+from __future__ import annotations
+
+from ..util.errors import ConfigError
+
+__all__ = ["P2Quantile"]
+
+
+class P2Quantile:
+    """Single-quantile P² estimator."""
+
+    def __init__(self, q: float) -> None:
+        if not 0.0 < q < 1.0:
+            raise ConfigError("q must be in (0, 1)")
+        self.q = q
+        self._initial: list[float] = []
+        # marker heights, positions, desired positions, increments
+        self._heights: list[float] = []
+        self._positions: list[float] = []
+        self._desired: list[float] = []
+        self._increments = [0.0, q / 2.0, q, (1.0 + q) / 2.0, 1.0]
+        self.count = 0
+
+    def add(self, value: float) -> None:
+        value = float(value)
+        self.count += 1
+        if len(self._initial) < 5:
+            self._initial.append(value)
+            if len(self._initial) == 5:
+                self._initial.sort()
+                self._heights = list(self._initial)
+                self._positions = [1.0, 2.0, 3.0, 4.0, 5.0]
+                self._desired = [1.0, 1.0 + 2.0 * self.q, 1.0 + 4.0 * self.q,
+                                 3.0 + 2.0 * self.q, 5.0]
+            return
+
+        # Find cell k containing the new observation.
+        if value < self._heights[0]:
+            self._heights[0] = value
+            k = 0
+        elif value >= self._heights[4]:
+            self._heights[4] = value
+            k = 3
+        else:
+            k = 0
+            while k < 3 and value >= self._heights[k + 1]:
+                k += 1
+
+        for i in range(k + 1, 5):
+            self._positions[i] += 1.0
+        for i in range(5):
+            self._desired[i] += self._increments[i]
+
+        # Adjust interior markers with parabolic (fallback linear) moves.
+        for i in range(1, 4):
+            d = self._desired[i] - self._positions[i]
+            left_gap = self._positions[i] - self._positions[i - 1]
+            right_gap = self._positions[i + 1] - self._positions[i]
+            if (d >= 1.0 and right_gap > 1.0) or (d <= -1.0 and left_gap > 1.0):
+                step = 1.0 if d >= 1.0 else -1.0
+                candidate = self._parabolic(i, step)
+                if self._heights[i - 1] < candidate < self._heights[i + 1]:
+                    self._heights[i] = candidate
+                else:
+                    self._heights[i] = self._linear(i, step)
+                self._positions[i] += step
+
+    def _parabolic(self, i: int, step: float) -> float:
+        p = self._positions
+        h = self._heights
+        return h[i] + step / (p[i + 1] - p[i - 1]) * (
+            (p[i] - p[i - 1] + step) * (h[i + 1] - h[i]) / (p[i + 1] - p[i])
+            + (p[i + 1] - p[i] - step) * (h[i] - h[i - 1]) / (p[i] - p[i - 1])
+        )
+
+    def _linear(self, i: int, step: float) -> float:
+        j = i + int(step)
+        return self._heights[i] + step * (
+            (self._heights[j] - self._heights[i])
+            / (self._positions[j] - self._positions[i])
+        )
+
+    def value(self) -> float:
+        """Current quantile estimate."""
+        if self.count == 0:
+            return float("nan")
+        if len(self._initial) < 5:
+            ordered = sorted(self._initial)
+            index = min(len(ordered) - 1,
+                        max(0, round(self.q * (len(ordered) - 1))))
+            return ordered[index]
+        return self._heights[2]

@@ -1,0 +1,194 @@
+"""Recommendation: the "big data" that drives AR content (Section 3.1).
+
+Two recommenders with one interface, so the F6 experiment can compare
+"AR with big data" against "AR without":
+
+- :class:`PopularityRecommender` — the no-big-data baseline: rank items
+  by global popularity, the same overlay for every customer.
+- :class:`ItemCFRecommender` — item-based collaborative filtering over
+  the interaction log (cosine similarity on co-occurrence), personal.
+
+:class:`ContextRanker` re-ranks candidates by the user's *current AR
+context* (proximity, gaze, recency) — the interpretation step the paper
+says AR must add on top of raw analytics.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import defaultdict
+from dataclasses import dataclass, field
+
+from ..util.errors import ConfigError
+
+__all__ = [
+    "Interaction",
+    "Recommender",
+    "PopularityRecommender",
+    "ItemCFRecommender",
+    "ContextRanker",
+    "precision_at_k",
+    "hit_rate",
+]
+
+
+@dataclass(frozen=True)
+class Interaction:
+    """One user-item event (view, gaze dwell, purchase...)."""
+
+    user: str
+    item: str
+    weight: float = 1.0
+    timestamp: float = 0.0
+
+
+class Recommender:
+    """Common interface: feed interactions, ask for ranked items."""
+
+    def add(self, interaction: Interaction) -> None:
+        raise NotImplementedError
+
+    def recommend(self, user: str, k: int = 10,
+                  exclude_seen: bool = True) -> list[tuple[str, float]]:
+        raise NotImplementedError
+
+    def add_all(self, interactions) -> None:
+        for interaction in interactions:
+            self.add(interaction)
+
+
+class PopularityRecommender(Recommender):
+    """Global popularity ranking — identical for every user."""
+
+    def __init__(self) -> None:
+        self._popularity: dict[str, float] = defaultdict(float)
+        self._seen: dict[str, set[str]] = defaultdict(set)
+
+    def add(self, interaction: Interaction) -> None:
+        self._popularity[interaction.item] += interaction.weight
+        self._seen[interaction.user].add(interaction.item)
+
+    def recommend(self, user: str, k: int = 10,
+                  exclude_seen: bool = True) -> list[tuple[str, float]]:
+        seen = self._seen.get(user, set()) if exclude_seen else set()
+        ranked = sorted(
+            ((item, score) for item, score in self._popularity.items()
+             if item not in seen),
+            key=lambda kv: (-kv[1], kv[0]),
+        )
+        return ranked[:k]
+
+
+class ItemCFRecommender(Recommender):
+    """Item-based collaborative filtering with cosine similarity.
+
+    Maintains co-occurrence counts incrementally; similarity is computed
+    on demand, so the structure supports streaming updates (the paper's
+    velocity requirement) without retraining.
+    """
+
+    def __init__(self, max_neighbors: int = 50) -> None:
+        if max_neighbors < 1:
+            raise ConfigError("max_neighbors must be >= 1")
+        self.max_neighbors = max_neighbors
+        self._user_items: dict[str, dict[str, float]] = defaultdict(dict)
+        self._item_users: dict[str, dict[str, float]] = defaultdict(dict)
+        self._cooc: dict[str, dict[str, float]] = defaultdict(
+            lambda: defaultdict(float))
+        self._item_norm_sq: dict[str, float] = defaultdict(float)
+
+    def add(self, interaction: Interaction) -> None:
+        user, item, w = interaction.user, interaction.item, interaction.weight
+        old = self._user_items[user].get(item, 0.0)
+        new = old + w
+        # Update co-occurrence with the user's other items incrementally.
+        for other_item, other_w in self._user_items[user].items():
+            if other_item == item:
+                continue
+            delta = w * other_w
+            self._cooc[item][other_item] += delta
+            self._cooc[other_item][item] += delta
+        self._item_norm_sq[item] += new ** 2 - old ** 2
+        self._user_items[user][item] = new
+        self._item_users[item][user] = new
+
+    def similarity(self, a: str, b: str) -> float:
+        dot = self._cooc.get(a, {}).get(b, 0.0)
+        if dot == 0.0:
+            return 0.0
+        na = math.sqrt(self._item_norm_sq[a])
+        nb = math.sqrt(self._item_norm_sq[b])
+        return dot / (na * nb) if na > 0 and nb > 0 else 0.0
+
+    def neighbors(self, item: str) -> list[tuple[str, float]]:
+        scored = [(other, self.similarity(item, other))
+                  for other in self._cooc.get(item, {})]
+        scored = [(i, s) for i, s in scored if s > 0]
+        scored.sort(key=lambda kv: (-kv[1], kv[0]))
+        return scored[: self.max_neighbors]
+
+    def recommend(self, user: str, k: int = 10,
+                  exclude_seen: bool = True) -> list[tuple[str, float]]:
+        profile = self._user_items.get(user, {})
+        scores: dict[str, float] = defaultdict(float)
+        for item, weight in profile.items():
+            for neighbor, sim in self.neighbors(item):
+                scores[neighbor] += sim * weight
+        if exclude_seen:
+            for item in profile:
+                scores.pop(item, None)
+        ranked = sorted(scores.items(), key=lambda kv: (-kv[1], kv[0]))
+        return ranked[:k]
+
+
+@dataclass
+class ContextRanker:
+    """Re-rank candidates by AR context (Section 4.2's interpretation).
+
+    ``score = base * (1 + proximity_boost + gaze_boost)`` where proximity
+    decays with distance and gaze boosts items the user recently dwelled
+    on (or their CF neighbors, supplied by the caller).
+    """
+
+    proximity_scale: float = 10.0  # metres at which the boost halves
+    gaze_boost: float = 1.0
+    recency_tau: float = 60.0  # seconds
+    _gaze_events: dict[str, list[tuple[str, float]]] = field(
+        default_factory=lambda: defaultdict(list))
+
+    def observe_gaze(self, user: str, item: str, timestamp: float) -> None:
+        self._gaze_events[user].append((item, timestamp))
+
+    def rank(self, user: str, candidates: list[tuple[str, float]],
+             distances: dict[str, float] | None = None,
+             now: float = 0.0, k: int | None = None,
+             ) -> list[tuple[str, float]]:
+        distances = distances or {}
+        gaze_weight: dict[str, float] = defaultdict(float)
+        for item, ts in self._gaze_events.get(user, ()):
+            gaze_weight[item] += math.exp(-max(0.0, now - ts)
+                                          / self.recency_tau)
+        rescored = []
+        for item, base in candidates:
+            boost = 0.0
+            if item in distances:
+                boost += 1.0 / (1.0 + distances[item] / self.proximity_scale)
+            boost += self.gaze_boost * gaze_weight.get(item, 0.0)
+            rescored.append((item, base * (1.0 + boost)))
+        rescored.sort(key=lambda kv: (-kv[1], kv[0]))
+        return rescored[:k] if k is not None else rescored
+
+
+def precision_at_k(recommended: list[str], relevant: set[str], k: int) -> float:
+    """Fraction of the top-k that are relevant."""
+    if k < 1:
+        raise ConfigError("k must be >= 1")
+    top = recommended[:k]
+    if not top:
+        return 0.0
+    return sum(1 for item in top if item in relevant) / len(top)
+
+
+def hit_rate(recommended: list[str], relevant: set[str], k: int) -> float:
+    """1.0 if any of the top-k is relevant else 0.0."""
+    return 1.0 if any(item in relevant for item in recommended[:k]) else 0.0

@@ -1,0 +1,171 @@
+"""Probabilistic sketches for high-velocity streams.
+
+The "velocity" leg of the 3Vs: these structures summarize unbounded
+streams in bounded memory with quantified error —
+
+- :class:`CountMinSketch` — frequency estimates, one-sided error
+- :class:`BloomFilter` — set membership, no false negatives
+- :class:`HyperLogLog` — cardinality estimation
+- :class:`ReservoirSample` — uniform sample of a stream
+
+All are deterministic given their construction parameters (hash seeds
+are fixed), so tests can assert exact behaviour.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from ..util.errors import ConfigError
+
+__all__ = ["CountMinSketch", "BloomFilter", "HyperLogLog", "ReservoirSample"]
+
+
+def _hash64(data: str, seed: int) -> int:
+    """Seeded FNV-1a 64-bit hash (stable across processes)."""
+    h = (1469598103934665603 ^ (seed * 0x9E3779B97F4A7C15)) % (1 << 64)
+    for byte in data.encode("utf-8"):
+        h ^= byte
+        h = (h * 1099511628211) % (1 << 64)
+    # Final avalanche (xorshift-multiply) to decorrelate seeds.
+    h ^= h >> 33
+    h = (h * 0xFF51AFD7ED558CCD) % (1 << 64)
+    h ^= h >> 33
+    return h
+
+
+class CountMinSketch:
+    """Frequency estimation: estimate >= true, overestimate bounded.
+
+    Width/depth derive from (epsilon, delta): error <= epsilon * N with
+    probability 1 - delta.
+    """
+
+    def __init__(self, epsilon: float = 0.001, delta: float = 0.01) -> None:
+        if not 0 < epsilon < 1 or not 0 < delta < 1:
+            raise ConfigError("epsilon and delta must be in (0, 1)")
+        self.width = max(1, math.ceil(math.e / epsilon))
+        self.depth = max(1, math.ceil(math.log(1.0 / delta)))
+        self._table = np.zeros((self.depth, self.width), dtype=np.int64)
+        self.total = 0
+
+    def _indices(self, item: str) -> list[int]:
+        return [_hash64(item, row) % self.width for row in range(self.depth)]
+
+    def add(self, item: str, count: int = 1) -> None:
+        if count < 0:
+            raise ConfigError("count must be non-negative")
+        for row, col in enumerate(self._indices(item)):
+            self._table[row, col] += count
+        self.total += count
+
+    def estimate(self, item: str) -> int:
+        return int(min(self._table[row, col]
+                       for row, col in enumerate(self._indices(item))))
+
+    def merge(self, other: "CountMinSketch") -> None:
+        if (self.width, self.depth) != (other.width, other.depth):
+            raise ConfigError("cannot merge sketches of different shape")
+        self._table += other._table
+        self.total += other.total
+
+    @property
+    def memory_cells(self) -> int:
+        return self.width * self.depth
+
+
+class BloomFilter:
+    """Set membership with tunable false-positive rate, no false negatives."""
+
+    def __init__(self, capacity: int, fp_rate: float = 0.01) -> None:
+        if capacity < 1:
+            raise ConfigError("capacity must be >= 1")
+        if not 0 < fp_rate < 1:
+            raise ConfigError("fp_rate must be in (0, 1)")
+        self.capacity = capacity
+        self.fp_rate = fp_rate
+        self.num_bits = max(8, math.ceil(
+            -capacity * math.log(fp_rate) / (math.log(2) ** 2)))
+        self.num_hashes = max(1, round(self.num_bits / capacity * math.log(2)))
+        self._bits = np.zeros(self.num_bits, dtype=bool)
+        self.added = 0
+
+    def add(self, item: str) -> None:
+        for seed in range(self.num_hashes):
+            self._bits[_hash64(item, seed) % self.num_bits] = True
+        self.added += 1
+
+    def __contains__(self, item: str) -> bool:
+        return all(self._bits[_hash64(item, seed) % self.num_bits]
+                   for seed in range(self.num_hashes))
+
+    @property
+    def fill_ratio(self) -> float:
+        return float(self._bits.mean())
+
+
+class HyperLogLog:
+    """Cardinality estimation with ~1.04/sqrt(2^p) relative error."""
+
+    def __init__(self, precision: int = 12) -> None:
+        if not 4 <= precision <= 18:
+            raise ConfigError("precision must be in [4, 18]")
+        self.precision = precision
+        self.m = 1 << precision
+        self._registers = np.zeros(self.m, dtype=np.uint8)
+        if self.m >= 128:
+            self._alpha = 0.7213 / (1 + 1.079 / self.m)
+        elif self.m == 64:
+            self._alpha = 0.709
+        elif self.m == 32:
+            self._alpha = 0.697
+        else:
+            self._alpha = 0.673
+
+    def add(self, item: str) -> None:
+        h = _hash64(item, 0)
+        register = h >> (64 - self.precision)
+        remainder = h & ((1 << (64 - self.precision)) - 1)
+        # rho = position of leftmost 1-bit in the remainder
+        rho = (64 - self.precision) - remainder.bit_length() + 1
+        if rho > self._registers[register]:
+            self._registers[register] = rho
+
+    def estimate(self) -> float:
+        registers = self._registers.astype(np.float64)
+        raw = self._alpha * self.m ** 2 / np.sum(2.0 ** -registers)
+        zeros = int(np.sum(self._registers == 0))
+        if raw <= 2.5 * self.m and zeros > 0:
+            return self.m * math.log(self.m / zeros)  # linear counting
+        return float(raw)
+
+    def merge(self, other: "HyperLogLog") -> None:
+        if self.precision != other.precision:
+            raise ConfigError("cannot merge HLLs of different precision")
+        np.maximum(self._registers, other._registers, out=self._registers)
+
+
+class ReservoirSample:
+    """Uniform sample of size k over a stream (Algorithm R)."""
+
+    def __init__(self, k: int, rng: np.random.Generator) -> None:
+        if k < 1:
+            raise ConfigError("k must be >= 1")
+        self.k = k
+        self._rng = rng
+        self._sample: list = []
+        self.seen = 0
+
+    def add(self, item) -> None:
+        self.seen += 1
+        if len(self._sample) < self.k:
+            self._sample.append(item)
+            return
+        j = int(self._rng.integers(0, self.seen))
+        if j < self.k:
+            self._sample[j] = item
+
+    def sample(self) -> list:
+        return list(self._sample)

@@ -1,0 +1,38 @@
+"""Domain applications on the public API: retail, tourism, healthcare,
+public services (paper Sections 3.1-3.4)."""
+
+from .education import EducationApp, Lesson, ReviewOutcome, Student
+from .healthcare import (
+    CollaborativeStats,
+    DetectionOutcome,
+    HealthcareApp,
+    RemoteDiagnosisStats,
+)
+from .public_services import (
+    PublicServicesApp,
+    RoleView,
+    ScreeningResult,
+    ThreatAssessment,
+)
+from .retail import RecommendationEval, RetailApp
+from .tourism import GameStats, OverlayComparison, TourismApp
+
+__all__ = [
+    "EducationApp",
+    "Lesson",
+    "ReviewOutcome",
+    "Student",
+    "CollaborativeStats",
+    "DetectionOutcome",
+    "HealthcareApp",
+    "RemoteDiagnosisStats",
+    "PublicServicesApp",
+    "RoleView",
+    "ScreeningResult",
+    "ThreatAssessment",
+    "RecommendationEval",
+    "RetailApp",
+    "GameStats",
+    "OverlayComparison",
+    "TourismApp",
+]

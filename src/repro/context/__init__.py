@@ -1,0 +1,19 @@
+"""Semantic context: entities, user context, ARML markup, and the
+analytics-to-AR interpretation engine."""
+
+from .arml import ArmlDocument, ArmlFeature, parse_arml, serialize_arml
+from .entities import ContextStore, SemanticEntity, UserContext
+from .interpret import BindingRule, BoundContent, InterpretationEngine
+
+__all__ = [
+    "ArmlDocument",
+    "ArmlFeature",
+    "parse_arml",
+    "serialize_arml",
+    "ContextStore",
+    "SemanticEntity",
+    "UserContext",
+    "BindingRule",
+    "BoundContent",
+    "InterpretationEngine",
+]

@@ -1,0 +1,145 @@
+"""ARML-like markup: a standard exchange format for AR content.
+
+The paper points to ARML (Augmented Reality Markup Language) as "an
+essential step in the right direction" for interpretation.  We implement
+a faithful subset of ARML 2.0's conceptual model — Features containing
+Anchors (a position) and VisualAssets (labels with styling/priority) —
+with XML parse/serialize round-trip via the stdlib ElementTree.
+
+Example document::
+
+    <arml>
+      <feature id="cafe-1">
+        <name>Blue Bottle</name>
+        <anchor x="12.0" y="3.5" z="0.0"/>
+        <label text="Blue Bottle Cafe" priority="2.0" kind="poi"/>
+        <meta key="category" value="cafe"/>
+      </feature>
+    </arml>
+"""
+
+from __future__ import annotations
+
+import xml.etree.ElementTree as ET
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..util.errors import MarkupError
+
+__all__ = ["ArmlFeature", "ArmlDocument", "parse_arml", "serialize_arml"]
+
+
+@dataclass
+class ArmlFeature:
+    """One AR feature: identity + anchor + visual assets + metadata."""
+
+    feature_id: str
+    name: str = ""
+    anchor: np.ndarray = field(default_factory=lambda: np.zeros(3))
+    label_text: str = ""
+    priority: float = 1.0
+    kind: str = "label"
+    meta: dict[str, str] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not self.feature_id:
+            raise MarkupError("feature id must be non-empty")
+        self.anchor = np.asarray(self.anchor, dtype=float).reshape(3)
+
+
+@dataclass
+class ArmlDocument:
+    """An ordered collection of features."""
+
+    features: list[ArmlFeature] = field(default_factory=list)
+
+    def add(self, feature: ArmlFeature) -> None:
+        if any(f.feature_id == feature.feature_id for f in self.features):
+            raise MarkupError(f"duplicate feature id {feature.feature_id!r}")
+        self.features.append(feature)
+
+    def get(self, feature_id: str) -> ArmlFeature:
+        for feature in self.features:
+            if feature.feature_id == feature_id:
+                return feature
+        raise MarkupError(f"unknown feature {feature_id!r}")
+
+    def __len__(self) -> int:
+        return len(self.features)
+
+
+def serialize_arml(document: ArmlDocument) -> str:
+    """Document -> XML string."""
+    root = ET.Element("arml")
+    for feature in document.features:
+        f_el = ET.SubElement(root, "feature", {"id": feature.feature_id})
+        if feature.name:
+            ET.SubElement(f_el, "name").text = feature.name
+        ET.SubElement(f_el, "anchor", {
+            "x": repr(float(feature.anchor[0])),
+            "y": repr(float(feature.anchor[1])),
+            "z": repr(float(feature.anchor[2])),
+        })
+        ET.SubElement(f_el, "label", {
+            "text": feature.label_text,
+            "priority": repr(float(feature.priority)),
+            "kind": feature.kind,
+        })
+        for key in sorted(feature.meta):
+            ET.SubElement(f_el, "meta", {"key": key,
+                                         "value": feature.meta[key]})
+    return ET.tostring(root, encoding="unicode")
+
+
+def parse_arml(text: str) -> ArmlDocument:
+    """XML string -> document; raises :class:`MarkupError` on any
+    structural problem (malformed XML, missing anchors, bad numbers)."""
+    try:
+        root = ET.fromstring(text)
+    except ET.ParseError as exc:
+        raise MarkupError(f"malformed ARML: {exc}") from exc
+    if root.tag != "arml":
+        raise MarkupError(f"root element must be <arml>, got <{root.tag}>")
+    document = ArmlDocument()
+    for f_el in root.findall("feature"):
+        feature_id = f_el.get("id")
+        if not feature_id:
+            raise MarkupError("feature missing id attribute")
+        anchor_el = f_el.find("anchor")
+        if anchor_el is None:
+            raise MarkupError(f"feature {feature_id!r} missing <anchor>")
+        try:
+            anchor = np.array([float(anchor_el.get("x", "nan")),
+                               float(anchor_el.get("y", "nan")),
+                               float(anchor_el.get("z", "0.0"))])
+        except ValueError as exc:
+            raise MarkupError(
+                f"feature {feature_id!r}: bad anchor coordinates") from exc
+        if np.isnan(anchor[:2]).any():
+            raise MarkupError(f"feature {feature_id!r}: anchor needs x and y")
+        label_el = f_el.find("label")
+        label_text = ""
+        priority = 1.0
+        kind = "label"
+        if label_el is not None:
+            label_text = label_el.get("text", "")
+            kind = label_el.get("kind", "label")
+            try:
+                priority = float(label_el.get("priority", "1.0"))
+            except ValueError as exc:
+                raise MarkupError(
+                    f"feature {feature_id!r}: bad priority") from exc
+        name_el = f_el.find("name")
+        meta = {}
+        for m_el in f_el.findall("meta"):
+            key = m_el.get("key")
+            if not key:
+                raise MarkupError(f"feature {feature_id!r}: meta missing key")
+            meta[key] = m_el.get("value", "")
+        document.add(ArmlFeature(
+            feature_id=feature_id,
+            name=name_el.text or "" if name_el is not None else "",
+            anchor=anchor, label_text=label_text, priority=priority,
+            kind=kind, meta=meta))
+    return document

@@ -1,0 +1,125 @@
+"""Privacy enforcement at the pipeline boundary (Section 4.3 as a
+component).
+
+Personal data leaves the device only through the guard:
+
+- locations are perturbed (geo-indistinguishability) or cloaked
+  (k-anonymity) before entering any shared topic;
+- aggregate statistics are released only through DP mechanisms charged
+  against a per-user epsilon budget;
+- raw identifiers are pseudonymized with a keyed stable hash.
+
+The guard exposes counters (perturbations, releases, refusals) so the
+privacy experiments can relate protection level to utility loss.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..eventlog.producer import stable_hash
+from ..privacy.location import GridCloak, PlanarLaplace
+from ..privacy.mechanisms import BudgetAccountant, LaplaceMechanism
+from ..util.errors import BudgetExhausted, PrivacyError
+
+__all__ = ["PrivacyConfig", "PrivacyGuard"]
+
+
+@dataclass(frozen=True)
+class PrivacyConfig:
+    """Guard configuration.
+
+    location_mode   'none' | 'laplace' | 'cloak'
+    geo_epsilon     epsilon per metre for planar Laplace
+    cloak_k         k for grid cloaking
+    dp_epsilon_total  per-user budget for aggregate releases
+    dp_epsilon_per_query  charged per release
+    pseudonym_salt  keyed-hash salt for identifier pseudonymization
+    """
+
+    location_mode: str = "laplace"
+    geo_epsilon: float = 0.01
+    cloak_k: int = 5
+    dp_epsilon_total: float = 1.0
+    dp_epsilon_per_query: float = 0.1
+    pseudonym_salt: str = "repro"
+
+    def __post_init__(self) -> None:
+        if self.location_mode not in ("none", "laplace", "cloak"):
+            raise PrivacyError(
+                f"unknown location mode {self.location_mode!r}")
+
+
+class PrivacyGuard:
+    """The single gate personal data passes on its way to big data."""
+
+    def __init__(self, config: PrivacyConfig, rng: np.random.Generator,
+                 cloak: GridCloak | None = None) -> None:
+        self.config = config
+        self._rng = rng
+        self._planar = PlanarLaplace(config.geo_epsilon, rng) \
+            if config.location_mode == "laplace" else None
+        self._cloak = cloak
+        if config.location_mode == "cloak" and cloak is None:
+            raise PrivacyError("cloak mode requires a GridCloak instance")
+        self._accountants: dict[str, BudgetAccountant] = {}
+        self.locations_processed = 0
+        self.releases = 0
+        self.refusals = 0
+
+    # -- identifiers -------------------------------------------------------
+
+    def pseudonymize(self, user_id: str) -> str:
+        """Stable keyed pseudonym (same user -> same pseudonym)."""
+        digest = stable_hash(f"{self.config.pseudonym_salt}:{user_id}")
+        return f"anon-{digest % 10**12:012d}"
+
+    # -- locations -----------------------------------------------------------
+
+    def protect_location(self, x: float, y: float,
+                         population: np.ndarray | None = None,
+                         ) -> tuple[float, float, float]:
+        """Returns (x', y', worst_case_error_m) per the configured mode."""
+        self.locations_processed += 1
+        mode = self.config.location_mode
+        if mode == "none":
+            return x, y, 0.0
+        if mode == "laplace":
+            assert self._planar is not None
+            px, py = self._planar.perturb(x, y)
+            return px, py, self._planar.expected_displacement_m
+        # cloak
+        assert self._cloak is not None
+        if population is None:
+            raise PrivacyError("cloak mode needs the population snapshot")
+        region = self._cloak.cloak(x, y, population)
+        cx, cy = region.rect.center
+        return cx, cy, region.radius_m
+
+    # -- aggregate releases ------------------------------------------------------
+
+    def _accountant(self, scope: str) -> BudgetAccountant:
+        if scope not in self._accountants:
+            self._accountants[scope] = BudgetAccountant(
+                self.config.dp_epsilon_total)
+        return self._accountants[scope]
+
+    def release_aggregate(self, scope: str, true_value: float,
+                          sensitivity: float = 1.0) -> float | None:
+        """DP-noised release, or None when the scope's budget is spent."""
+        accountant = self._accountant(scope)
+        mechanism = LaplaceMechanism(
+            self.config.dp_epsilon_per_query, sensitivity, self._rng,
+            accountant=accountant)
+        try:
+            value = mechanism.release(true_value)
+        except BudgetExhausted:
+            self.refusals += 1
+            return None
+        self.releases += 1
+        return float(value)
+
+    def remaining_budget(self, scope: str) -> float:
+        return self._accountant(scope).remaining_epsilon

@@ -1,0 +1,49 @@
+"""Synthetic workload generators for every paper scenario."""
+
+from .buildings import Building, ExcavationSite, SensorGrid, WindField
+from .health import (
+    VITALS,
+    Episode,
+    Patient,
+    VitalSample,
+    VitalSpec,
+    generate_patients,
+    vitals_stream,
+)
+from .mobility import (
+    MobilityConfig,
+    Trace,
+    generate_population,
+    generate_trace,
+)
+from .retail import GazeEvent, Product, RetailWorld, Shopper
+from .social import SocialPost, SocialStreamConfig, generate_posts
+from .traffic import Beacon, RingRoadSim, VehicleState
+
+__all__ = [
+    "Building",
+    "ExcavationSite",
+    "SensorGrid",
+    "WindField",
+    "VITALS",
+    "Episode",
+    "Patient",
+    "VitalSample",
+    "VitalSpec",
+    "generate_patients",
+    "vitals_stream",
+    "MobilityConfig",
+    "Trace",
+    "generate_population",
+    "generate_trace",
+    "GazeEvent",
+    "Product",
+    "RetailWorld",
+    "Shopper",
+    "SocialPost",
+    "SocialStreamConfig",
+    "generate_posts",
+    "Beacon",
+    "RingRoadSim",
+    "VehicleState",
+]

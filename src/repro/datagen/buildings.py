@@ -1,0 +1,186 @@
+"""Built-environment workloads: wind fields over buildings (Figure 1),
+BIM excavation sites (Figure 2), and building sensor grids (Section 2.1's
+"torrent of data from in-built sensors").
+
+The wind field is a potential-flow composition: uniform flow plus
+doublets at building centres, so buildings visibly deflect the flow —
+the qualitative property Figure 1 illustrates.  The excavation site is a
+voxel grid with design vs as-built occupancy whose diff is the overlay.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..util.errors import ConfigError
+
+__all__ = ["Building", "WindField", "ExcavationSite", "SensorGrid"]
+
+
+@dataclass(frozen=True)
+class Building:
+    """A cylinder-approximated building footprint."""
+
+    name: str
+    cx: float
+    cy: float
+    radius: float
+    height: float
+
+    def __post_init__(self) -> None:
+        if self.radius <= 0 or self.height <= 0:
+            raise ConfigError("building radius/height must be positive")
+
+
+class WindField:
+    """2-D potential flow around circular buildings.
+
+    velocity(x, y) = U_inf + sum of doublet deflections; inside a
+    building the velocity is zero.  Streaming samples draw sensor
+    positions and return (t, x, y, vx, vy) rows.
+    """
+
+    def __init__(self, buildings: list[Building],
+                 free_stream: tuple[float, float] = (5.0, 0.0)) -> None:
+        self.buildings = list(buildings)
+        self.free_stream = free_stream
+
+    def velocity(self, x: float, y: float) -> tuple[float, float]:
+        u, v = self.free_stream
+        u_inf = np.hypot(*self.free_stream)
+        for b in self.buildings:
+            dx, dy = x - b.cx, y - b.cy
+            r_sq = dx * dx + dy * dy
+            if r_sq <= b.radius ** 2:
+                return (0.0, 0.0)
+            # Doublet aligned with the free stream (flow around cylinder).
+            k = u_inf * b.radius ** 2
+            r4 = r_sq * r_sq
+            u += k * (dy * dy - dx * dx) / r4
+            v += k * (-2.0 * dx * dy) / r4
+        return (float(u), float(v))
+
+    def sample_grid(self, x0: float, y0: float, x1: float, y1: float,
+                    nx: int, ny: int) -> np.ndarray:
+        """Rows (x, y, vx, vy) over a regular grid."""
+        xs = np.linspace(x0, x1, nx)
+        ys = np.linspace(y0, y1, ny)
+        rows = []
+        for y in ys:
+            for x in xs:
+                vx, vy = self.velocity(float(x), float(y))
+                rows.append((float(x), float(y), vx, vy))
+        return np.array(rows)
+
+    def stream_samples(self, rng: np.random.Generator, n: int,
+                       bounds: tuple[float, float, float, float],
+                       noise: float = 0.1, t0: float = 0.0,
+                       rate_per_s: float = 100.0) -> list[dict]:
+        """Streaming sensor readings: dicts ready for the event log."""
+        x0, y0, x1, y1 = bounds
+        out = []
+        t = t0
+        for i in range(n):
+            x = float(rng.uniform(x0, x1))
+            y = float(rng.uniform(y0, y1))
+            vx, vy = self.velocity(x, y)
+            out.append({
+                "sensor": f"anem-{i % 64:02d}",
+                "t": t, "x": x, "y": y,
+                "vx": vx + float(rng.normal(0, noise)),
+                "vy": vy + float(rng.normal(0, noise)),
+            })
+            t += 1.0 / rate_per_s
+        return out
+
+
+class ExcavationSite:
+    """Voxelized design vs as-built terrain (Figure 2's overlay).
+
+    ``design`` holds target depth per (x, y) cell; ``current`` the
+    as-excavated depth.  Daily scans move ``current`` toward ``design``
+    with noise; the diff is what AR overlays on the pit.
+    """
+
+    def __init__(self, rng: np.random.Generator, nx: int = 40, ny: int = 30,
+                 cell_m: float = 2.0, max_depth_m: float = 12.0) -> None:
+        if nx < 2 or ny < 2:
+            raise ConfigError("site grid too small")
+        self.nx, self.ny = nx, ny
+        self.cell_m = cell_m
+        # Smooth design surface: superposed cosine bumps.
+        xs = np.linspace(0, 1, nx)
+        ys = np.linspace(0, 1, ny)
+        gx, gy = np.meshgrid(xs, ys)
+        self.design = max_depth_m * (0.4
+                                     + 0.3 * np.cos(2 * np.pi * gx)
+                                     * np.sin(np.pi * gy)
+                                     + 0.3 * gy)
+        self.design = np.clip(self.design, 0.5, max_depth_m)
+        self.current = np.zeros_like(self.design)
+        self._rng = rng
+
+    def excavate_day(self, fraction: float = 0.15,
+                     noise_m: float = 0.2) -> None:
+        """One work day: move toward design by ``fraction`` of remaining."""
+        if not 0 < fraction <= 1:
+            raise ConfigError("fraction must be in (0, 1]")
+        remaining = self.design - self.current
+        dig = fraction * np.clip(remaining, 0.0, None)
+        dig += self._rng.normal(0.0, noise_m, size=dig.shape)
+        self.current = np.clip(self.current + np.clip(dig, 0.0, None),
+                               0.0, None)
+
+    def diff(self) -> np.ndarray:
+        """Signed remaining depth (positive = still to dig, negative =
+        over-excavated)."""
+        return self.design - self.current
+
+    @property
+    def progress(self) -> float:
+        """Volume fraction completed, over-dig clipped."""
+        done = np.clip(self.current, 0.0, self.design).sum()
+        return float(done / self.design.sum())
+
+    def deviation_cells(self, tolerance_m: float = 0.3) -> int:
+        """Cells outside tolerance — what field workers must act on."""
+        return int((np.abs(self.diff()) > tolerance_m).sum())
+
+
+class SensorGrid:
+    """A building instrumented with temperature sensors (asset
+    inspection of Section 2.1): smooth spatial field + hot spots."""
+
+    def __init__(self, rng: np.random.Generator, nx: int = 10, ny: int = 8,
+                 floor_m: float = 4.0, base_temp: float = 21.0) -> None:
+        self.nx, self.ny = nx, ny
+        self.floor_m = floor_m
+        self.base_temp = base_temp
+        self._rng = rng
+        self._gradients = rng.normal(0.0, 0.3, size=2)
+        self.hot_spots: list[tuple[int, int, float]] = []
+
+    def add_hot_spot(self, ix: int, iy: int, delta_c: float) -> None:
+        if not (0 <= ix < self.nx and 0 <= iy < self.ny):
+            raise ConfigError("hot spot outside grid")
+        self.hot_spots.append((ix, iy, delta_c))
+
+    def read_all(self, t: float, noise_c: float = 0.1) -> list[dict]:
+        """One reading per sensor: dicts with position and value."""
+        out = []
+        for iy in range(self.ny):
+            for ix in range(self.nx):
+                temp = (self.base_temp
+                        + self._gradients[0] * ix + self._gradients[1] * iy)
+                for hx, hy, delta in self.hot_spots:
+                    dist_sq = (ix - hx) ** 2 + (iy - hy) ** 2
+                    temp += delta * np.exp(-dist_sq / 2.0)
+                out.append({
+                    "sensor": f"temp-{ix:02d}-{iy:02d}",
+                    "t": t,
+                    "x": ix * self.floor_m, "y": iy * self.floor_m,
+                    "value": float(temp + self._rng.normal(0, noise_c)),
+                })
+        return out

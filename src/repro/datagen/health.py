@@ -1,0 +1,147 @@
+"""Healthcare workload: patients, EHRs, vital-sign streams.
+
+The Section-3.3 scenario: each patient has an electronic health record
+and wearable sensors streaming vitals.  Vitals follow stationary AR(1)
+processes around clinical baselines; scripted *episodes* (tachycardia,
+desaturation, fever) superimpose ramps so detection lead time (F8) is
+measurable against known onset times.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..util.errors import ConfigError
+
+__all__ = ["VitalSpec", "VITALS", "Episode", "Patient", "VitalSample",
+           "generate_patients", "vitals_stream"]
+
+
+@dataclass(frozen=True)
+class VitalSpec:
+    """Clinical parameters of one vital sign."""
+
+    name: str
+    baseline: float
+    sigma: float  # AR(1) innovation std
+    ar: float  # AR(1) coefficient
+    low: float  # clinical alarm bounds
+    high: float
+
+
+VITALS: dict[str, VitalSpec] = {
+    "heart_rate": VitalSpec("heart_rate", baseline=72.0, sigma=2.0,
+                            ar=0.9, low=45.0, high=120.0),
+    "spo2": VitalSpec("spo2", baseline=97.5, sigma=0.4, ar=0.85,
+                      low=90.0, high=100.5),
+    "temperature": VitalSpec("temperature", baseline=36.8, sigma=0.05,
+                             ar=0.95, low=35.0, high=38.5),
+    "systolic_bp": VitalSpec("systolic_bp", baseline=118.0, sigma=3.0,
+                             ar=0.9, low=85.0, high=160.0),
+}
+
+
+@dataclass(frozen=True)
+class Episode:
+    """A clinical event: the vital ramps by ``magnitude`` over
+    [onset, onset+ramp_s] and holds until ``end``."""
+
+    vital: str
+    onset_s: float
+    end_s: float
+    magnitude: float
+    ramp_s: float = 120.0
+
+    def __post_init__(self) -> None:
+        if self.vital not in VITALS:
+            raise ConfigError(f"unknown vital {self.vital!r}")
+        if not self.onset_s < self.end_s:
+            raise ConfigError("episode must end after onset")
+        if self.ramp_s <= 0:
+            raise ConfigError("ramp_s must be positive")
+
+    def offset_at(self, t: float) -> float:
+        if t < self.onset_s or t > self.end_s:
+            return 0.0
+        ramp = min(1.0, (t - self.onset_s) / self.ramp_s)
+        return self.magnitude * ramp
+
+
+@dataclass
+class Patient:
+    patient_id: str
+    age: int
+    conditions: list[str] = field(default_factory=list)
+    episodes: list[Episode] = field(default_factory=list)
+    ward: str = "ward-a"
+    bed: tuple[float, float] = (0.0, 0.0)
+
+
+@dataclass(frozen=True)
+class VitalSample:
+    patient_id: str
+    vital: str
+    timestamp: float
+    value: float
+
+
+_CONDITIONS = ["hypertension", "diabetes", "asthma", "afib", "copd"]
+
+
+def generate_patients(rng: np.random.Generator, n: int = 20,
+                      episode_rate: float = 0.5,
+                      horizon_s: float = 3600.0) -> list[Patient]:
+    """Patients with Poisson-scripted episodes over the horizon."""
+    if n < 1:
+        raise ConfigError("need at least one patient")
+    patients = []
+    vital_names = sorted(VITALS)
+    for i in range(n):
+        conditions = [c for c in _CONDITIONS if rng.random() < 0.2]
+        episodes = []
+        n_episodes = rng.poisson(episode_rate)
+        for _ in range(n_episodes):
+            vital = vital_names[rng.integers(0, len(vital_names))]
+            spec = VITALS[vital]
+            onset = float(rng.uniform(0.2, 0.7) * horizon_s)
+            duration = float(rng.uniform(300.0, 900.0))
+            direction = -1.0 if vital == "spo2" else float(
+                rng.choice([-1.0, 1.0]))
+            magnitude = direction * float(rng.uniform(6.0, 12.0)) * spec.sigma \
+                / (1 - spec.ar)
+            episodes.append(Episode(vital=vital, onset_s=onset,
+                                    end_s=onset + duration,
+                                    magnitude=magnitude))
+        patients.append(Patient(
+            patient_id=f"pt-{i:03d}",
+            age=int(rng.integers(18, 95)),
+            conditions=conditions,
+            episodes=episodes,
+            ward=f"ward-{'abc'[i % 3]}",
+            bed=(float(i % 10) * 3.0, float(i // 10) * 5.0),
+        ))
+    return patients
+
+
+def vitals_stream(patient: Patient, rng: np.random.Generator,
+                  horizon_s: float = 3600.0, period_s: float = 5.0,
+                  ) -> list[VitalSample]:
+    """All vitals of one patient, interleaved in time order."""
+    if period_s <= 0 or horizon_s <= 0:
+        raise ConfigError("period and horizon must be positive")
+    samples: list[VitalSample] = []
+    times = np.arange(0.0, horizon_s, period_s)
+    for vital, spec in sorted(VITALS.items()):
+        state = 0.0  # AR(1) deviation from baseline
+        episodes = [e for e in patient.episodes if e.vital == vital]
+        for t in times:
+            state = spec.ar * state + rng.normal(0.0, spec.sigma)
+            offset = sum(e.offset_at(float(t)) for e in episodes)
+            samples.append(VitalSample(
+                patient_id=patient.patient_id, vital=vital,
+                timestamp=float(t),
+                value=spec.baseline + state + offset))
+    samples.sort(key=lambda s: (s.timestamp, s.vital))
+    return samples

@@ -1,0 +1,260 @@
+"""Brokers and the replicated log cluster.
+
+:class:`LogCluster` owns topics; each topic partition has a replica set
+spread across brokers with one leader.  Produce goes to the leader and is
+synchronously replicated to in-sync followers (acks=all semantics, the
+only mode we model — it keeps failover lossless and the simulation
+simple).  When a broker fails, leadership moves to the first surviving
+in-sync replica; when no replica survives, the partition is unavailable
+and producers see :class:`BrokerDown`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..util.errors import (
+    BrokerDown,
+    ConfigError,
+    LogError,
+    PartitionNotFound,
+    TopicExists,
+    TopicNotFound,
+)
+from .partition import Partition
+from .record import Record
+
+__all__ = ["Broker", "TopicConfig", "PartitionState", "LogCluster"]
+
+
+@dataclass
+class Broker:
+    """A storage node hosting partition replicas."""
+
+    broker_id: int
+    up: bool = True
+    # (topic, partition-index) -> replica log
+    replicas: dict[tuple[str, int], Partition] = field(default_factory=dict)
+
+    def hosted(self) -> list[tuple[str, int]]:
+        return sorted(self.replicas)
+
+
+@dataclass(frozen=True)
+class TopicConfig:
+    """Topic creation parameters."""
+
+    name: str
+    partitions: int = 1
+    replication: int = 1
+    retention_bytes: int | None = None
+    retention_seconds: float | None = None
+    compacted: bool = False
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ConfigError("topic name must be non-empty")
+        if self.partitions < 1:
+            raise ConfigError("partitions must be >= 1")
+        if self.replication < 1:
+            raise ConfigError("replication must be >= 1")
+
+
+@dataclass
+class PartitionState:
+    """Metadata for one partition: replica placement and leadership."""
+
+    topic: str
+    index: int
+    replica_brokers: list[int]
+    leader: int
+    isr: list[int]  # in-sync replicas, leader included
+
+
+class LogCluster:
+    """The control plane: topics, placement, leadership, produce/fetch."""
+
+    def __init__(self, num_brokers: int = 3) -> None:
+        if num_brokers < 1:
+            raise ConfigError("need at least one broker")
+        self.brokers: dict[int, Broker] = {
+            i: Broker(broker_id=i) for i in range(num_brokers)
+        }
+        self._topics: dict[str, TopicConfig] = {}
+        self._states: dict[tuple[str, int], PartitionState] = {}
+        self._placement_cursor = 0
+        # (topic, partition, producer_id) -> (last sequence, its offset)
+        self._producer_state: dict[tuple[str, int, int],
+                                   tuple[int, int]] = {}
+
+    # -- topic management ---------------------------------------------------
+
+    def create_topic(self, config: TopicConfig) -> TopicConfig:
+        if config.name in self._topics:
+            raise TopicExists(config.name)
+        if config.replication > len(self.brokers):
+            raise ConfigError(
+                f"replication {config.replication} exceeds broker count "
+                f"{len(self.brokers)}"
+            )
+        self._topics[config.name] = config
+        broker_ids = sorted(self.brokers)
+        for p in range(config.partitions):
+            # Round-robin placement with a rotating cursor spreads leaders.
+            start = self._placement_cursor % len(broker_ids)
+            self._placement_cursor += 1
+            replicas = [broker_ids[(start + r) % len(broker_ids)]
+                        for r in range(config.replication)]
+            for b in replicas:
+                self.brokers[b].replicas[(config.name, p)] = Partition(
+                    config.name, p)
+            self._states[(config.name, p)] = PartitionState(
+                topic=config.name, index=p, replica_brokers=replicas,
+                leader=replicas[0], isr=list(replicas),
+            )
+        return config
+
+    def topic_config(self, topic: str) -> TopicConfig:
+        try:
+            return self._topics[topic]
+        except KeyError:
+            raise TopicNotFound(topic) from None
+
+    def topics(self) -> list[str]:
+        return sorted(self._topics)
+
+    def partition_count(self, topic: str) -> int:
+        return self.topic_config(topic).partitions
+
+    def partition_state(self, topic: str, partition: int) -> PartitionState:
+        self.topic_config(topic)
+        try:
+            return self._states[(topic, partition)]
+        except KeyError:
+            raise PartitionNotFound(f"{topic}[{partition}]") from None
+
+    # -- leadership / failure -------------------------------------------------
+
+    def fail_broker(self, broker_id: int) -> None:
+        """Take a broker down and re-elect leaders from surviving ISRs."""
+        broker = self._broker(broker_id)
+        broker.up = False
+        for state in self._states.values():
+            if broker_id in state.isr:
+                state.isr = [b for b in state.isr if b != broker_id]
+            if state.leader == broker_id:
+                state.leader = state.isr[0] if state.isr else -1
+
+    def recover_broker(self, broker_id: int) -> None:
+        """Bring a broker back; it catches up from leaders and rejoins ISRs."""
+        broker = self._broker(broker_id)
+        broker.up = True
+        for (topic, index), state in self._states.items():
+            if broker_id not in state.replica_brokers:
+                continue
+            if state.leader == -1:
+                # Whole partition was offline; the recovering replica's log
+                # is authoritative again.
+                state.leader = broker_id
+                state.isr = [broker_id]
+                continue
+            if broker_id not in state.isr:
+                # Catch up by cloning the leader replica's retained state —
+                # the simulation shortcut for a follower fetch loop.
+                leader_log = self.brokers[state.leader].replicas[(topic, index)]
+                broker.replicas[(topic, index)] = leader_log.clone()
+                state.isr.append(broker_id)
+
+    def _broker(self, broker_id: int) -> Broker:
+        try:
+            return self.brokers[broker_id]
+        except KeyError:
+            raise LogError(f"unknown broker {broker_id}") from None
+
+    # -- data plane -------------------------------------------------------------
+
+    def leader_partition(self, topic: str, partition: int) -> Partition:
+        state = self.partition_state(topic, partition)
+        if state.leader == -1 or not self.brokers[state.leader].up:
+            raise BrokerDown(f"{topic}[{partition}] has no live leader")
+        return self.brokers[state.leader].replicas[(topic, partition)]
+
+    def append(self, topic: str, partition: int, record: Record) -> int:
+        """Leader append + synchronous ISR replication; returns offset."""
+        state = self.partition_state(topic, partition)
+        leader_log = self.leader_partition(topic, partition)
+        offset = leader_log.append(record)
+        for b in state.isr:
+            if b == state.leader:
+                continue
+            follower = self.brokers[b]
+            if follower.up:
+                follower.replicas[(topic, partition)].append(record)
+        return offset
+
+    def append_idempotent(self, topic: str, partition: int, record: Record,
+                          producer_id: int, sequence: int) -> int:
+        """Deduplicating append: (producer, sequence) seen before on the
+        partition returns the original offset; a gap is an error."""
+        key = (topic, partition, producer_id)
+        last_seq, last_offset = self._producer_state.get(key, (-1, -1))
+        if sequence <= last_seq:
+            if sequence == last_seq:
+                return last_offset  # the retry case: already appended
+            raise LogError(
+                f"stale sequence {sequence} (last {last_seq}) from "
+                f"producer {producer_id} on {topic}[{partition}]")
+        if sequence != last_seq + 1:
+            raise LogError(
+                f"sequence gap from producer {producer_id} on "
+                f"{topic}[{partition}]: got {sequence}, expected "
+                f"{last_seq + 1}")
+        offset = self.append(topic, partition, record)
+        self._producer_state[key] = (sequence, offset)
+        return offset
+
+    def read(self, topic: str, partition: int, offset: int,
+             max_records: int = 512):
+        """Fetch from the leader replica."""
+        return self.leader_partition(topic, partition).read(offset, max_records)
+
+    def end_offset(self, topic: str, partition: int) -> int:
+        return self.leader_partition(topic, partition).end_offset
+
+    def base_offset(self, topic: str, partition: int) -> int:
+        return self.leader_partition(topic, partition).base_offset
+
+    # -- housekeeping -------------------------------------------------------------
+
+    def run_retention(self, now: float) -> int:
+        """Apply every topic's retention policy; returns records dropped."""
+        dropped = 0
+        for (topic, index), state in self._states.items():
+            config = self._topics[topic]
+            min_ts = (now - config.retention_seconds
+                      if config.retention_seconds is not None else None)
+            for b in state.replica_brokers:
+                broker = self.brokers[b]
+                if not broker.up:
+                    continue
+                log = broker.replicas[(topic, index)]
+                n = log.enforce_retention(max_bytes=config.retention_bytes,
+                                          min_timestamp=min_ts)
+                if b == state.leader:
+                    dropped += n
+        return dropped
+
+    def run_compaction(self) -> int:
+        """Compact all compacted topics; returns records removed on leaders."""
+        removed = 0
+        for (topic, index), state in self._states.items():
+            if not self._topics[topic].compacted:
+                continue
+            for b in state.replica_brokers:
+                broker = self.brokers[b]
+                if not broker.up:
+                    continue
+                n = broker.replicas[(topic, index)].compact()
+                if b == state.leader:
+                    removed += n
+        return removed

@@ -1,0 +1,192 @@
+"""Consumers and consumer groups.
+
+A :class:`Consumer` polls assigned partitions with per-partition position
+tracking.  A :class:`ConsumerGroup` owns committed offsets and assigns
+partitions to members with range assignment, rebalancing on join/leave —
+the mechanism behind the horizontal-scaling ablation (exp A2).
+"""
+
+from __future__ import annotations
+
+from ..util.errors import LogError, OffsetOutOfRange
+from .broker import LogCluster
+from .record import ConsumedRecord
+
+__all__ = ["Consumer", "ConsumerGroup"]
+
+
+class Consumer:
+    """Reads one or more partitions of one topic."""
+
+    def __init__(self, cluster: LogCluster, topic: str,
+                 partitions: list[int] | None = None,
+                 start: str = "earliest") -> None:
+        self.cluster = cluster
+        self.topic = topic
+        if partitions is None:
+            partitions = list(range(cluster.partition_count(topic)))
+        self.partitions = sorted(partitions)
+        self._positions: dict[int, int] = {}
+        for p in self.partitions:
+            if start == "earliest":
+                self._positions[p] = cluster.base_offset(topic, p)
+            elif start == "latest":
+                self._positions[p] = cluster.end_offset(topic, p)
+            else:
+                raise LogError(f"unknown start mode {start!r}")
+        self.consumed = 0
+
+    def position(self, partition: int) -> int:
+        try:
+            return self._positions[partition]
+        except KeyError:
+            raise LogError(
+                f"partition {partition} not assigned to this consumer"
+            ) from None
+
+    def seek(self, partition: int, offset: int) -> None:
+        self.position(partition)  # validate assignment
+        base = self.cluster.base_offset(self.topic, partition)
+        end = self.cluster.end_offset(self.topic, partition)
+        if not base <= offset <= end:
+            raise OffsetOutOfRange(
+                f"{self.topic}[{partition}]: seek to {offset} outside "
+                f"[{base}, {end}]"
+            )
+        self._positions[partition] = offset
+
+    def seek_to_timestamp(self, timestamp: float) -> None:
+        """Position every assigned partition at the first retained record
+        with ``record.timestamp >= timestamp`` (end offset when none).
+
+        Records within a partition are appended in non-decreasing
+        timestamp order by convention, so a binary scan per partition is
+        exact under that convention.
+        """
+        for p in self.partitions:
+            base = self.cluster.base_offset(self.topic, p)
+            end = self.cluster.end_offset(self.topic, p)
+            lo, hi = base, end
+            while lo < hi:
+                mid = (lo + hi) // 2
+                rows = self.cluster.read(self.topic, p, mid, max_records=1)
+                if not rows:
+                    # Only compacted holes from mid to the end; the
+                    # answer (if any) lies below mid.
+                    hi = mid
+                    continue
+                offset, record = rows[0]
+                if record.timestamp < timestamp:
+                    lo = offset + 1
+                else:
+                    hi = mid  # holes in [mid, offset) are skipped anyway
+            self._positions[p] = lo
+
+    def lag(self, partition: int) -> int:
+        """Records between the consumer position and the end offset."""
+        return (self.cluster.end_offset(self.topic, partition)
+                - self.position(partition))
+
+    def total_lag(self) -> int:
+        return sum(self.lag(p) for p in self.partitions)
+
+    def poll(self, max_records: int = 512) -> list[ConsumedRecord]:
+        """Round-robin fetch across assigned partitions."""
+        out: list[ConsumedRecord] = []
+        remaining = max_records
+        for p in self.partitions:
+            if remaining <= 0:
+                break
+            position = self._positions[p]
+            base = self.cluster.base_offset(self.topic, p)
+            if position < base:
+                # Retention ran past us; jump forward (data loss surfaced
+                # via the returned gap, mirroring auto.offset.reset).
+                position = base
+            rows = self.cluster.read(self.topic, p, position, remaining)
+            for offset, record in rows:
+                out.append(ConsumedRecord(self.topic, p, offset, record))
+            self._positions[p] = (rows[-1][0] + 1) if rows else position
+            remaining -= len(rows)
+        self.consumed += len(out)
+        return out
+
+
+class ConsumerGroup:
+    """Coordinates members, assignment and committed offsets for a topic."""
+
+    def __init__(self, cluster: LogCluster, topic: str, group_id: str) -> None:
+        self.cluster = cluster
+        self.topic = topic
+        self.group_id = group_id
+        self._members: dict[str, Consumer] = {}
+        self._committed: dict[int, int] = {}
+        self.rebalances = 0
+
+    # -- membership -------------------------------------------------------
+
+    def join(self, member_id: str) -> Consumer:
+        if member_id in self._members:
+            raise LogError(f"member {member_id!r} already in group")
+        self._members[member_id] = None  # type: ignore[assignment]
+        self._rebalance()
+        return self._members[member_id]
+
+    def leave(self, member_id: str) -> None:
+        if member_id not in self._members:
+            raise LogError(f"member {member_id!r} not in group")
+        del self._members[member_id]
+        if self._members:
+            self._rebalance()
+
+    def _rebalance(self) -> None:
+        """Range assignment: contiguous partition slices per member."""
+        self.rebalances += 1
+        members = sorted(self._members)
+        n_parts = self.cluster.partition_count(self.topic)
+        per = n_parts // len(members)
+        extra = n_parts % len(members)
+        start = 0
+        for i, member_id in enumerate(members):
+            count = per + (1 if i < extra else 0)
+            assigned = list(range(start, start + count))
+            start += count
+            consumer = Consumer(self.cluster, self.topic, assigned,
+                                start="earliest")
+            for p in assigned:
+                if p in self._committed:
+                    base = self.cluster.base_offset(self.topic, p)
+                    end = self.cluster.end_offset(self.topic, p)
+                    consumer.seek(p, min(max(self._committed[p], base), end))
+            self._members[member_id] = consumer
+
+    def member(self, member_id: str) -> Consumer:
+        try:
+            consumer = self._members[member_id]
+        except KeyError:
+            raise LogError(f"member {member_id!r} not in group") from None
+        return consumer
+
+    def members(self) -> list[str]:
+        return sorted(self._members)
+
+    # -- offsets ------------------------------------------------------------
+
+    def commit(self, member_id: str) -> None:
+        """Commit the member's current positions for its partitions."""
+        consumer = self.member(member_id)
+        for p in consumer.partitions:
+            self._committed[p] = consumer.position(p)
+
+    def committed(self, partition: int) -> int | None:
+        return self._committed.get(partition)
+
+    def total_lag(self) -> int:
+        return sum(self.member(m).total_lag() for m in self._members)
+
+    def poll_all(self, max_records_per_member: int = 512) -> list[ConsumedRecord]:
+        """Poll every member once (deterministic member order)."""
+        out: list[ConsumedRecord] = []
+        for member_id in sorted(self._members):
+            out.extend(self.member(member_id).poll(max_records_per_member))
+        return out

@@ -1,0 +1,110 @@
+"""Producer: partition selection and append with delivery accounting.
+
+Keyed records hash to a stable partition (so per-key order holds, the
+property the streaming engine's key-by relies on); keyless records go
+round-robin.  ``send`` returns the (partition, offset) coordinates.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping
+
+from ..util.clock import SimClock
+from .broker import LogCluster
+from .record import Record
+
+__all__ = ["Producer", "stable_hash"]
+
+
+def stable_hash(key: str) -> int:
+    """FNV-1a 64-bit — stable across processes, unlike built-in hash()."""
+    h = 1469598103934665603
+    for byte in key.encode("utf-8"):
+        h ^= byte
+        h = (h * 1099511628211) % (1 << 64)
+    return h
+
+
+class Producer:
+    """Appends records to a log cluster.
+
+    With ``idempotent=True`` the producer stamps every record with a
+    (producer id, per-partition sequence) header and the cluster rejects
+    duplicates — so a retry after an ambiguous failure cannot double-
+    append (Kafka's idempotent-producer semantics).  ``send`` then
+    returns the offset of the *original* append on a duplicate.
+    """
+
+    _next_producer_id = 0
+
+    def __init__(self, cluster: LogCluster, clock: SimClock | None = None,
+                 idempotent: bool = False) -> None:
+        self.cluster = cluster
+        self.clock = clock
+        self.idempotent = idempotent
+        self.producer_id = Producer._next_producer_id
+        Producer._next_producer_id += 1
+        self._sequences: dict[tuple[str, int], int] = {}
+        self._round_robin: dict[str, int] = {}
+        self.sent = 0
+        self.bytes_sent = 0
+        self.duplicates_rejected = 0
+
+    def _choose_partition(self, topic: str, key: str | None) -> int:
+        n = self.cluster.partition_count(topic)
+        if key is not None:
+            return stable_hash(key) % n
+        cursor = self._round_robin.get(topic, 0)
+        self._round_robin[topic] = cursor + 1
+        return cursor % n
+
+    def send(self, topic: str, value: Any, key: str | None = None,
+             timestamp: float | None = None,
+             headers: Mapping[str, str] | None = None,
+             partition: int | None = None) -> tuple[int, int]:
+        """Append one record; returns (partition, offset)."""
+        if timestamp is None:
+            timestamp = self.clock.now if self.clock is not None else 0.0
+        if partition is None:
+            partition = self._choose_partition(topic, key)
+        all_headers = dict(headers or {})
+        sequence = None
+        if self.idempotent:
+            sequence = self._sequences.get((topic, partition), -1) + 1
+            self._sequences[(topic, partition)] = sequence
+            all_headers["pid"] = str(self.producer_id)
+            all_headers["seq"] = str(sequence)
+        record = Record(value=value, key=key, timestamp=timestamp,
+                        headers=all_headers)
+        if self.idempotent:
+            offset = self.cluster.append_idempotent(
+                topic, partition, record, self.producer_id, sequence)
+            self._last_record = (topic, partition, record, sequence)
+        else:
+            offset = self.cluster.append(topic, partition, record)
+        self.sent += 1
+        self.bytes_sent += record.size_bytes
+        return partition, offset
+
+    def resend_last(self) -> tuple[int, int]:
+        """Retry the last idempotent send (e.g. after an ambiguous
+        failure); the cluster deduplicates by (producer, sequence)."""
+        if not self.idempotent:
+            raise ValueError("resend_last requires an idempotent producer")
+        last = getattr(self, "_last_record", None)
+        if last is None:
+            raise ValueError("nothing sent yet")
+        topic, partition, record, sequence = last
+        offset = self.cluster.append_idempotent(
+            topic, partition, record, self.producer_id, sequence)
+        self.duplicates_rejected += 1
+        return partition, offset
+
+    def send_batch(self, topic: str, values: list[Any],
+                   key_fn=None) -> list[tuple[int, int]]:
+        """Append many records; ``key_fn(value) -> key`` is optional."""
+        coords = []
+        for value in values:
+            key = key_fn(value) if key_fn is not None else None
+            coords.append(self.send(topic, value, key=key))
+        return coords

@@ -1,0 +1,32 @@
+"""Computation offloading (CloudRiDAR-style): pipeline models, plan
+pricing, placement policies."""
+
+from .battery import DEVICE_CLASSES, Battery, DeviceClass
+from .executor import EnergyModel, OffloadPlanner, PlanOutcome
+from .policies import (
+    AlwaysLocal,
+    AlwaysRemote,
+    DeadlineEnergyAware,
+    GreedyLatency,
+    OffloadPolicy,
+    PolicyDecision,
+)
+from .tasks import Pipeline, TaskStage, vision_pipeline
+
+__all__ = [
+    "Battery",
+    "DeviceClass",
+    "DEVICE_CLASSES",
+    "EnergyModel",
+    "OffloadPlanner",
+    "PlanOutcome",
+    "AlwaysLocal",
+    "AlwaysRemote",
+    "DeadlineEnergyAware",
+    "GreedyLatency",
+    "OffloadPolicy",
+    "PolicyDecision",
+    "Pipeline",
+    "TaskStage",
+    "vision_pipeline",
+]

@@ -1,0 +1,94 @@
+"""Battery and device-class models (the paper's "battery life" barrier).
+
+Section 4 names battery life among the practical barriers, and Section
+4.1 observes that "the trend of minimization in AR devices conflicts
+with the growing volume" of data: smaller devices have smaller batteries
+AND slower CPUs, which is precisely what offloading trades against.
+
+A :class:`DeviceClass` bundles the CPU, power states and battery of a
+form factor; :class:`Battery` integrates per-frame energy into lifetime.
+Presets span the paper's device spectrum from phone to the Figure-3
+contact lens.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..util.errors import OffloadError
+from .executor import EnergyModel
+
+__all__ = ["Battery", "DeviceClass", "DEVICE_CLASSES"]
+
+
+class Battery:
+    """An energy reservoir drained by frame energy."""
+
+    def __init__(self, capacity_j: float) -> None:
+        if capacity_j <= 0:
+            raise OffloadError("battery capacity must be positive")
+        self.capacity_j = capacity_j
+        self.remaining_j = capacity_j
+        self.frames_served = 0
+
+    @property
+    def fraction(self) -> float:
+        return self.remaining_j / self.capacity_j
+
+    @property
+    def empty(self) -> bool:
+        return self.remaining_j <= 0
+
+    def drain(self, energy_j: float) -> bool:
+        """Consume one frame's energy; False when the battery died."""
+        if energy_j < 0:
+            raise OffloadError("energy must be non-negative")
+        if self.empty:
+            return False
+        self.remaining_j -= energy_j
+        if self.remaining_j < 0:
+            self.remaining_j = 0.0
+            return False
+        self.frames_served += 1
+        return True
+
+    def lifetime_hours(self, energy_per_frame_j: float, fps: float) -> float:
+        """Projected battery life at a steady per-frame energy."""
+        if energy_per_frame_j <= 0 or fps <= 0:
+            raise OffloadError("energy and fps must be positive")
+        seconds = self.capacity_j / (energy_per_frame_j * fps)
+        return seconds / 3600.0
+
+
+@dataclass(frozen=True)
+class DeviceClass:
+    """A wearable form factor: compute, power states, battery.
+
+    Battery capacities in joules (1 Wh = 3600 J).
+    """
+
+    name: str
+    cpu_hz: float
+    energy: EnergyModel
+    battery_j: float
+
+    def battery(self) -> Battery:
+        return Battery(self.battery_j)
+
+
+# The device spectrum the paper spans: phones today, glasses (Google
+# Glass era), and the Figure-3 contact lens with a tiny harvested budget.
+DEVICE_CLASSES: dict[str, DeviceClass] = {
+    "phone": DeviceClass(
+        name="phone", cpu_hz=2.0e9,
+        energy=EnergyModel(active_w=2.5, radio_w=1.2, idle_w=0.3),
+        battery_j=12.0 * 3600.0),  # ~12 Wh
+    "glasses": DeviceClass(
+        name="glasses", cpu_hz=0.6e9,
+        energy=EnergyModel(active_w=1.2, radio_w=0.8, idle_w=0.15),
+        battery_j=2.1 * 3600.0),  # ~2.1 Wh (Glass-class)
+    "contact-lens": DeviceClass(
+        name="contact-lens", cpu_hz=0.02e9,
+        energy=EnergyModel(active_w=0.02, radio_w=0.015, idle_w=0.002),
+        battery_j=0.012 * 3600.0),  # ~12 mWh harvested/stored
+}

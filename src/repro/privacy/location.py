@@ -1,0 +1,124 @@
+"""Location privacy: k-anonymity cloaking and geo-indistinguishability.
+
+"Hiding location is more challenging than hiding private information"
+(Section 4.3).  Two defences with opposite characters:
+
+- :class:`GridCloak` — spatial k-anonymity: report the smallest grid
+  cell (from a quadtree-style dyadic hierarchy) containing at least k
+  currently-present users; utility loss = cell radius.
+- :class:`PlanarLaplace` — geo-indistinguishability (Andrés et al.):
+  add planar Laplace noise so any two points within radius r are
+  epsilon*r-indistinguishable; utility loss = expected displacement
+  2/epsilon.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+from scipy import special
+
+from ..util.errors import PrivacyError
+from ..util.geometry import Rect
+
+__all__ = ["GridCloak", "CloakedRegion", "PlanarLaplace"]
+
+
+class CloakedRegion:
+    """The reported region in place of an exact location."""
+
+    def __init__(self, rect: Rect, occupancy: int) -> None:
+        self.rect = rect
+        self.occupancy = occupancy
+
+    @property
+    def radius_m(self) -> float:
+        """Half-diagonal: worst-case displacement from the centre."""
+        return math.hypot(self.rect.width, self.rect.height) / 2.0
+
+
+class GridCloak:
+    """Dyadic-grid spatial k-anonymity over a snapshot of user positions."""
+
+    def __init__(self, bounds: Rect, k: int, max_depth: int = 12) -> None:
+        if k < 1:
+            raise PrivacyError("k must be >= 1")
+        self.bounds = bounds
+        self.k = k
+        self.max_depth = max_depth
+
+    def cloak(self, x: float, y: float,
+              population: np.ndarray) -> CloakedRegion:
+        """Report the smallest dyadic cell containing (x, y) with >= k
+        users from ``population`` (Nx2 positions, the user included).
+
+        Descends while the child cell containing the user still holds k
+        users; returns the last satisfying cell.
+        """
+        population = np.atleast_2d(np.asarray(population, dtype=float))
+        if not self.bounds.contains(x, y):
+            raise PrivacyError("location outside cloak bounds")
+        cell = self.bounds
+        for _depth in range(self.max_depth):
+            hw, hh = cell.width / 2.0, cell.height / 2.0
+            east = x >= cell.x + hw
+            north = y >= cell.y + hh
+            child = Rect(cell.x + (hw if east else 0.0),
+                         cell.y + (hh if north else 0.0),
+                         hw if east else cell.width - hw,
+                         hh if north else cell.height - hh)
+            inside = ((population[:, 0] >= child.x)
+                      & (population[:, 0] <= child.x2)
+                      & (population[:, 1] >= child.y)
+                      & (population[:, 1] <= child.y2))
+            if int(inside.sum()) < self.k:
+                break
+            cell = child
+        inside_cell = ((population[:, 0] >= cell.x)
+                       & (population[:, 0] <= cell.x2)
+                       & (population[:, 1] >= cell.y)
+                       & (population[:, 1] <= cell.y2))
+        occupancy = int(inside_cell.sum())
+        if occupancy < self.k:
+            raise PrivacyError(
+                f"even the root cell holds only {occupancy} < k={self.k} "
+                "users; cannot cloak")
+        return CloakedRegion(rect=cell, occupancy=occupancy)
+
+
+class PlanarLaplace:
+    """Geo-indistinguishability via planar Laplace noise.
+
+    Sampling: angle uniform; radius r with density proportional to
+    r*exp(-eps*r), inverted through the -1 branch of the Lambert W
+    function (Andrés et al. 2013).
+    """
+
+    def __init__(self, epsilon_per_m: float, rng: np.random.Generator) -> None:
+        if epsilon_per_m <= 0:
+            raise PrivacyError("epsilon must be positive")
+        self.epsilon = epsilon_per_m
+        self._rng = rng
+
+    @property
+    def expected_displacement_m(self) -> float:
+        return 2.0 / self.epsilon
+
+    def sample_radius(self) -> float:
+        p = self._rng.random()
+        # Inverse CDF: r = -(1/eps) * (W_{-1}((p-1)/e) + 1)
+        w = special.lambertw((p - 1.0) / math.e, k=-1)
+        return float(-(w.real + 1.0) / self.epsilon)
+
+    def perturb(self, x: float, y: float) -> tuple[float, float]:
+        theta = self._rng.uniform(0.0, 2.0 * math.pi)
+        r = self.sample_radius()
+        return x + r * math.cos(theta), y + r * math.sin(theta)
+
+    def perturb_many(self, points: np.ndarray) -> np.ndarray:
+        points = np.atleast_2d(np.asarray(points, dtype=float))
+        out = np.empty_like(points)
+        for i, (x, y) in enumerate(points):
+            out[i] = self.perturb(float(x), float(y))
+        return out

@@ -1,0 +1,172 @@
+"""Overlay composition: world annotations -> one AR frame.
+
+The compositor runs the full per-frame path: project anchors through the
+camera, cull off-screen content, resolve occlusion per policy, lay out
+labels, and enforce a frame budget by shedding low-priority content.
+Its output, :class:`OverlayFrame`, is what the application "sees"; its
+metrics are what the visualization experiments measure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..util.errors import RenderError
+from ..util.geometry import Rect
+from ..vision.camera import CameraIntrinsics, Pose
+from .layout import (
+    LayoutMetrics,
+    PlacedLabel,
+    clutter_metrics,
+    declutter_layout,
+    naive_layout,
+)
+from .occlusion import OcclusionWorld
+from .scene import SceneGraph
+
+__all__ = ["OverlayItem", "OverlayFrame", "Compositor", "FrameBudget"]
+
+
+@dataclass(frozen=True)
+class OverlayItem:
+    """One composited piece of content."""
+
+    annotation_id: str
+    kind: str
+    label: PlacedLabel
+    depth_m: float
+    occluded: bool
+    xray: bool  # drawn in see-through style
+    payload: dict = field(default_factory=dict)
+
+
+@dataclass
+class OverlayFrame:
+    """Result of compositing one frame."""
+
+    items: list[OverlayItem]
+    culled_offscreen: int
+    culled_occluded: int
+    shed_by_budget: int
+    layout: LayoutMetrics
+
+    @property
+    def drawn(self) -> int:
+        return sum(1 for item in self.items if not item.label.dropped)
+
+
+@dataclass(frozen=True)
+class FrameBudget:
+    """Per-frame cost model: a label costs ``cost_per_label`` ms, x-ray
+    styling costs extra; content is shed lowest-priority-first when the
+    total exceeds ``budget_ms`` (the AR real-time cap of Section 4.1)."""
+
+    budget_ms: float = 16.0
+    cost_per_label_ms: float = 0.25
+    xray_surcharge_ms: float = 0.15
+
+    def __post_init__(self) -> None:
+        if self.budget_ms <= 0 or self.cost_per_label_ms <= 0:
+            raise RenderError("budget and label cost must be positive")
+
+
+class Compositor:
+    """Projects, culls, occludes, lays out and sheds annotations."""
+
+    def __init__(self, intrinsics: CameraIntrinsics,
+                 occlusion: OcclusionWorld | None = None,
+                 occlusion_policy: str = "xray",
+                 declutter: bool = True,
+                 budget: FrameBudget | None = None) -> None:
+        if occlusion_policy not in ("hide", "xray", "ignore"):
+            raise RenderError(
+                f"unknown occlusion policy {occlusion_policy!r}")
+        self.intrinsics = intrinsics
+        self.occlusion = occlusion if occlusion is not None else OcclusionWorld()
+        self.occlusion_policy = occlusion_policy
+        self.declutter = declutter
+        self.budget = budget
+        self.frames_composited = 0
+
+    def compose(self, scene: SceneGraph, pose: Pose) -> OverlayFrame:
+        self.frames_composited += 1
+        screen = Rect(0, 0, self.intrinsics.width, self.intrinsics.height)
+        annotations = scene.all_world_annotations()
+        camera_center = pose.camera_center
+
+        rows = []  # (annotation, anchor_world, pixel, depth)
+        culled_offscreen = 0
+        if annotations:
+            anchors = np.stack([anchor for _a, anchor in annotations])
+            cam_points = pose.transform(anchors)
+            pixels = self.intrinsics.project(cam_points)
+            in_view = self.intrinsics.in_view(pixels)
+            for (annotation, anchor), pixel, depth, ok in zip(
+                    annotations, pixels, cam_points[:, 2], in_view):
+                if not ok:
+                    culled_offscreen += 1
+                    continue
+                rows.append((annotation, anchor, pixel, float(depth)))
+
+        culled_occluded = 0
+        visible_rows = []
+        for annotation, anchor, pixel, depth in rows:
+            occluded = False
+            if self.occlusion_policy != "ignore" and self.occlusion.occluders:
+                occluded = not self.occlusion.check(camera_center,
+                                                    anchor).visible
+            if occluded and self.occlusion_policy == "hide":
+                culled_occluded += 1
+                continue
+            visible_rows.append((annotation, anchor, pixel, depth, occluded))
+
+        # Frame budget: shed lowest priority first.
+        shed = 0
+        if self.budget is not None:
+            visible_rows.sort(key=lambda r: (-r[0].priority,
+                                             r[0].annotation_id))
+            cost = 0.0
+            kept = []
+            for row in visible_rows:
+                item_cost = self.budget.cost_per_label_ms
+                if row[4] and self.occlusion_policy == "xray":
+                    item_cost += self.budget.xray_surcharge_ms
+                if cost + item_cost > self.budget.budget_ms:
+                    shed += 1
+                    continue
+                cost += item_cost
+                kept.append(row)
+            visible_rows = kept
+
+        layout_input = [
+            (a.annotation_id, float(px[0]), float(px[1]),
+             a.width_px, a.height_px, a.priority)
+            for a, _anchor, px, _depth, _occ in visible_rows
+        ]
+        if self.declutter:
+            placed = declutter_layout(layout_input, screen)
+        else:
+            placed = naive_layout(layout_input)
+        placed_by_id = {p.annotation_id: p for p in placed}
+
+        items = []
+        for annotation, _anchor, _pixel, depth, occluded in visible_rows:
+            label = placed_by_id[annotation.annotation_id]
+            items.append(OverlayItem(
+                annotation_id=annotation.annotation_id,
+                kind=annotation.kind,
+                label=label,
+                depth_m=depth,
+                occluded=occluded,
+                xray=occluded and self.occlusion_policy == "xray",
+                payload=annotation.payload,
+            ))
+        return OverlayFrame(
+            items=items,
+            culled_offscreen=culled_offscreen,
+            culled_occluded=culled_occluded,
+            shed_by_budget=shed,
+            layout=clutter_metrics(placed, screen),
+        )

@@ -1,0 +1,163 @@
+"""Label layout: from naive floating bubbles to decluttered placement.
+
+MacIntyre's complaint the paper quotes — "a cluster of bobbling tags,
+not aligned with anything ... not better than simply displaying the data
+on a 2D map" — becomes measurable here:
+
+- :func:`naive_layout` — every label centred on its anchor, overlaps and
+  all (the AR-browser baseline).
+- :func:`declutter_layout` — greedy priority placement over candidate
+  offsets with overlap rejection and optional drop, producing leader-
+  line offsets when a label moves off its anchor.
+- :func:`clutter_metrics` — overlap ratio, dropped/overlapping counts,
+  mean leader length: the quantities experiments F7/A1 report.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..util.errors import RenderError
+from ..util.geometry import Rect
+
+__all__ = ["PlacedLabel", "naive_layout", "declutter_layout",
+           "clutter_metrics", "LayoutMetrics"]
+
+
+@dataclass(frozen=True)
+class PlacedLabel:
+    """A label's final screen placement."""
+
+    annotation_id: str
+    rect: Rect
+    anchor_x: float
+    anchor_y: float
+    priority: float
+    dropped: bool = False
+
+    @property
+    def leader_length(self) -> float:
+        """Distance from anchor to the label centre."""
+        cx, cy = self.rect.center
+        return ((cx - self.anchor_x) ** 2 + (cy - self.anchor_y) ** 2) ** 0.5
+
+
+@dataclass(frozen=True)
+class LayoutMetrics:
+    """Quality summary of one laid-out frame."""
+
+    total: int
+    placed: int
+    dropped: int
+    overlapping: int
+    overlap_ratio: float  # total pairwise overlap area / screen area
+    mean_leader_px: float
+    offscreen: int
+
+    @property
+    def useful_ratio(self) -> float:
+        """Labels placed on-screen without overlap, over all labels."""
+        if self.total == 0:
+            return 1.0
+        good = self.placed - self.overlapping - self.offscreen
+        return max(0.0, good) / self.total
+
+
+def _label_rect(x: float, y: float, width: float, height: float) -> Rect:
+    return Rect(x - width / 2.0, y - height / 2.0, width, height)
+
+
+def naive_layout(items: list[tuple[str, float, float, float, float, float]],
+                 ) -> list[PlacedLabel]:
+    """Floating bubbles: centre each label on its anchor, no collision
+    handling.
+
+    ``items`` rows: (annotation_id, anchor_x, anchor_y, width, height,
+    priority).
+    """
+    return [PlacedLabel(annotation_id=aid,
+                        rect=_label_rect(ax, ay, w, h),
+                        anchor_x=ax, anchor_y=ay, priority=priority)
+            for aid, ax, ay, w, h, priority in items]
+
+
+_CANDIDATE_OFFSETS = [
+    (0.0, 0.0), (0.0, -1.2), (1.2, 0.0), (0.0, 1.2), (-1.2, 0.0),
+    (1.0, -1.0), (-1.0, -1.0), (1.0, 1.0), (-1.0, 1.0),
+    (0.0, -2.4), (2.4, 0.0), (0.0, 2.4), (-2.4, 0.0),
+]
+
+
+def declutter_layout(items: list[tuple[str, float, float, float, float, float]],
+                     screen: Rect, max_labels: int | None = None,
+                     allow_drop: bool = True) -> list[PlacedLabel]:
+    """Greedy priority placement with candidate offsets.
+
+    Labels are processed in priority order; each tries offsets scaled by
+    its own extent until it finds a position inside the screen that does
+    not overlap an already-placed label.  Exhausting the candidates
+    drops the label (when allowed) or accepts the overlapping anchor
+    position.
+    """
+    ordered = sorted(items, key=lambda row: (-row[5], row[0]))
+    if max_labels is not None:
+        if max_labels < 0:
+            raise RenderError("max_labels must be non-negative")
+        overflow = ordered[max_labels:]
+        ordered = ordered[:max_labels]
+    else:
+        overflow = []
+    placed: list[PlacedLabel] = []
+    occupied: list[Rect] = []
+    for aid, ax, ay, w, h, priority in ordered:
+        chosen: Rect | None = None
+        for ox, oy in _CANDIDATE_OFFSETS:
+            rect = _label_rect(ax + ox * w, ay + oy * h, w, h)
+            inside = (rect.x >= screen.x and rect.y >= screen.y
+                      and rect.x2 <= screen.x2 and rect.y2 <= screen.y2)
+            if not inside:
+                continue
+            if any(rect.intersects(other) for other in occupied):
+                continue
+            chosen = rect
+            break
+        if chosen is None:
+            if allow_drop:
+                placed.append(PlacedLabel(aid, _label_rect(ax, ay, w, h),
+                                          ax, ay, priority, dropped=True))
+                continue
+            chosen = _label_rect(ax, ay, w, h)
+        occupied.append(chosen)
+        placed.append(PlacedLabel(aid, chosen, ax, ay, priority))
+    for aid, ax, ay, w, h, priority in overflow:
+        placed.append(PlacedLabel(aid, _label_rect(ax, ay, w, h),
+                                  ax, ay, priority, dropped=True))
+    return placed
+
+
+def clutter_metrics(labels: list[PlacedLabel], screen: Rect) -> LayoutMetrics:
+    """Measure a laid-out frame."""
+    active = [label for label in labels if not label.dropped]
+    overlap_area = 0.0
+    overlapping_ids: set[str] = set()
+    for i, a in enumerate(active):
+        for b in active[i + 1:]:
+            inter = a.rect.intersection(b.rect)
+            if inter is not None:
+                overlap_area += inter.area
+                overlapping_ids.add(a.annotation_id)
+                overlapping_ids.add(b.annotation_id)
+    offscreen = sum(
+        1 for label in active
+        if not (label.rect.x >= screen.x and label.rect.y >= screen.y
+                and label.rect.x2 <= screen.x2 and label.rect.y2 <= screen.y2))
+    leaders = [label.leader_length for label in active]
+    return LayoutMetrics(
+        total=len(labels),
+        placed=len(active),
+        dropped=len(labels) - len(active),
+        overlapping=len(overlapping_ids),
+        overlap_ratio=overlap_area / screen.area if screen.area > 0 else 0.0,
+        mean_leader_px=(sum(leaders) / len(leaders)) if leaders else 0.0,
+        offscreen=offscreen,
+    )

@@ -1,0 +1,102 @@
+"""Occlusion against world geometry, and "X-ray vision".
+
+Occluders are axis-aligned world boxes (buildings, shelves, vehicles).
+An anchor is occluded when the camera->anchor segment intersects a box.
+Three policies mirror the paper:
+
+- ``hide``  — occluded content is dropped (physically consistent),
+- ``xray``  — occluded content is shown in a distinct see-through style
+  (the "look through walls and shelves" capability of Sections 2.1/3.1/3.4),
+- ``ignore`` — the naive AR-browser behaviour that draws everything on
+  top, which the visualization experiments penalize.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..util.errors import RenderError
+
+__all__ = ["BoxOccluder", "OcclusionWorld", "Visibility"]
+
+
+@dataclass(frozen=True)
+class BoxOccluder:
+    """Axis-aligned box: min/max corners in world coordinates."""
+
+    name: str
+    minimum: tuple[float, float, float]
+    maximum: tuple[float, float, float]
+
+    def __post_init__(self) -> None:
+        if any(lo >= hi for lo, hi in zip(self.minimum, self.maximum)):
+            raise RenderError(f"box {self.name!r} has empty extent")
+
+    def segment_intersects(self, a: np.ndarray, b: np.ndarray) -> bool:
+        """Slab test for segment a->b against the box."""
+        a = np.asarray(a, dtype=float)
+        direction = np.asarray(b, dtype=float) - a
+        t_min, t_max = 0.0, 1.0
+        for axis in range(3):
+            lo, hi = self.minimum[axis], self.maximum[axis]
+            d = direction[axis]
+            if abs(d) < 1e-12:
+                if not lo <= a[axis] <= hi:
+                    return False
+                continue
+            t1 = (lo - a[axis]) / d
+            t2 = (hi - a[axis]) / d
+            if t1 > t2:
+                t1, t2 = t2, t1
+            t_min = max(t_min, t1)
+            t_max = min(t_max, t2)
+            if t_min > t_max:
+                return False
+        return True
+
+    def contains(self, point: np.ndarray) -> bool:
+        point = np.asarray(point, dtype=float)
+        return bool(np.all(point >= self.minimum)
+                    and np.all(point <= self.maximum))
+
+
+@dataclass(frozen=True)
+class Visibility:
+    """Occlusion verdict for one anchor."""
+
+    visible: bool
+    occluder: str | None = None
+
+
+class OcclusionWorld:
+    """A set of box occluders with segment queries."""
+
+    def __init__(self, occluders: list[BoxOccluder] | None = None) -> None:
+        self.occluders = list(occluders or [])
+
+    def add(self, occluder: BoxOccluder) -> None:
+        self.occluders.append(occluder)
+
+    def check(self, camera_center: np.ndarray,
+              anchor: np.ndarray) -> Visibility:
+        """Is the anchor visible from the camera?
+
+        An anchor *inside* a box is attributed to that box (looking for
+        an item behind a shelf face counts as occluded by the shelf);
+        the segment test is shortened a hair so an anchor sitting on a
+        box face doesn't self-occlude.
+        """
+        camera_center = np.asarray(camera_center, dtype=float)
+        anchor = np.asarray(anchor, dtype=float)
+        direction = anchor - camera_center
+        shortened = camera_center + direction * 0.999
+        for box in self.occluders:
+            if box.contains(anchor):
+                if box.segment_intersects(camera_center, shortened):
+                    return Visibility(visible=False, occluder=box.name)
+                continue
+            if box.segment_intersects(camera_center, shortened):
+                return Visibility(visible=False, occluder=box.name)
+        return Visibility(visible=True)

@@ -1,0 +1,99 @@
+"""GPS + IMU sensor fusion: 2-D constant-velocity Kalman filter.
+
+State is [x, y, vx, vy]; IMU acceleration enters as a control input
+during prediction, GPS fixes as position measurements during update.
+The filter is what turns raw sensors into the registered user position
+AR needs (Azuma's "registered in 3-D" reduced to the ground plane the
+experiments use).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..util.errors import SensorError
+from .models import GpsFix, ImuReading
+
+__all__ = ["KalmanFusion"]
+
+
+class KalmanFusion:
+    """Constant-velocity KF with acceleration control input."""
+
+    def __init__(self, process_noise: float = 0.5,
+                 initial_uncertainty: float = 100.0) -> None:
+        if process_noise <= 0:
+            raise SensorError("process_noise must be positive")
+        self.q = process_noise
+        self.state = np.zeros(4)  # x, y, vx, vy
+        self.cov = np.eye(4) * initial_uncertainty
+        self._last_time: float | None = None
+        self.predictions = 0
+        self.updates = 0
+
+    def _transition(self, dt: float) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        f = np.eye(4)
+        f[0, 2] = dt
+        f[1, 3] = dt
+        b = np.array([
+            [0.5 * dt * dt, 0.0],
+            [0.0, 0.5 * dt * dt],
+            [dt, 0.0],
+            [0.0, dt],
+        ])
+        # White-acceleration process noise.
+        q = self.q * np.array([
+            [dt ** 4 / 4, 0, dt ** 3 / 2, 0],
+            [0, dt ** 4 / 4, 0, dt ** 3 / 2],
+            [dt ** 3 / 2, 0, dt ** 2, 0],
+            [0, dt ** 3 / 2, 0, dt ** 2],
+        ])
+        return f, b, q
+
+    def predict(self, timestamp: float,
+                imu: ImuReading | None = None) -> np.ndarray:
+        """Advance the state to ``timestamp`` (IMU optional)."""
+        if self._last_time is None:
+            self._last_time = timestamp
+            return self.state.copy()
+        dt = timestamp - self._last_time
+        if dt < 0:
+            raise SensorError("fusion timestamps must be non-decreasing")
+        if dt == 0:
+            return self.state.copy()
+        f, b, q = self._transition(dt)
+        accel = np.array([imu.ax, imu.ay]) if imu is not None else np.zeros(2)
+        self.state = f @ self.state + b @ accel
+        self.cov = f @ self.cov @ f.T + q
+        self._last_time = timestamp
+        self.predictions += 1
+        return self.state.copy()
+
+    def update_gps(self, fix: GpsFix) -> np.ndarray:
+        """Fold in a GPS position measurement."""
+        self.predict(fix.timestamp)
+        h = np.zeros((2, 4))
+        h[0, 0] = 1.0
+        h[1, 1] = 1.0
+        r = np.eye(2) * max(fix.accuracy_m, 1e-6) ** 2
+        z = np.array([fix.x, fix.y])
+        innovation = z - h @ self.state
+        s = h @ self.cov @ h.T + r
+        k = self.cov @ h.T @ np.linalg.inv(s)
+        self.state = self.state + k @ innovation
+        self.cov = (np.eye(4) - k @ h) @ self.cov
+        self.updates += 1
+        return self.state.copy()
+
+    @property
+    def position(self) -> tuple[float, float]:
+        return float(self.state[0]), float(self.state[1])
+
+    @property
+    def velocity(self) -> tuple[float, float]:
+        return float(self.state[2]), float(self.state[3])
+
+    @property
+    def position_uncertainty(self) -> float:
+        """1-sigma radius (sqrt of mean positional variance)."""
+        return float(np.sqrt((self.cov[0, 0] + self.cov[1, 1]) / 2.0))

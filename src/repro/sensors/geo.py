@@ -1,0 +1,121 @@
+"""Geospatial primitives: haversine distance, local ENU projection,
+geohash encoding.
+
+AR travel guides key everything off geospatial coordinates (Section
+3.2); these helpers are shared by the mobility generators, the POI
+database and the location-privacy mechanisms.
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..util.errors import ConfigError
+
+__all__ = ["EARTH_RADIUS_M", "haversine_m", "LocalProjection",
+           "geohash_encode", "geohash_decode"]
+
+EARTH_RADIUS_M = 6_371_000.0
+
+_BASE32 = "0123456789bcdefghjkmnpqrstuvwxyz"
+
+
+def haversine_m(lat1: float, lon1: float, lat2: float, lon2: float) -> float:
+    """Great-circle distance in metres."""
+    phi1, phi2 = math.radians(lat1), math.radians(lat2)
+    dphi = phi2 - phi1
+    dlambda = math.radians(lon2 - lon1)
+    a = (math.sin(dphi / 2) ** 2
+         + math.cos(phi1) * math.cos(phi2) * math.sin(dlambda / 2) ** 2)
+    return 2 * EARTH_RADIUS_M * math.asin(min(1.0, math.sqrt(a)))
+
+
+class LocalProjection:
+    """Equirectangular projection around an origin — metres east/north.
+
+    Accurate to well under 1% over city scales, which is all the
+    experiments need; exact round-trip with :meth:`inverse`.
+    """
+
+    def __init__(self, origin_lat: float, origin_lon: float) -> None:
+        if not -90 <= origin_lat <= 90 or not -180 <= origin_lon <= 180:
+            raise ConfigError("origin out of range")
+        self.origin_lat = origin_lat
+        self.origin_lon = origin_lon
+        self._cos_lat = math.cos(math.radians(origin_lat))
+
+    def to_xy(self, lat: float, lon: float) -> tuple[float, float]:
+        x = math.radians(lon - self.origin_lon) * EARTH_RADIUS_M * self._cos_lat
+        y = math.radians(lat - self.origin_lat) * EARTH_RADIUS_M
+        return x, y
+
+    def to_latlon(self, x: float, y: float) -> tuple[float, float]:
+        lat = self.origin_lat + math.degrees(y / EARTH_RADIUS_M)
+        lon = self.origin_lon + math.degrees(
+            x / (EARTH_RADIUS_M * self._cos_lat))
+        return lat, lon
+
+    # alias used by callers that think in "inverse projection" terms
+    inverse = to_latlon
+
+
+def geohash_encode(lat: float, lon: float, precision: int = 9) -> str:
+    """Standard geohash (interleaved lat/lon bits, base32)."""
+    if not -90 <= lat <= 90 or not -180 <= lon <= 180:
+        raise ConfigError("lat/lon out of range")
+    if precision < 1:
+        raise ConfigError("precision must be >= 1")
+    lat_range = [-90.0, 90.0]
+    lon_range = [-180.0, 180.0]
+    bits = []
+    even = True
+    while len(bits) < precision * 5:
+        if even:
+            mid = (lon_range[0] + lon_range[1]) / 2
+            if lon >= mid:
+                bits.append(1)
+                lon_range[0] = mid
+            else:
+                bits.append(0)
+                lon_range[1] = mid
+        else:
+            mid = (lat_range[0] + lat_range[1]) / 2
+            if lat >= mid:
+                bits.append(1)
+                lat_range[0] = mid
+            else:
+                bits.append(0)
+                lat_range[1] = mid
+        even = not even
+    out = []
+    for i in range(0, len(bits), 5):
+        value = 0
+        for bit in bits[i:i + 5]:
+            value = (value << 1) | bit
+        out.append(_BASE32[value])
+    return "".join(out)
+
+
+def geohash_decode(geohash: str) -> tuple[float, float]:
+    """Centre (lat, lon) of the geohash cell."""
+    if not geohash:
+        raise ConfigError("empty geohash")
+    lat_range = [-90.0, 90.0]
+    lon_range = [-180.0, 180.0]
+    even = True
+    for char in geohash:
+        try:
+            value = _BASE32.index(char)
+        except ValueError:
+            raise ConfigError(f"invalid geohash character {char!r}") from None
+        for shift in range(4, -1, -1):
+            bit = (value >> shift) & 1
+            target = lon_range if even else lat_range
+            mid = (target[0] + target[1]) / 2
+            if bit:
+                target[0] = mid
+            else:
+                target[1] = mid
+            even = not even
+    return ((lat_range[0] + lat_range[1]) / 2,
+            (lon_range[0] + lon_range[1]) / 2)

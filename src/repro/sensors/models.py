@@ -1,0 +1,108 @@
+"""Sensor noise models: GPS and IMU.
+
+"A user's position is tracked using GPS and built-in sensors" (Section
+3.2).  The models generate noisy readings from ground-truth trajectories
+so the fusion filter and the location-privacy mechanisms have honest
+inputs: GPS with Gaussian error, dropouts (urban canyons) and limited
+rate; an accelerometer with bias and white noise.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..util.errors import SensorError
+
+__all__ = ["GpsFix", "GpsSensor", "ImuReading", "ImuSensor"]
+
+
+@dataclass(frozen=True)
+class GpsFix:
+    """One GPS reading in local metres."""
+
+    timestamp: float
+    x: float
+    y: float
+    accuracy_m: float  # reported 1-sigma accuracy
+
+
+@dataclass(frozen=True)
+class ImuReading:
+    """One accelerometer sample in local metres/s^2."""
+
+    timestamp: float
+    ax: float
+    ay: float
+
+
+class GpsSensor:
+    """GPS with Gaussian position noise and Bernoulli dropouts."""
+
+    def __init__(self, rng: np.random.Generator, sigma_m: float = 5.0,
+                 rate_hz: float = 1.0, dropout: float = 0.0) -> None:
+        if sigma_m < 0:
+            raise SensorError("sigma_m must be non-negative")
+        if rate_hz <= 0:
+            raise SensorError("rate_hz must be positive")
+        if not 0.0 <= dropout < 1.0:
+            raise SensorError("dropout must be in [0, 1)")
+        self._rng = rng
+        self.sigma_m = sigma_m
+        self.rate_hz = rate_hz
+        self.dropout = dropout
+        self.fixes = 0
+        self.dropped = 0
+
+    @property
+    def period(self) -> float:
+        return 1.0 / self.rate_hz
+
+    def read(self, timestamp: float, true_x: float, true_y: float,
+             ) -> GpsFix | None:
+        """Sample one fix; ``None`` models a dropout."""
+        if self.dropout > 0 and self._rng.random() < self.dropout:
+            self.dropped += 1
+            return None
+        self.fixes += 1
+        noise = self._rng.normal(0.0, self.sigma_m, size=2)
+        return GpsFix(timestamp=timestamp, x=true_x + noise[0],
+                      y=true_y + noise[1], accuracy_m=self.sigma_m)
+
+    def track(self, times: np.ndarray, xs: np.ndarray, ys: np.ndarray,
+              ) -> list[GpsFix | None]:
+        """Sample a whole trajectory (arrays of equal length)."""
+        if not len(times) == len(xs) == len(ys):
+            raise SensorError("times/xs/ys must have equal length")
+        return [self.read(float(t), float(x), float(y))
+                for t, x, y in zip(times, xs, ys)]
+
+
+class ImuSensor:
+    """Accelerometer with constant bias + white noise."""
+
+    def __init__(self, rng: np.random.Generator,
+                 noise_sigma: float = 0.05,
+                 bias_sigma: float = 0.02,
+                 rate_hz: float = 50.0) -> None:
+        if noise_sigma < 0 or bias_sigma < 0:
+            raise SensorError("noise/bias sigmas must be non-negative")
+        if rate_hz <= 0:
+            raise SensorError("rate_hz must be positive")
+        self._rng = rng
+        self.noise_sigma = noise_sigma
+        self.rate_hz = rate_hz
+        self.bias = rng.normal(0.0, bias_sigma, size=2) if bias_sigma > 0 \
+            else np.zeros(2)
+
+    @property
+    def period(self) -> float:
+        return 1.0 / self.rate_hz
+
+    def read(self, timestamp: float, true_ax: float, true_ay: float,
+             ) -> ImuReading:
+        noise = self._rng.normal(0.0, self.noise_sigma, size=2)
+        return ImuReading(timestamp=timestamp,
+                          ax=true_ax + self.bias[0] + noise[0],
+                          ay=true_ay + self.bias[1] + noise[1])

@@ -1,0 +1,92 @@
+"""Point-of-interest database.
+
+The "POI databases, geocoded Tweets, and Flickr" data source of Section
+3.2, reduced to one queryable store: POIs carry category, name,
+popularity and free-form attributes; queries are radius / k-nearest /
+category-filtered, served from the quadtree.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from ..util.errors import SensorError
+from ..util.geometry import Rect
+from .spatial import QuadTree, SpatialPoint
+
+__all__ = ["Poi", "PoiDatabase"]
+
+
+@dataclass(frozen=True)
+class Poi:
+    """A point of interest in local metre coordinates."""
+
+    poi_id: str
+    name: str
+    category: str
+    x: float
+    y: float
+    popularity: float = 0.0
+    attributes: dict[str, Any] = field(default_factory=dict)
+
+
+class PoiDatabase:
+    """Quadtree-backed POI store with category-aware queries."""
+
+    def __init__(self, bounds: Rect) -> None:
+        self._tree = QuadTree(bounds)
+        self._by_id: dict[str, Poi] = {}
+
+    def add(self, poi: Poi) -> None:
+        if poi.poi_id in self._by_id:
+            raise SensorError(f"duplicate POI id {poi.poi_id!r}")
+        self._tree.insert(SpatialPoint(poi.x, poi.y, payload=poi))
+        self._by_id[poi.poi_id] = poi
+
+    def add_all(self, pois) -> None:
+        for poi in pois:
+            self.add(poi)
+
+    def get(self, poi_id: str) -> Poi:
+        try:
+            return self._by_id[poi_id]
+        except KeyError:
+            raise SensorError(f"unknown POI {poi_id!r}") from None
+
+    def __len__(self) -> int:
+        return len(self._by_id)
+
+    def categories(self) -> list[str]:
+        return sorted({p.category for p in self._by_id.values()})
+
+    def within(self, x: float, y: float, radius: float,
+               category: str | None = None) -> list[Poi]:
+        """POIs within ``radius`` metres, optionally category-filtered,
+        ordered by distance then id."""
+        hits = [p.payload for p in self._tree.query_radius(x, y, radius)]
+        if category is not None:
+            hits = [p for p in hits if p.category == category]
+        hits.sort(key=lambda p: ((p.x - x) ** 2 + (p.y - y) ** 2, p.poi_id))
+        return hits
+
+    def nearest(self, x: float, y: float, k: int = 1,
+                category: str | None = None) -> list[Poi]:
+        """k nearest POIs; with a category filter we over-fetch and trim."""
+        if category is None:
+            return [p.payload for p in self._tree.nearest(x, y, k)]
+        fetch = min(len(self._by_id), max(k * 4, 16))
+        while True:
+            candidates = [p.payload for p in self._tree.nearest(x, y, fetch)]
+            matching = [p for p in candidates if p.category == category]
+            if len(matching) >= k or fetch >= len(self._by_id):
+                return matching[:k]
+            fetch = min(len(self._by_id), fetch * 2)
+
+    def most_popular(self, k: int = 10,
+                     category: str | None = None) -> list[Poi]:
+        pois = list(self._by_id.values())
+        if category is not None:
+            pois = [p for p in pois if p.category == category]
+        pois.sort(key=lambda p: (-p.popularity, p.poi_id))
+        return pois[:k]

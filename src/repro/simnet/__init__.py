@@ -1,0 +1,21 @@
+"""Discrete-event simulation kernel, network model, topology, failures."""
+
+from .failures import FailureEvent, FailureInjector
+from .kernel import ScheduledEvent, Simulator
+from .network import LINK_PRESETS, Link, LinkSpec
+from .queueing import ProcessingQueue, QueuedTask
+from .topology import NodeSpec, Topology
+
+__all__ = [
+    "Simulator",
+    "ScheduledEvent",
+    "LinkSpec",
+    "Link",
+    "LINK_PRESETS",
+    "NodeSpec",
+    "Topology",
+    "ProcessingQueue",
+    "QueuedTask",
+    "FailureEvent",
+    "FailureInjector",
+]

@@ -1,0 +1,74 @@
+"""Failure injection for topology nodes.
+
+Schedules down/up transitions on the discrete-event kernel so experiments
+and tests can exercise recovery paths (event-log leader failover, offload
+fallback to local execution, remote-diagnosis link loss).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..util.errors import ConfigError
+from .kernel import Simulator
+from .topology import Topology
+
+__all__ = ["FailureEvent", "FailureInjector"]
+
+
+@dataclass(frozen=True)
+class FailureEvent:
+    node: str
+    down_at: float
+    up_at: float
+
+    def __post_init__(self) -> None:
+        if self.up_at <= self.down_at:
+            raise ConfigError("up_at must be after down_at")
+
+
+class FailureInjector:
+    """Applies scripted or random outages to a topology."""
+
+    def __init__(self, sim: Simulator, topology: Topology) -> None:
+        self.sim = sim
+        self.topology = topology
+        self.injected: list[FailureEvent] = []
+
+    def schedule(self, event: FailureEvent) -> None:
+        """Schedule one scripted outage."""
+        self.topology.node(event.node)  # validate
+        self.sim.schedule_at(event.down_at,
+                             lambda: self.topology.fail_node(event.node),
+                             label=f"fail:{event.node}")
+        self.sim.schedule_at(event.up_at,
+                             lambda: self.topology.recover_node(event.node),
+                             label=f"recover:{event.node}")
+        self.injected.append(event)
+
+    def schedule_random(self, node: str, rng: np.random.Generator,
+                        horizon: float, mtbf: float, mttr: float) -> int:
+        """Poisson outages for ``node`` over [now, now+horizon).
+
+        ``mtbf``/``mttr`` are exponential means for time-between-failures
+        and time-to-repair.  Returns the number of outages scheduled.
+        """
+        if mtbf <= 0 or mttr <= 0 or horizon <= 0:
+            raise ConfigError("mtbf, mttr and horizon must be positive")
+        t = self.sim.now
+        end = t + horizon
+        count = 0
+        while True:
+            t += rng.exponential(mtbf)
+            if t >= end:
+                break
+            repair = rng.exponential(mttr)
+            up_at = min(t + repair, end)
+            if up_at <= t:
+                continue
+            self.schedule(FailureEvent(node=node, down_at=t, up_at=up_at))
+            t = up_at
+            count += 1
+        return count

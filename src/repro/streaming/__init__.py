@@ -1,0 +1,69 @@
+"""Flink-like event-time dataflow engine (single-threaded simulation)."""
+
+from .cep import PatternMatch, PatternOperator, PatternStep
+from .connectors import log_sink, log_source
+from .element import Element, StreamItem, Watermark
+from .graph import JobBuilder, JobGraph, SourceSpec
+from .join import IntervalJoinOperator, Joined
+from .operators import (
+    FilterOperator,
+    FlatMapOperator,
+    KeyByOperator,
+    MapOperator,
+    Operator,
+    ReduceOperator,
+    TimestampAssigner,
+    WatermarkGenerator,
+)
+from .runtime import Checkpoint, Executor, SinkBuffer
+from .state import KeyedState
+from .window_operator import (
+    LateRecord,
+    WindowAggregateOperator,
+    WindowResult,
+    aggregators,
+)
+from .windows import (
+    SessionWindows,
+    SlidingWindows,
+    TumblingWindows,
+    Window,
+    WindowAssigner,
+)
+
+__all__ = [
+    "PatternMatch",
+    "PatternOperator",
+    "PatternStep",
+    "Element",
+    "Watermark",
+    "StreamItem",
+    "JobBuilder",
+    "JobGraph",
+    "SourceSpec",
+    "Executor",
+    "Checkpoint",
+    "SinkBuffer",
+    "Operator",
+    "MapOperator",
+    "FilterOperator",
+    "FlatMapOperator",
+    "KeyByOperator",
+    "ReduceOperator",
+    "TimestampAssigner",
+    "WatermarkGenerator",
+    "WindowAggregateOperator",
+    "WindowResult",
+    "LateRecord",
+    "aggregators",
+    "Window",
+    "WindowAssigner",
+    "TumblingWindows",
+    "SlidingWindows",
+    "SessionWindows",
+    "IntervalJoinOperator",
+    "Joined",
+    "KeyedState",
+    "log_source",
+    "log_sink",
+]

@@ -1,0 +1,123 @@
+"""Complex event processing: keyed sequence patterns.
+
+Single-signal thresholds miss compound conditions ("tachycardia AND
+falling blood pressure within five minutes" means something very
+different from either alone).  :class:`PatternOperator` matches an
+ordered sequence of predicates per key within a time window, Flink-CEP
+style with skip-till-next-match semantics: intervening non-matching
+elements are ignored, each element advances at most one active partial
+match, and a completed match emits a :class:`PatternMatch` and resets
+that key's state.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Sequence
+
+from ..util.errors import StreamError
+from .element import Element, StreamItem, Watermark
+from .operators import Operator
+
+__all__ = ["PatternStep", "PatternMatch", "PatternOperator"]
+
+
+@dataclass(frozen=True)
+class PatternStep:
+    """One stage of the sequence."""
+
+    name: str
+    predicate: Callable[[Any], bool]
+
+
+@dataclass(frozen=True)
+class PatternMatch:
+    """A completed sequence for one key."""
+
+    key: Any
+    events: tuple[Any, ...]
+    timestamps: tuple[float, ...]
+
+    @property
+    def span_s(self) -> float:
+        return self.timestamps[-1] - self.timestamps[0]
+
+
+class _Partial:
+    __slots__ = ("events", "timestamps")
+
+    def __init__(self) -> None:
+        self.events: list[Any] = []
+        self.timestamps: list[float] = []
+
+
+class PatternOperator(Operator):
+    """Keyed sequence matching within a time window."""
+
+    def __init__(self, name: str, steps: Sequence[PatternStep],
+                 within_s: float) -> None:
+        super().__init__(name)
+        if len(steps) < 2:
+            raise StreamError("a pattern needs at least two steps")
+        if within_s <= 0:
+            raise StreamError("within_s must be positive")
+        names = [s.name for s in steps]
+        if len(set(names)) != len(names):
+            raise StreamError("pattern step names must be unique")
+        self.steps = list(steps)
+        self.within_s = within_s
+        self._partials: dict[Any, _Partial] = {}
+        self.matches = 0
+
+    def process(self, element: Element) -> list[StreamItem]:
+        if element.key is None:
+            raise StreamError(
+                f"pattern {self.name!r} requires keyed input")
+        partial = self._partials.get(element.key)
+        if partial is None:
+            partial = _Partial()
+            self._partials[element.key] = partial
+        # Expire a stale partial before extending it.
+        if (partial.timestamps
+                and element.timestamp - partial.timestamps[0]
+                > self.within_s):
+            # Restart: the head of the window slid past; try to re-seed
+            # with this element as a fresh first step.
+            partial.events.clear()
+            partial.timestamps.clear()
+        step = self.steps[len(partial.events)]
+        if not step.predicate(element.value):
+            return []  # skip-till-next-match: ignore non-matching events
+        partial.events.append(element.value)
+        partial.timestamps.append(element.timestamp)
+        if len(partial.events) < len(self.steps):
+            return []
+        match = PatternMatch(key=element.key,
+                             events=tuple(partial.events),
+                             timestamps=tuple(partial.timestamps))
+        del self._partials[element.key]
+        self.matches += 1
+        return [Element(value=match, timestamp=element.timestamp,
+                        key=element.key)]
+
+    def on_watermark(self, watermark: Watermark) -> list[StreamItem]:
+        # Garbage-collect partials that can no longer complete.
+        for key in list(self._partials):
+            partial = self._partials[key]
+            if (partial.timestamps
+                    and watermark.timestamp - partial.timestamps[0]
+                    > self.within_s):
+                del self._partials[key]
+        return [watermark]
+
+    def snapshot(self) -> Any:
+        return {key: (list(p.events), list(p.timestamps))
+                for key, p in self._partials.items()}
+
+    def restore(self, snapshot: Any) -> None:
+        self._partials = {}
+        for key, (events, timestamps) in (snapshot or {}).items():
+            partial = _Partial()
+            partial.events = list(events)
+            partial.timestamps = list(timestamps)
+            self._partials[key] = partial

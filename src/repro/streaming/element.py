@@ -1,0 +1,41 @@
+"""Stream elements: data records and watermarks.
+
+Everything flowing through the dataflow graph is either an
+:class:`Element` (a value with an event timestamp and optional key) or a
+:class:`Watermark` asserting "no element with timestamp <= t will arrive
+after me".  Watermarks drive event-time windowing — the mechanism that
+lets the timeliness experiments (T2, A3) trade latency against
+completeness exactly the way the paper's Section 4.1 discusses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+__all__ = ["Element", "Watermark", "StreamItem"]
+
+
+@dataclass(frozen=True)
+class Element:
+    """A data record in flight."""
+
+    value: Any
+    timestamp: float
+    key: Any = None
+
+    def with_value(self, value: Any) -> "Element":
+        return Element(value=value, timestamp=self.timestamp, key=self.key)
+
+    def with_key(self, key: Any) -> "Element":
+        return Element(value=self.value, timestamp=self.timestamp, key=key)
+
+
+@dataclass(frozen=True)
+class Watermark:
+    """Event-time progress marker."""
+
+    timestamp: float
+
+
+StreamItem = Element | Watermark

@@ -1,0 +1,238 @@
+"""Dataflow job graph and its fluent builder.
+
+A :class:`JobGraph` is a DAG: named sources feed chains of operators
+into named sinks.  Edges carry an optional *side* tag ("left"/"right")
+for two-input joins.  Validation catches cycles, dangling operators and
+mis-wired joins at build time rather than mid-run.
+
+The fluent :class:`JobBuilder` mirrors the Flink DataStream API::
+
+    builder = JobBuilder("traffic")
+    (builder.source("gps", gps_elements)
+            .key_by(lambda v: v["car"])
+            .window(TumblingWindows(10.0), "mean", value_fn=lambda v: v["speed"])
+            .sink("speeds"))
+    job = builder.build()
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterable
+
+import networkx as nx
+
+from ..util.errors import JobGraphError
+from .element import Element
+from .join import IntervalJoinOperator
+from .operators import (
+    FilterOperator,
+    FlatMapOperator,
+    KeyByOperator,
+    MapOperator,
+    Operator,
+    ReduceOperator,
+    TimestampAssigner,
+    WatermarkGenerator,
+)
+from .window_operator import WindowAggregateOperator
+from .windows import WindowAssigner
+
+__all__ = ["JobGraph", "JobBuilder", "SourceSpec"]
+
+
+@dataclass
+class SourceSpec:
+    """A named stream input.
+
+    ``elements`` is any iterable of :class:`Element`; it may also be a
+    zero-arg callable returning one, so jobs can be re-run.
+    """
+
+    name: str
+    elements: Iterable[Element] | Callable[[], Iterable[Element]]
+
+    def iterate(self) -> Iterable[Element]:
+        src = self.elements
+        return src() if callable(src) else src
+
+
+@dataclass
+class JobGraph:
+    """Validated dataflow DAG ready for execution."""
+
+    name: str
+    sources: dict[str, SourceSpec]
+    operators: dict[str, Operator]
+    #: edges as (upstream, downstream, side); side is None or left/right
+    edges: list[tuple[str, str, str | None]]
+    sinks: set[str] = field(default_factory=set)
+
+    def validate(self) -> None:
+        graph = nx.DiGraph()
+        for node in set(self.sources) | set(self.operators) | set(self.sinks):
+            graph.add_node(node)
+        for up, down, _side in self.edges:
+            for node in (up, down):
+                known = (node in self.sources or node in self.operators
+                         or node in self.sinks)
+                if not known:
+                    raise JobGraphError(f"edge references unknown node {node!r}")
+            graph.add_edge(up, down)
+        if not nx.is_directed_acyclic_graph(graph):
+            raise JobGraphError(f"job {self.name!r} contains a cycle")
+        if not self.sources:
+            raise JobGraphError(f"job {self.name!r} has no sources")
+        for name, op in self.operators.items():
+            in_edges = [(u, s) for u, d, s in self.edges if d == name]
+            if not in_edges:
+                raise JobGraphError(f"operator {name!r} has no input")
+            if isinstance(op, IntervalJoinOperator):
+                sides = sorted(s for _u, s in in_edges)
+                if sides != ["left", "right"]:
+                    raise JobGraphError(
+                        f"join {name!r} needs exactly one 'left' and one "
+                        f"'right' input, got {sides}"
+                    )
+            elif any(s is not None for _u, s in in_edges):
+                raise JobGraphError(
+                    f"operator {name!r} is single-input but has a tagged edge"
+                )
+        for sink in self.sinks:
+            if not any(d == sink for _u, d, _s in self.edges):
+                raise JobGraphError(f"sink {sink!r} has no input")
+        self._topo_order = [n for n in nx.topological_sort(graph)]
+
+    def topological_operators(self) -> list[str]:
+        """Operator names in execution order (sources/sinks excluded)."""
+        return [n for n in self._topo_order if n in self.operators]
+
+    def downstream(self, node: str) -> list[tuple[str, str | None]]:
+        """(downstream node, side-tag-at-downstream) pairs for ``node``."""
+        return [(d, s) for u, d, s in self.edges if u == node]
+
+
+class _StreamHandle:
+    """Fluent cursor over the node most recently added to the builder."""
+
+    def __init__(self, builder: "JobBuilder", node: str) -> None:
+        self._builder = builder
+        self._node = node
+
+    # -- transforms ------------------------------------------------------
+
+    def map(self, fn: Callable[[Any], Any], name: str | None = None):
+        return self._attach(MapOperator(self._builder._auto(name, "map"), fn))
+
+    def filter(self, predicate: Callable[[Any], bool], name: str | None = None):
+        return self._attach(FilterOperator(
+            self._builder._auto(name, "filter"), predicate))
+
+    def flat_map(self, fn: Callable[[Any], Iterable[Any]],
+                 name: str | None = None):
+        return self._attach(FlatMapOperator(
+            self._builder._auto(name, "flat_map"), fn))
+
+    def key_by(self, key_fn: Callable[[Any], Any], name: str | None = None):
+        return self._attach(KeyByOperator(
+            self._builder._auto(name, "key_by"), key_fn))
+
+    def reduce(self, reduce_fn: Callable[[Any, Any], Any],
+               name: str | None = None):
+        return self._attach(ReduceOperator(
+            self._builder._auto(name, "reduce"), reduce_fn))
+
+    def assign_timestamps(self, ts_fn: Callable[[Any], float],
+                          name: str | None = None):
+        return self._attach(TimestampAssigner(
+            self._builder._auto(name, "assign_ts"), ts_fn))
+
+    def with_watermarks(self, max_lateness: float, emit_every: int = 1,
+                        name: str | None = None):
+        return self._attach(WatermarkGenerator(
+            self._builder._auto(name, "watermarks"), max_lateness,
+            emit_every))
+
+    def window(self, assigner: WindowAssigner, aggregate: str = "count",
+               allowed_lateness: float = 0.0,
+               value_fn: Callable[[Any], Any] | None = None,
+               emit_late: bool = False,
+               name: str | None = None):
+        return self._attach(WindowAggregateOperator(
+            self._builder._auto(name, "window"), assigner, aggregate,
+            allowed_lateness, value_fn, emit_late=emit_late))
+
+    def join(self, other: "_StreamHandle", lower: float, upper: float,
+             project: Callable[[Any, Any], Any] | None = None,
+             name: str | None = None):
+        op = IntervalJoinOperator(self._builder._auto(name, "join"),
+                                  lower, upper, project)
+        self._builder._add_operator(op)
+        self._builder._add_edge(self._node, op.name, "left")
+        self._builder._add_edge(other._node, op.name, "right")
+        return _StreamHandle(self._builder, op.name)
+
+    def apply(self, operator: Operator):
+        """Attach a custom operator instance."""
+        return self._attach(operator)
+
+    def sink(self, name: str) -> "JobBuilder":
+        self._builder._add_sink(name)
+        self._builder._add_edge(self._node, name, None)
+        return self._builder
+
+    # -- plumbing --------------------------------------------------------
+
+    def _attach(self, operator: Operator) -> "_StreamHandle":
+        self._builder._add_operator(operator)
+        self._builder._add_edge(self._node, operator.name, None)
+        return _StreamHandle(self._builder, operator.name)
+
+    @property
+    def node(self) -> str:
+        return self._node
+
+
+class JobBuilder:
+    """Accumulates sources/operators/edges and builds a validated graph."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._sources: dict[str, SourceSpec] = {}
+        self._operators: dict[str, Operator] = {}
+        self._edges: list[tuple[str, str, str | None]] = []
+        self._sinks: set[str] = set()
+        self._counters: dict[str, int] = {}
+
+    def _auto(self, name: str | None, kind: str) -> str:
+        if name is not None:
+            return name
+        i = self._counters.get(kind, 0)
+        self._counters[kind] = i + 1
+        return f"{kind}_{i}"
+
+    def source(self, name: str,
+               elements: Iterable[Element] | Callable[[], Iterable[Element]],
+               ) -> _StreamHandle:
+        if name in self._sources:
+            raise JobGraphError(f"duplicate source {name!r}")
+        self._sources[name] = SourceSpec(name, elements)
+        return _StreamHandle(self, name)
+
+    def _add_operator(self, operator: Operator) -> None:
+        if operator.name in self._operators or operator.name in self._sources:
+            raise JobGraphError(f"duplicate node name {operator.name!r}")
+        self._operators[operator.name] = operator
+
+    def _add_edge(self, up: str, down: str, side: str | None) -> None:
+        self._edges.append((up, down, side))
+
+    def _add_sink(self, name: str) -> None:
+        self._sinks.add(name)
+
+    def build(self) -> JobGraph:
+        job = JobGraph(name=self.name, sources=dict(self._sources),
+                       operators=dict(self._operators),
+                       edges=list(self._edges), sinks=set(self._sinks))
+        job.validate()
+        return job

@@ -1,0 +1,143 @@
+"""Keyed interval join of two streams.
+
+Joins elements of a left and right stream that share a key and whose
+event timestamps are within ``[lower, upper]`` of each other
+(Flink's interval join).  Buffers are pruned by the watermark, bounding
+state.  The two inputs are distinguished by tagging elements with a
+side; the executor delivers items from each upstream edge with its tag.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable
+
+from ..util.errors import StreamError
+from .element import Element, StreamItem, Watermark
+from .operators import Operator
+
+__all__ = ["Joined", "IntervalJoinOperator"]
+
+
+@dataclass(frozen=True)
+class Joined:
+    """One join match."""
+
+    key: Any
+    left: Any
+    right: Any
+    left_ts: float
+    right_ts: float
+
+
+class IntervalJoinOperator(Operator):
+    """Two-input keyed interval join.
+
+    ``lower <= right_ts - left_ts <= upper`` pairs match.  The executor
+    calls :meth:`process_side` with side "left"/"right"; plain
+    :meth:`process` raises, so mis-wiring fails loudly.
+    """
+
+    SIDES = ("left", "right")
+
+    def __init__(self, name: str, lower: float, upper: float,
+                 project: Callable[[Any, Any], Any] | None = None) -> None:
+        super().__init__(name)
+        if lower > upper:
+            raise StreamError(f"empty join interval [{lower}, {upper}]")
+        self.lower = lower
+        self.upper = upper
+        self.project = project
+        # side -> key -> list[(ts, value)]
+        self._buffers: dict[str, dict[Any, list[tuple[float, Any]]]] = {
+            "left": {}, "right": {},
+        }
+        self._wm: dict[str, float] = {"left": float("-inf"),
+                                      "right": float("-inf")}
+        self.matches = 0
+
+    def process(self, element: Element) -> list[StreamItem]:
+        raise StreamError(
+            f"join {self.name!r} needs side-tagged input; wire it as a "
+            "two-input operator"
+        )
+
+    def process_side(self, side: str, element: Element) -> list[StreamItem]:
+        if side not in self.SIDES:
+            raise StreamError(f"unknown join side {side!r}")
+        if element.key is None:
+            raise StreamError(f"join {self.name!r} requires keyed input")
+        self.processed += 1
+        buffers = self._buffers[side]
+        buffers.setdefault(element.key, []).append(
+            (element.timestamp, element.value))
+        other = "right" if side == "left" else "left"
+        out: list[StreamItem] = []
+        for other_ts, other_value in self._buffers[other].get(element.key, ()):
+            if side == "left":
+                delta = other_ts - element.timestamp
+                left_ts, right_ts = element.timestamp, other_ts
+                left_v, right_v = element.value, other_value
+            else:
+                delta = element.timestamp - other_ts
+                left_ts, right_ts = other_ts, element.timestamp
+                left_v, right_v = other_value, element.value
+            if self.lower <= delta <= self.upper:
+                self.matches += 1
+                payload: Any = Joined(key=element.key, left=left_v,
+                                      right=right_v, left_ts=left_ts,
+                                      right_ts=right_ts)
+                if self.project is not None:
+                    payload = self.project(left_v, right_v)
+                out.append(Element(value=payload,
+                                   timestamp=max(left_ts, right_ts),
+                                   key=element.key))
+        self.emitted += len(out)
+        return out
+
+    def on_watermark_side(self, side: str, watermark: Watermark) -> list[StreamItem]:
+        """Advance one side's watermark; prune; forward the min watermark."""
+        self._wm[side] = max(self._wm[side], watermark.timestamp)
+        combined = min(self._wm.values())
+        self._prune(combined)
+        return [Watermark(combined)] if combined > float("-inf") else []
+
+    def on_watermark(self, watermark: Watermark) -> list[StreamItem]:
+        raise StreamError(
+            f"join {self.name!r} needs side-tagged watermarks"
+        )
+
+    def _prune(self, watermark: float) -> None:
+        """Drop buffered entries that can no longer match anything.
+
+        A left element at ts can match right elements in
+        [ts+lower, ts+upper]; once the watermark passes ts+upper it is
+        dead.  Symmetrically for the right side with -lower.
+        """
+        for side, horizon in (("left", self.upper), ("right", -self.lower)):
+            buffers = self._buffers[side]
+            for key in list(buffers):
+                kept = [(ts, v) for ts, v in buffers[key]
+                        if ts + horizon >= watermark]
+                if kept:
+                    buffers[key] = kept
+                else:
+                    del buffers[key]
+
+    def buffered(self) -> int:
+        return sum(len(rows) for side in self._buffers.values()
+                   for rows in side.values())
+
+    def snapshot(self) -> Any:
+        import copy
+        return {"buffers": copy.deepcopy(self._buffers),
+                "wm": dict(self._wm), "matches": self.matches}
+
+    def restore(self, snapshot: Any) -> None:
+        import copy
+        snapshot = snapshot or {}
+        self._buffers = copy.deepcopy(
+            snapshot.get("buffers", {"left": {}, "right": {}}))
+        self._wm = dict(snapshot.get(
+            "wm", {"left": float("-inf"), "right": float("-inf")}))
+        self.matches = snapshot.get("matches", 0)

@@ -1,0 +1,213 @@
+"""Dataflow operators.
+
+Every operator transforms a stream item into zero or more output items
+via :meth:`Operator.process` (for elements) and
+:meth:`Operator.on_watermark` (for watermarks).  Watermarks flow through
+stateless operators untouched; stateful event-time operators (windows,
+joins) react to them.
+
+Operators expose ``snapshot``/``restore`` so the checkpoint coordinator
+can capture the whole job — stateless operators return ``None``.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterable
+
+from ..util.errors import StreamError
+from .element import Element, StreamItem, Watermark
+from .state import KeyedState
+
+__all__ = [
+    "Operator",
+    "MapOperator",
+    "FilterOperator",
+    "FlatMapOperator",
+    "KeyByOperator",
+    "ReduceOperator",
+    "TimestampAssigner",
+    "WatermarkGenerator",
+]
+
+
+class Operator:
+    """Base operator.  Subclasses override ``process``/``on_watermark``."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.processed = 0
+        self.emitted = 0
+
+    def handle(self, item: StreamItem) -> list[StreamItem]:
+        """Dispatch an item; maintains counters."""
+        if isinstance(item, Watermark):
+            out = self.on_watermark(item)
+        else:
+            self.processed += 1
+            out = self.process(item)
+        self.emitted += sum(1 for o in out if isinstance(o, Element))
+        return out
+
+    def process(self, element: Element) -> list[StreamItem]:
+        raise NotImplementedError
+
+    def on_watermark(self, watermark: Watermark) -> list[StreamItem]:
+        """Default: forward the watermark unchanged."""
+        return [watermark]
+
+    def flush(self) -> list[StreamItem]:
+        """Emit whatever is pending at end-of-stream (default: nothing)."""
+        return []
+
+    # -- checkpointing ------------------------------------------------------
+
+    def snapshot(self) -> Any:
+        return None
+
+    def restore(self, snapshot: Any) -> None:
+        if snapshot is not None:
+            raise StreamError(
+                f"operator {self.name!r} is stateless but got a snapshot"
+            )
+
+
+class MapOperator(Operator):
+    """1-to-1 value transform."""
+
+    def __init__(self, name: str, fn: Callable[[Any], Any]) -> None:
+        super().__init__(name)
+        self.fn = fn
+
+    def process(self, element: Element) -> list[StreamItem]:
+        return [element.with_value(self.fn(element.value))]
+
+
+class FilterOperator(Operator):
+    """Keep elements whose value satisfies the predicate."""
+
+    def __init__(self, name: str, predicate: Callable[[Any], bool]) -> None:
+        super().__init__(name)
+        self.predicate = predicate
+
+    def process(self, element: Element) -> list[StreamItem]:
+        return [element] if self.predicate(element.value) else []
+
+
+class FlatMapOperator(Operator):
+    """1-to-N value transform."""
+
+    def __init__(self, name: str, fn: Callable[[Any], Iterable[Any]]) -> None:
+        super().__init__(name)
+        self.fn = fn
+
+    def process(self, element: Element) -> list[StreamItem]:
+        return [element.with_value(v) for v in self.fn(element.value)]
+
+
+class KeyByOperator(Operator):
+    """Assign a partitioning key extracted from the value."""
+
+    def __init__(self, name: str, key_fn: Callable[[Any], Any]) -> None:
+        super().__init__(name)
+        self.key_fn = key_fn
+
+    def process(self, element: Element) -> list[StreamItem]:
+        return [element.with_key(self.key_fn(element.value))]
+
+
+class ReduceOperator(Operator):
+    """Keyed running reduce: emits the accumulated value per element.
+
+    Requires keyed input (a ``KeyByOperator`` upstream); raises otherwise
+    — silently reducing a keyless stream is a classic correctness trap.
+    """
+
+    def __init__(self, name: str,
+                 reduce_fn: Callable[[Any, Any], Any]) -> None:
+        super().__init__(name)
+        self.reduce_fn = reduce_fn
+        self._state = KeyedState()
+
+    def process(self, element: Element) -> list[StreamItem]:
+        if element.key is None:
+            raise StreamError(
+                f"reduce {self.name!r} requires keyed input; add key_by()"
+            )
+        if element.key in self._state:
+            acc = self.reduce_fn(self._state.get(element.key), element.value)
+        else:
+            acc = element.value
+        self._state.put(element.key, acc)
+        return [element.with_value(acc)]
+
+    def snapshot(self) -> Any:
+        return self._state.snapshot()
+
+    def restore(self, snapshot: Any) -> None:
+        self._state.restore(snapshot or {})
+
+
+class TimestampAssigner(Operator):
+    """Rewrite element timestamps from a field of the value."""
+
+    def __init__(self, name: str, ts_fn: Callable[[Any], float]) -> None:
+        super().__init__(name)
+        self.ts_fn = ts_fn
+
+    def process(self, element: Element) -> list[StreamItem]:
+        return [Element(value=element.value, timestamp=float(
+            self.ts_fn(element.value)), key=element.key)]
+
+
+class WatermarkGenerator(Operator):
+    """Bounded-out-of-orderness watermarks.
+
+    Tracks the max event timestamp seen and periodically (every
+    ``emit_every`` elements) emits ``Watermark(max_ts - max_lateness)``.
+    Incoming watermarks are swallowed — this operator is the authority
+    downstream of it.
+    """
+
+    def __init__(self, name: str, max_lateness: float,
+                 emit_every: int = 1) -> None:
+        super().__init__(name)
+        if max_lateness < 0:
+            raise StreamError("max_lateness must be non-negative")
+        if emit_every < 1:
+            raise StreamError("emit_every must be >= 1")
+        self.max_lateness = max_lateness
+        self.emit_every = emit_every
+        self._max_ts = float("-inf")
+        self._since_emit = 0
+        self._last_wm = float("-inf")
+
+    def process(self, element: Element) -> list[StreamItem]:
+        self._max_ts = max(self._max_ts, element.timestamp)
+        self._since_emit += 1
+        out: list[StreamItem] = [element]
+        if self._since_emit >= self.emit_every:
+            self._since_emit = 0
+            wm = self._max_ts - self.max_lateness
+            if wm > self._last_wm:
+                self._last_wm = wm
+                out.append(Watermark(wm))
+        return out
+
+    def on_watermark(self, watermark: Watermark) -> list[StreamItem]:
+        return []  # swallow upstream watermarks; we generate our own
+
+    def flush(self) -> list[StreamItem]:
+        """End of stream: release everything with a final watermark."""
+        if self._max_ts == float("-inf"):
+            return []
+        return [Watermark(float("inf"))]
+
+    def snapshot(self) -> Any:
+        return {"max_ts": self._max_ts, "last_wm": self._last_wm,
+                "since": self._since_emit}
+
+    def restore(self, snapshot: Any) -> None:
+        snapshot = snapshot or {}
+        self._max_ts = snapshot.get("max_ts", float("-inf"))
+        self._last_wm = snapshot.get("last_wm", float("-inf"))
+        self._since_emit = snapshot.get("since", 0)

@@ -1,0 +1,52 @@
+"""Operator state: keyed state with snapshot/restore.
+
+Operators keep their mutable state in a :class:`KeyedState` so the
+checkpoint coordinator can snapshot and restore the whole job.  Values
+must be copyable via :func:`copy.deepcopy`; our state values are plain
+dicts/lists/numbers so this is exact.
+"""
+
+from __future__ import annotations
+
+import copy
+from typing import Any, Callable
+
+__all__ = ["KeyedState"]
+
+
+class KeyedState:
+    """Per-key mutable state with deep snapshot semantics."""
+
+    def __init__(self, default_factory: Callable[[], Any] | None = None) -> None:
+        self._data: dict[Any, Any] = {}
+        self._default_factory = default_factory
+
+    def get(self, key: Any) -> Any:
+        if key not in self._data and self._default_factory is not None:
+            self._data[key] = self._default_factory()
+        return self._data.get(key)
+
+    def put(self, key: Any, value: Any) -> None:
+        self._data[key] = value
+
+    def remove(self, key: Any) -> None:
+        self._data.pop(key, None)
+
+    def keys(self) -> list[Any]:
+        return list(self._data)
+
+    def __contains__(self, key: Any) -> bool:
+        return key in self._data
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def snapshot(self) -> dict[Any, Any]:
+        """Deep copy of the full state."""
+        return copy.deepcopy(self._data)
+
+    def restore(self, snapshot: dict[Any, Any]) -> None:
+        self._data = copy.deepcopy(snapshot)
+
+    def clear(self) -> None:
+        self._data.clear()

@@ -1,0 +1,212 @@
+"""Event-time window aggregation operator.
+
+Keyed elements are assigned to windows; when the watermark passes a
+window's end (+ allowed lateness), the window fires and an aggregate is
+emitted as ``WindowResult``.  Elements arriving after their window has
+fired-and-purged are counted as *dropped late* — the quantity the A3
+watermark experiment sweeps.
+
+Session windows merge on insert, the standard merging-window algorithm.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable
+
+from ..util.errors import StreamError
+from .element import Element, StreamItem, Watermark
+from .operators import Operator
+from .windows import Window, WindowAssigner
+
+__all__ = ["WindowResult", "LateRecord", "WindowAggregateOperator",
+           "aggregators"]
+
+
+@dataclass(frozen=True)
+class WindowResult:
+    """Output of a fired window."""
+
+    key: Any
+    window: Window
+    value: Any
+    count: int
+
+
+@dataclass(frozen=True)
+class LateRecord:
+    """A late element surfaced on the side output instead of dropped.
+
+    Downstream can route these to a correction path (e.g. re-aggregate
+    and amend released results) — the recovery story for the timeliness
+    vs completeness trade-off of experiment A3.
+    """
+
+    value: Any
+    timestamp: float
+    key: Any
+    lateness: float  # how far behind the watermark it arrived
+
+
+class _Agg:
+    """An incremental aggregator: (init, add, merge, result)."""
+
+    def __init__(self, init: Callable[[], Any],
+                 add: Callable[[Any, Any], Any],
+                 merge: Callable[[Any, Any], Any],
+                 result: Callable[[Any], Any]) -> None:
+        self.init = init
+        self.add = add
+        self.merge = merge
+        self.result = result
+
+
+def _mean_init():
+    return [0.0, 0]
+
+
+def _mean_add(acc, v):
+    acc[0] += v
+    acc[1] += 1
+    return acc
+
+
+def _mean_merge(a, b):
+    return [a[0] + b[0], a[1] + b[1]]
+
+
+aggregators: dict[str, _Agg] = {
+    "count": _Agg(lambda: 0, lambda a, _v: a + 1, lambda a, b: a + b,
+                  lambda a: a),
+    "sum": _Agg(lambda: 0.0, lambda a, v: a + v, lambda a, b: a + b,
+                lambda a: a),
+    "min": _Agg(lambda: float("inf"), min, min,
+                lambda a: a),
+    "max": _Agg(lambda: float("-inf"), max, max,
+                lambda a: a),
+    "mean": _Agg(_mean_init, _mean_add, _mean_merge,
+                 lambda a: a[0] / a[1] if a[1] else float("nan")),
+    "list": _Agg(list, lambda a, v: a + [v], lambda a, b: a + b,
+                 lambda a: a),
+}
+
+
+class WindowAggregateOperator(Operator):
+    """Keyed event-time windowing with incremental aggregation."""
+
+    def __init__(self, name: str, assigner: WindowAssigner,
+                 aggregate: str | _Agg = "count",
+                 allowed_lateness: float = 0.0,
+                 value_fn: Callable[[Any], Any] | None = None,
+                 emit_late: bool = False) -> None:
+        super().__init__(name)
+        self.assigner = assigner
+        if isinstance(aggregate, str):
+            try:
+                aggregate = aggregators[aggregate]
+            except KeyError:
+                raise StreamError(
+                    f"unknown aggregate {aggregate!r}; choose from "
+                    f"{sorted(aggregators)}"
+                ) from None
+        self.agg = aggregate
+        if allowed_lateness < 0:
+            raise StreamError("allowed_lateness must be non-negative")
+        self.allowed_lateness = allowed_lateness
+        self.value_fn = value_fn if value_fn is not None else (lambda v: v)
+        self.emit_late = emit_late
+        # key -> {window -> [acc, count]}
+        self._windows: dict[Any, dict[Window, list[Any]]] = {}
+        self._current_wm = float("-inf")
+        self.dropped_late = 0
+        self.fired = 0
+
+    # -- element path --------------------------------------------------------
+
+    def process(self, element: Element) -> list[StreamItem]:
+        if element.key is None:
+            raise StreamError(
+                f"window {self.name!r} requires keyed input; add key_by()"
+            )
+        if element.timestamp + self.allowed_lateness <= self._current_wm:
+            self.dropped_late += 1
+            if self.emit_late:
+                late = LateRecord(
+                    value=element.value, timestamp=element.timestamp,
+                    key=element.key,
+                    lateness=self._current_wm - element.timestamp)
+                return [Element(value=late, timestamp=element.timestamp,
+                                key=element.key)]
+            return []
+        per_key = self._windows.setdefault(element.key, {})
+        value = self.value_fn(element.value)
+        for window in self.assigner.assign(element.timestamp):
+            if self.assigner.merging:
+                window = self._merge_sessions(per_key, window)
+            slot = per_key.get(window)
+            if slot is None:
+                slot = [self.agg.init(), 0]
+                per_key[window] = slot
+            slot[0] = self.agg.add(slot[0], value)
+            slot[1] += 1
+        return []
+
+    def _merge_sessions(self, per_key: dict[Window, list[Any]],
+                        new_window: Window) -> Window:
+        """Merge the provisional session window with overlapping ones."""
+        overlapping = [w for w in per_key if w.intersects(new_window)]
+        if not overlapping:
+            return new_window
+        merged = new_window
+        acc = self.agg.init()
+        count = 0
+        for w in overlapping:
+            merged = merged.merged(w)
+            slot = per_key.pop(w)
+            acc = self.agg.merge(acc, slot[0])
+            count += slot[1]
+        per_key[merged] = [acc, count]
+        return merged
+
+    # -- watermark path ---------------------------------------------------------
+
+    def on_watermark(self, watermark: Watermark) -> list[StreamItem]:
+        self._current_wm = max(self._current_wm, watermark.timestamp)
+        out: list[StreamItem] = []
+        for key in sorted(self._windows, key=repr):
+            per_key = self._windows[key]
+            ripe = sorted(w for w in per_key
+                          if w.end + self.allowed_lateness <= self._current_wm)
+            for window in ripe:
+                acc, count = per_key.pop(window)
+                self.fired += 1
+                result = WindowResult(key=key, window=window,
+                                      value=self.agg.result(acc), count=count)
+                out.append(Element(value=result, timestamp=window.end, key=key))
+        self._windows = {k: v for k, v in self._windows.items() if v}
+        out.append(watermark)
+        return out
+
+    def flush(self) -> list[StreamItem]:
+        """Fire every remaining window at end-of-stream."""
+        return [item for item in self.on_watermark(Watermark(float("inf")))
+                if isinstance(item, Element)]
+
+    # -- checkpointing -------------------------------------------------------------
+
+    def snapshot(self) -> Any:
+        import copy
+        return {
+            "windows": copy.deepcopy(self._windows),
+            "wm": self._current_wm,
+            "dropped": self.dropped_late,
+            "fired": self.fired,
+        }
+
+    def restore(self, snapshot: Any) -> None:
+        import copy
+        snapshot = snapshot or {}
+        self._windows = copy.deepcopy(snapshot.get("windows", {}))
+        self._current_wm = snapshot.get("wm", float("-inf"))
+        self.dropped_late = snapshot.get("dropped", 0)
+        self.fired = snapshot.get("fired", 0)

@@ -1,0 +1,111 @@
+"""Window assigners: tumbling, sliding, session.
+
+A :class:`Window` is a half-open event-time interval [start, end).
+Assigners map an element timestamp to the window(s) it belongs to.
+Session windows are assigned per-key by merging gaps, handled by the
+window operator (assignment alone can't merge), so the session assigner
+here produces a provisional single-point window that the operator merges.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..util.errors import ConfigError
+
+__all__ = [
+    "Window",
+    "WindowAssigner",
+    "TumblingWindows",
+    "SlidingWindows",
+    "SessionWindows",
+]
+
+
+@dataclass(frozen=True, order=True)
+class Window:
+    """Half-open event-time interval [start, end)."""
+
+    start: float
+    end: float
+
+    def __post_init__(self) -> None:
+        if self.end <= self.start:
+            raise ConfigError(f"empty window [{self.start}, {self.end})")
+
+    @property
+    def length(self) -> float:
+        return self.end - self.start
+
+    def contains(self, timestamp: float) -> bool:
+        return self.start <= timestamp < self.end
+
+    def intersects(self, other: "Window") -> bool:
+        return self.start < other.end and other.start < self.end
+
+    def merged(self, other: "Window") -> "Window":
+        return Window(min(self.start, other.start), max(self.end, other.end))
+
+
+class WindowAssigner:
+    """Maps a timestamp to the windows containing it."""
+
+    #: session assigners need operator-side merging
+    merging = False
+
+    def assign(self, timestamp: float) -> list[Window]:
+        raise NotImplementedError
+
+
+class TumblingWindows(WindowAssigner):
+    """Fixed, non-overlapping windows of ``size`` seconds."""
+
+    def __init__(self, size: float, offset: float = 0.0) -> None:
+        if size <= 0:
+            raise ConfigError("window size must be positive")
+        self.size = size
+        self.offset = offset
+
+    def assign(self, timestamp: float) -> list[Window]:
+        start = ((timestamp - self.offset) // self.size) * self.size + self.offset
+        return [Window(start, start + self.size)]
+
+
+class SlidingWindows(WindowAssigner):
+    """Windows of ``size`` seconds sliding every ``slide`` seconds."""
+
+    def __init__(self, size: float, slide: float) -> None:
+        if size <= 0 or slide <= 0:
+            raise ConfigError("size and slide must be positive")
+        if slide > size:
+            raise ConfigError("slide larger than size leaves gaps; use "
+                              "tumbling windows instead")
+        self.size = size
+        self.slide = slide
+
+    def assign(self, timestamp: float) -> list[Window]:
+        # Index-based construction avoids accumulating subtraction error;
+        # the final containment filter makes boundary behaviour exact.
+        last_k = int(timestamp // self.slide)
+        first_k = int((timestamp - self.size) // self.slide)
+        windows = []
+        for k in range(first_k, last_k + 2):
+            window = Window(k * self.slide, k * self.slide + self.size)
+            if window.contains(timestamp):
+                windows.append(window)
+        return windows
+
+
+class SessionWindows(WindowAssigner):
+    """Gap-based sessions: elements closer than ``gap`` merge."""
+
+    merging = True
+
+    def __init__(self, gap: float) -> None:
+        if gap <= 0:
+            raise ConfigError("session gap must be positive")
+        self.gap = gap
+
+    def assign(self, timestamp: float) -> list[Window]:
+        # Provisional window; the operator merges overlapping sessions.
+        return [Window(timestamp, timestamp + self.gap)]

@@ -1,0 +1,26 @@
+"""Shared infrastructure: clock, ids, RNG plumbing, metrics, pub/sub."""
+
+from .clock import MICROS, MILLIS, SimClock
+from .events import EventBus
+from .geometry import Rect, clamp
+from .ids import IdFactory, monotonic_ids
+from .metrics import Counter, Gauge, MetricsRegistry, Summary
+from .rng import RngRegistry, make_rng, spawn
+
+__all__ = [
+    "SimClock",
+    "MILLIS",
+    "MICROS",
+    "EventBus",
+    "Rect",
+    "clamp",
+    "IdFactory",
+    "monotonic_ids",
+    "Counter",
+    "Gauge",
+    "Summary",
+    "MetricsRegistry",
+    "RngRegistry",
+    "make_rng",
+    "spawn",
+]

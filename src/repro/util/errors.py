@@ -1,0 +1,125 @@
+"""Exception hierarchy shared by every repro subsystem.
+
+All library errors derive from :class:`ReproError` so callers can catch a
+single base type at API boundaries.  Subsystem-specific bases
+(:class:`LogError`, :class:`StreamError`, ...) let tests assert on the
+failing layer precisely.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the repro library."""
+
+
+class ConfigError(ReproError):
+    """Invalid configuration value or inconsistent parameter combination."""
+
+
+class ClockError(ReproError):
+    """Attempt to move simulated time backwards or misuse the clock."""
+
+
+class SimulationError(ReproError):
+    """Discrete-event simulation kernel misuse (e.g. scheduling in past)."""
+
+
+class NetworkError(SimulationError):
+    """Simulated network failure: unreachable node, dropped message."""
+
+
+class LogError(ReproError):
+    """Base class for event-log (Kafka-like substrate) errors."""
+
+
+class TopicNotFound(LogError):
+    """Produce/consume addressed to a topic that does not exist."""
+
+
+class TopicExists(LogError):
+    """Topic creation collided with an existing topic."""
+
+
+class PartitionNotFound(LogError):
+    """Partition index out of range for the topic."""
+
+
+class OffsetOutOfRange(LogError):
+    """Consumer seeked to an offset outside the retained range."""
+
+
+class BrokerDown(LogError):
+    """Operation routed to a broker that is currently failed."""
+
+
+class NotLeader(LogError):
+    """Write addressed to a replica that is not the partition leader."""
+
+
+class StreamError(ReproError):
+    """Base class for streaming-engine errors."""
+
+
+class JobGraphError(StreamError):
+    """Malformed dataflow graph (cycle, missing source, type clash)."""
+
+
+class CheckpointError(StreamError):
+    """Checkpoint could not be taken or restored."""
+
+
+class BackpressureOverflow(StreamError):
+    """A bounded channel overflowed with backpressure disabled."""
+
+
+class VisionError(ReproError):
+    """Base class for computer-vision substrate errors."""
+
+
+class CalibrationError(VisionError):
+    """Camera intrinsics invalid or degenerate geometry."""
+
+
+class TrackingLost(VisionError):
+    """Tracker could not locate enough correspondences to estimate pose."""
+
+
+class SensorError(ReproError):
+    """Sensor model misuse (bad rates, unknown sensor id)."""
+
+
+class SpatialIndexError(SensorError):
+    """Query or insert outside the index bounds."""
+
+
+class RenderError(ReproError):
+    """Scene-graph or compositor misuse."""
+
+
+class OffloadError(ReproError):
+    """Offload planning failed (no feasible tier, unknown task)."""
+
+
+class PrivacyError(ReproError):
+    """Privacy-mechanism misuse (invalid epsilon, exhausted budget)."""
+
+
+class BudgetExhausted(PrivacyError):
+    """The differential-privacy budget accountant refused a query."""
+
+
+class ContextError(ReproError):
+    """Semantic-context subsystem errors."""
+
+
+class MarkupError(ContextError):
+    """ARML-like markup failed to parse or serialize."""
+
+
+class InterpretationError(ContextError):
+    """Analytics output could not be bound to AR content."""
+
+
+class PipelineError(ReproError):
+    """Core AR x BigData pipeline wiring or lifecycle error."""

@@ -1,0 +1,52 @@
+"""A tiny synchronous publish/subscribe bus.
+
+Used for decoupled in-process signalling: the pipeline publishes
+lifecycle events ("frame-rendered", "checkpoint-complete"), tests and
+metrics collectors subscribe.  Handlers run synchronously in
+subscription order; exceptions propagate to the publisher (errors should
+never pass silently in a simulation).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Any, Callable
+
+__all__ = ["EventBus"]
+
+Handler = Callable[[Any], None]
+
+
+class EventBus:
+    """Synchronous topic-keyed pub/sub."""
+
+    def __init__(self) -> None:
+        self._handlers: defaultdict[str, list[Handler]] = defaultdict(list)
+        self._counts: defaultdict[str, int] = defaultdict(int)
+
+    def subscribe(self, topic: str, handler: Handler) -> Callable[[], None]:
+        """Register ``handler`` for ``topic``; returns an unsubscribe thunk."""
+        self._handlers[topic].append(handler)
+
+        def unsubscribe() -> None:
+            try:
+                self._handlers[topic].remove(handler)
+            except ValueError:
+                pass  # already unsubscribed; idempotent
+
+        return unsubscribe
+
+    def publish(self, topic: str, payload: Any = None) -> int:
+        """Deliver ``payload`` to every handler; returns delivery count."""
+        self._counts[topic] += 1
+        handlers = list(self._handlers.get(topic, ()))
+        for handler in handlers:
+            handler(payload)
+        return len(handlers)
+
+    def publish_count(self, topic: str) -> int:
+        """How many times ``topic`` has been published."""
+        return self._counts[topic]
+
+    def handler_count(self, topic: str) -> int:
+        return len(self._handlers.get(topic, ()))

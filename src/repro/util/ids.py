@@ -1,0 +1,43 @@
+"""Deterministic identifier generation.
+
+Real distributed systems use UUIDs; a reproducible simulation cannot.
+:class:`IdFactory` hands out readable, strictly increasing identifiers
+(``"task-0001"``, ``"task-0002"``, ...) per namespace, so logs, tests and
+benchmark output are stable run to run.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+__all__ = ["IdFactory", "monotonic_ids"]
+
+
+class IdFactory:
+    """Per-namespace counters producing readable unique ids."""
+
+    def __init__(self) -> None:
+        self._counters: defaultdict[str, int] = defaultdict(int)
+
+    def next(self, namespace: str) -> str:
+        """Return the next id for ``namespace``, e.g. ``"frame-0007"``."""
+        value = self._counters[namespace]
+        self._counters[namespace] = value + 1
+        return f"{namespace}-{value:04d}"
+
+    def next_int(self, namespace: str) -> int:
+        """Return the next raw integer for ``namespace`` (starting at 0)."""
+        value = self._counters[namespace]
+        self._counters[namespace] = value + 1
+        return value
+
+    def peek(self, namespace: str) -> int:
+        """Return the integer the next call would use, without consuming."""
+        return self._counters[namespace]
+
+
+def monotonic_ids(namespace: str):
+    """Infinite generator of ids for one namespace (convenience)."""
+    factory = IdFactory()
+    while True:
+        yield factory.next(namespace)

@@ -1,0 +1,107 @@
+"""Lightweight metric accumulators used across subsystems and benches.
+
+Three primitives cover everything the experiments need:
+
+- :class:`Counter` — monotonically increasing event counts.
+- :class:`Gauge` — a last-value-wins sample.
+- :class:`Summary` — streaming mean/min/max/percentiles over samples
+  (stores samples; our runs are bounded so this is simpler and exact).
+
+A :class:`MetricsRegistry` namespaces them so one object threads through
+a pipeline.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+__all__ = ["Counter", "Gauge", "Summary", "MetricsRegistry"]
+
+
+class Counter:
+    """A monotonically increasing count."""
+
+    def __init__(self) -> None:
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        if amount < 0:
+            raise ValueError("Counter can only increase")
+        self.value += amount
+
+
+class Gauge:
+    """Last observed value."""
+
+    def __init__(self) -> None:
+        self.value: float = math.nan
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+
+class Summary:
+    """Exact summary statistics over observed samples."""
+
+    def __init__(self) -> None:
+        self._samples: list[float] = []
+
+    def observe(self, value: float) -> None:
+        self._samples.append(float(value))
+
+    @property
+    def count(self) -> int:
+        return len(self._samples)
+
+    @property
+    def mean(self) -> float:
+        return float(np.mean(self._samples)) if self._samples else math.nan
+
+    @property
+    def minimum(self) -> float:
+        return min(self._samples) if self._samples else math.nan
+
+    @property
+    def maximum(self) -> float:
+        return max(self._samples) if self._samples else math.nan
+
+    @property
+    def total(self) -> float:
+        return float(np.sum(self._samples)) if self._samples else 0.0
+
+    def percentile(self, q: float) -> float:
+        """q in [0, 100]."""
+        if not self._samples:
+            return math.nan
+        return float(np.percentile(self._samples, q))
+
+    def samples(self) -> list[float]:
+        return list(self._samples)
+
+
+class MetricsRegistry:
+    """Namespace of counters/gauges/summaries, created on first use."""
+
+    def __init__(self) -> None:
+        self._counters: dict[str, Counter] = {}
+        self._gauges: dict[str, Gauge] = {}
+        self._summaries: dict[str, Summary] = {}
+
+    def counter(self, name: str) -> Counter:
+        return self._counters.setdefault(name, Counter())
+
+    def gauge(self, name: str) -> Gauge:
+        return self._gauges.setdefault(name, Gauge())
+
+    def summary(self, name: str) -> Summary:
+        return self._summaries.setdefault(name, Summary())
+
+    def snapshot(self) -> dict[str, float]:
+        """Flat name->value view (summaries report their mean)."""
+        out: dict[str, float] = {}
+        out.update({k: float(c.value) for k, c in self._counters.items()})
+        out.update({k: g.value for k, g in self._gauges.items()})
+        out.update({f"{k}.mean": s.mean for k, s in self._summaries.items()})
+        return out

@@ -1,0 +1,52 @@
+"""Computer-vision substrate: camera model, features, geometry, markers,
+planar tracking, synthetic scene imaging."""
+
+from .camera import CameraIntrinsics, Pose, look_at
+from .flow import FlowResult, HybridTracker, track_points
+from .features import (
+    BriefDescriptor,
+    Keypoint,
+    Match,
+    detect_corners,
+    match_descriptors,
+)
+from .geometry import (
+    RansacResult,
+    apply_homography,
+    estimate_homography,
+    pose_from_homography,
+    ransac_homography,
+    reprojection_error,
+)
+from .markers import MarkerSpec, decode_marker, generate_marker
+from .synth import PlanarTarget, make_texture, render_plane
+from .tracker import PlanarTracker, StageProfile, TrackResult
+
+__all__ = [
+    "FlowResult",
+    "HybridTracker",
+    "track_points",
+    "CameraIntrinsics",
+    "Pose",
+    "look_at",
+    "BriefDescriptor",
+    "Keypoint",
+    "Match",
+    "detect_corners",
+    "match_descriptors",
+    "RansacResult",
+    "apply_homography",
+    "estimate_homography",
+    "pose_from_homography",
+    "ransac_homography",
+    "reprojection_error",
+    "MarkerSpec",
+    "decode_marker",
+    "generate_marker",
+    "PlanarTarget",
+    "make_texture",
+    "render_plane",
+    "PlanarTracker",
+    "StageProfile",
+    "TrackResult",
+]

@@ -1,0 +1,141 @@
+"""Planar fiducial markers (ArUco-style, simplified).
+
+A marker is an (n x n) grid of black/white cells inside a black border.
+Generation embeds the marker id as row-wise bits with a parity column;
+identification rectifies the marker region through an estimated
+homography and decodes the bits, checking parity — so detection failure
+and mis-identification are measurable, not assumed away.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..util.errors import VisionError
+from .geometry import apply_homography
+
+__all__ = ["MarkerSpec", "generate_marker", "decode_marker"]
+
+
+@dataclass(frozen=True)
+class MarkerSpec:
+    """Marker family parameters."""
+
+    grid: int = 4  # data cells per side (payload bits = grid*(grid-1))
+    cell_px: int = 16
+    border_cells: int = 1
+
+    @property
+    def payload_bits(self) -> int:
+        return self.grid * (self.grid - 1)
+
+    @property
+    def max_id(self) -> int:
+        return (1 << self.payload_bits) - 1
+
+    @property
+    def side_px(self) -> int:
+        return (self.grid + 2 * self.border_cells) * self.cell_px
+
+
+def _id_to_bits(marker_id: int, spec: MarkerSpec) -> np.ndarray:
+    """Bits as a grid x grid array; last column is per-row *odd* parity.
+
+    Odd parity guarantees every row contains at least one white cell, so
+    even marker id 0 has contrast against the black border.
+    """
+    bits = np.zeros((spec.grid, spec.grid), dtype=bool)
+    payload = [(marker_id >> i) & 1 for i in range(spec.payload_bits)]
+    k = 0
+    for row in range(spec.grid):
+        for col in range(spec.grid - 1):
+            bits[row, col] = bool(payload[k])
+            k += 1
+        bits[row, spec.grid - 1] = (
+            int(bits[row, :spec.grid - 1].sum()) % 2 == 0)
+    return bits
+
+
+def _bits_to_id(bits: np.ndarray, spec: MarkerSpec) -> int | None:
+    """Decode; None when any row parity fails."""
+    marker_id = 0
+    k = 0
+    for row in range(spec.grid):
+        if int(bits[row, :spec.grid].sum()) % 2 != 1:  # odd parity
+            return None
+        for col in range(spec.grid - 1):
+            if bits[row, col]:
+                marker_id |= 1 << k
+            k += 1
+    return marker_id
+
+
+def generate_marker(marker_id: int, spec: MarkerSpec = MarkerSpec(),
+                    ) -> np.ndarray:
+    """Render the marker texture (float image in [0, 1])."""
+    if not 0 <= marker_id <= spec.max_id:
+        raise VisionError(
+            f"marker id {marker_id} out of range [0, {spec.max_id}]")
+    bits = _id_to_bits(marker_id, spec)
+    side = spec.grid + 2 * spec.border_cells
+    cells = np.zeros((side, side), dtype=float)  # black border
+    for row in range(spec.grid):
+        for col in range(spec.grid):
+            cells[row + spec.border_cells, col + spec.border_cells] = (
+                1.0 if bits[row, col] else 0.0)
+    return np.kron(cells, np.ones((spec.cell_px, spec.cell_px)))
+
+
+def decode_marker(image: np.ndarray, homography: np.ndarray,
+                  spec: MarkerSpec = MarkerSpec()) -> int | None:
+    """Decode a marker from ``image`` given the homography mapping marker
+    texture pixel coords to image pixel coords.
+
+    Samples each cell centre (3x3 average) in the image, thresholds at
+    the mid-intensity between sampled border (black) and brightest cell,
+    and checks parity.  Returns the id or None.
+    """
+    image = np.asarray(image, dtype=float)
+    if image.ndim != 2:
+        raise VisionError("expected grayscale image")
+    h, w = image.shape
+
+    def sample_at(texture_xy: np.ndarray) -> np.ndarray:
+        pixels = apply_homography(homography, texture_xy)
+        values = []
+        for px, py in pixels:
+            xi, yi = int(round(px)), int(round(py))
+            if not (1 <= xi < w - 1 and 1 <= yi < h - 1):
+                values.append(np.nan)
+                continue
+            values.append(float(image[yi - 1:yi + 2, xi - 1:xi + 2].mean()))
+        return np.array(values)
+
+    # Cell centres in texture coordinates.
+    centres = []
+    for row in range(spec.grid):
+        for col in range(spec.grid):
+            cx = (col + spec.border_cells + 0.5) * spec.cell_px
+            cy = (row + spec.border_cells + 0.5) * spec.cell_px
+            centres.append((cx, cy))
+    cell_values = sample_at(np.array(centres))
+    if np.isnan(cell_values).any():
+        return None
+    # Border samples give the black reference.
+    border_pts = [(spec.cell_px * 0.5, spec.cell_px * 0.5),
+                  (spec.side_px - spec.cell_px * 0.5, spec.cell_px * 0.5),
+                  (spec.cell_px * 0.5, spec.side_px - spec.cell_px * 0.5),
+                  (spec.side_px - spec.cell_px * 0.5,
+                   spec.side_px - spec.cell_px * 0.5)]
+    border_values = sample_at(np.array(border_pts))
+    if np.isnan(border_values).any():
+        return None
+    black = float(border_values.mean())
+    white = float(cell_values.max())
+    if white - black < 0.1:
+        return None  # no contrast; not a marker view
+    threshold = (black + white) / 2.0
+    bits = (cell_values > threshold).reshape(spec.grid, spec.grid)
+    return _bits_to_id(bits, spec)

@@ -1,0 +1,32 @@
+"""Integration: every example script runs to completion.
+
+Examples are documentation that executes; this guards them against
+bit-rot.  Each is run in-process via runpy with a fresh __main__.
+"""
+
+import pathlib
+import runpy
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).resolve().parent.parent.parent \
+    / "examples"
+EXAMPLES = sorted(p.name for p in EXAMPLES_DIR.glob("*.py"))
+
+
+class TestExamplesRun:
+    @pytest.mark.parametrize("script", EXAMPLES)
+    def test_example_runs(self, script, capsys):
+        runpy.run_path(str(EXAMPLES_DIR / script), run_name="__main__")
+        out = capsys.readouterr().out
+        assert out.strip(), f"{script} printed nothing"
+
+    def test_all_examples_discovered(self):
+        # The suite must cover the documented example set.
+        expected = {
+            "quickstart.py", "retail_store.py", "tourism_city_guide.py",
+            "healthcare_ward.py", "smart_city.py",
+            "ar_tracking_offload.py", "data_analyst_workspace.py",
+            "ar_classroom.py",
+        }
+        assert expected <= set(EXAMPLES)

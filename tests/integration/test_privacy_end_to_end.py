@@ -1,0 +1,94 @@
+"""Integration: location privacy through the whole pipeline.
+
+Users' mobility traces are ingested as personal records: the
+PrivacyGuard pseudonymizes the user ids and perturbs the coordinates
+*before* anything reaches the event log.  An adversary who obtains the
+logged (defended) database and knows a few true points of a victim must
+do measurably worse than against an undefended log — the Section 4.3
+defence validated end to end rather than in isolation.
+"""
+
+import numpy as np
+
+from repro.core import ARBigDataPipeline, PipelineConfig, PrivacyConfig
+from repro.datagen import MobilityConfig, generate_population
+from repro.eventlog import ConsumerGroup
+from repro.privacy import TraceDatabase
+from repro.util.rng import make_rng
+
+
+def _ingest_and_extract(location_mode, geo_epsilon, traces, seed):
+    """Run traces through the guarded pipeline, rebuild the adversary's
+    database from what actually landed in the log."""
+    pipeline = ARBigDataPipeline(PipelineConfig(
+        seed=seed, privacy=PrivacyConfig(location_mode=location_mode,
+                                         geo_epsilon=geo_epsilon)))
+    pipeline.create_topic("checkins", partitions=4)
+    for trace in traces:
+        for t, x, y in zip(trace.ts, trace.xs, trace.ys):
+            pipeline.ingest("checkins",
+                            {"user": trace.user, "x": float(x),
+                             "y": float(y)},
+                            key=trace.user, timestamp=float(t),
+                            personal=True)
+    rows = ConsumerGroup(pipeline.log, "checkins",
+                         "adversary").join("m").poll(10**6)
+    per_user: dict[str, list[tuple[float, float, float]]] = {}
+    for row in rows:
+        per_user.setdefault(row.value["user"], []).append(
+            (row.timestamp, row.value["x"], row.value["y"]))
+    database = TraceDatabase(cell_m=250.0, bucket_s=600.0)
+    pseudonym_of = {}
+    guard = pipeline.guard
+    for trace in traces:
+        pseudonym_of[trace.user] = guard.pseudonymize(trace.user)
+    for user, points in per_user.items():
+        points.sort()
+        database.add_trace(user,
+                           np.array([p[1] for p in points]),
+                           np.array([p[2] for p in points]),
+                           np.array([p[0] for p in points]))
+    return database, pseudonym_of
+
+
+class TestGuardedPipelineResistsReidentification:
+    def test_guard_lowers_attack_success(self):
+        rng = make_rng(200)
+        traces = generate_population(
+            30, rng, MobilityConfig(steps=120, area_m=4000.0))
+        # The adversary's side knowledge: the TRUE traces.
+        truth = TraceDatabase(cell_m=250.0, bucket_s=600.0)
+        for trace in traces:
+            truth.add_trace(trace.user, trace.xs, trace.ys, trace.ts)
+
+        def attack(location_mode, geo_epsilon, seed):
+            database, pseudonym_of = _ingest_and_extract(
+                location_mode, geo_epsilon, traces, seed)
+            # Count victims whose true points match exactly their own
+            # pseudonymous trace in the logged database.
+            attack_rng = make_rng(300)
+            unique = 0
+            for trace in traces:
+                true_points = sorted(truth.points_of(trace.user))
+                idx = attack_rng.choice(len(true_points), size=4,
+                                        replace=False)
+                known = {true_points[i] for i in idx}
+                matches = database.candidates(known)
+                if matches == [pseudonym_of[trace.user]]:
+                    unique += 1
+            return unique / len(traces)
+
+        undefended = attack("none", 0.01, seed=201)
+        defended = attack("laplace", 0.003, seed=202)  # ~600 m noise
+        assert undefended > 0.8  # pseudonyms alone do not protect
+        assert defended < undefended / 2
+
+    def test_pseudonyms_consistent_within_run(self):
+        rng = make_rng(210)
+        traces = generate_population(
+            5, rng, MobilityConfig(steps=30, area_m=2000.0))
+        database, pseudonym_of = _ingest_and_extract("none", 0.01,
+                                                     traces, seed=211)
+        # Every user's records landed under exactly one pseudonym.
+        assert len(database) == 5
+        assert set(database.users()) == set(pseudonym_of.values())

@@ -1,0 +1,263 @@
+"""Unit tests: sketches, quantiles, incremental computation."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.analytics import (
+    BloomFilter,
+    CountMinSketch,
+    DecayedCounter,
+    HyperLogLog,
+    IncrementalQuery,
+    IncrementalTopK,
+    P2Quantile,
+    ReservoirSample,
+    RunningStats,
+)
+from repro.util.errors import ConfigError
+from repro.util.rng import make_rng
+
+
+class TestCountMinSketch:
+    def test_never_underestimates(self):
+        cms = CountMinSketch(epsilon=0.01, delta=0.01)
+        truth = {}
+        rng = make_rng(0)
+        for _ in range(2000):
+            key = f"k{int(rng.integers(0, 100))}"
+            truth[key] = truth.get(key, 0) + 1
+            cms.add(key)
+        for key, count in truth.items():
+            assert cms.estimate(key) >= count
+
+    def test_error_bound_roughly_holds(self):
+        cms = CountMinSketch(epsilon=0.005, delta=0.01)
+        rng = make_rng(1)
+        for _ in range(5000):
+            cms.add(f"k{int(rng.integers(0, 50))}")
+        # Overestimate should be within eps * N (generous 3x slack).
+        errors = [cms.estimate(f"k{i}") for i in range(50)]
+        assert max(errors) <= 5000 / 50 + 3 * 0.005 * 5000
+
+    def test_weighted_add(self):
+        cms = CountMinSketch()
+        cms.add("x", count=7)
+        assert cms.estimate("x") >= 7
+
+    def test_merge(self):
+        a = CountMinSketch(epsilon=0.01, delta=0.1)
+        b = CountMinSketch(epsilon=0.01, delta=0.1)
+        a.add("x", 3)
+        b.add("x", 4)
+        a.merge(b)
+        assert a.estimate("x") >= 7
+
+    def test_merge_shape_mismatch_rejected(self):
+        with pytest.raises(ConfigError):
+            CountMinSketch(epsilon=0.01).merge(CountMinSketch(epsilon=0.001))
+
+    def test_invalid_params_rejected(self):
+        with pytest.raises(ConfigError):
+            CountMinSketch(epsilon=0.0)
+
+
+class TestBloomFilter:
+    def test_no_false_negatives(self):
+        bloom = BloomFilter(capacity=1000, fp_rate=0.01)
+        keys = [f"k{i}" for i in range(1000)]
+        for key in keys:
+            bloom.add(key)
+        assert all(key in bloom for key in keys)
+
+    def test_false_positive_rate_near_target(self):
+        bloom = BloomFilter(capacity=2000, fp_rate=0.02)
+        for i in range(2000):
+            bloom.add(f"in-{i}")
+        fps = sum(1 for i in range(10000) if f"out-{i}" in bloom)
+        assert fps / 10000 < 0.06  # 3x slack over target
+
+    def test_empty_contains_nothing(self):
+        bloom = BloomFilter(capacity=10)
+        assert "x" not in bloom
+
+
+class TestHyperLogLog:
+    def test_estimates_within_error(self):
+        hll = HyperLogLog(precision=12)
+        n = 50_000
+        for i in range(n):
+            hll.add(f"item-{i}")
+        rel_error = abs(hll.estimate() - n) / n
+        assert rel_error < 0.05  # ~3 sigma for p=12
+
+    def test_small_cardinality_linear_counting(self):
+        hll = HyperLogLog(precision=10)
+        for i in range(10):
+            hll.add(f"x{i}")
+        assert abs(hll.estimate() - 10) < 2
+
+    def test_duplicates_not_counted(self):
+        hll = HyperLogLog()
+        for _ in range(1000):
+            hll.add("same")
+        assert hll.estimate() < 3
+
+    def test_merge_unions(self):
+        a = HyperLogLog(precision=12)
+        b = HyperLogLog(precision=12)
+        for i in range(10000):
+            a.add(f"a-{i}")
+            b.add(f"b-{i}")
+        a.merge(b)
+        assert abs(a.estimate() - 20000) / 20000 < 0.05
+
+    def test_bad_precision_rejected(self):
+        with pytest.raises(ConfigError):
+            HyperLogLog(precision=3)
+
+
+class TestReservoirSample:
+    def test_fills_then_stays_at_k(self):
+        reservoir = ReservoirSample(10, make_rng(0))
+        for i in range(100):
+            reservoir.add(i)
+        assert len(reservoir.sample()) == 10
+        assert reservoir.seen == 100
+
+    def test_roughly_uniform(self):
+        hits = np.zeros(100)
+        for seed in range(300):
+            reservoir = ReservoirSample(10, make_rng(seed))
+            for i in range(100):
+                reservoir.add(i)
+            for item in reservoir.sample():
+                hits[item] += 1
+        # Each item expected 30 times; gross skew would break this.
+        assert hits.min() > 5
+        assert hits.max() < 80
+
+
+class TestP2Quantile:
+    def test_median_of_uniform(self):
+        q = P2Quantile(0.5)
+        rng = make_rng(0)
+        for _ in range(5000):
+            q.add(float(rng.random()))
+        assert abs(q.value() - 0.5) < 0.03
+
+    def test_p95_of_normal(self):
+        q = P2Quantile(0.95)
+        rng = make_rng(1)
+        for _ in range(10000):
+            q.add(float(rng.normal(0, 1)))
+        assert abs(q.value() - 1.645) < 0.15
+
+    def test_small_samples_exact_ish(self):
+        q = P2Quantile(0.5)
+        for v in [1.0, 2.0, 3.0]:
+            q.add(v)
+        assert q.value() == 2.0
+
+    def test_empty_is_nan(self):
+        assert math.isnan(P2Quantile(0.5).value())
+
+    def test_bad_quantile_rejected(self):
+        with pytest.raises(ConfigError):
+            P2Quantile(1.5)
+
+
+class TestRunningStats:
+    def test_matches_numpy(self):
+        rng = make_rng(2)
+        data = rng.normal(5, 2, size=500)
+        stats = RunningStats()
+        for v in data:
+            stats.add(v)
+        assert stats.mean == pytest.approx(float(np.mean(data)))
+        assert stats.variance == pytest.approx(float(np.var(data)))
+        assert stats.minimum == pytest.approx(float(data.min()))
+        assert stats.maximum == pytest.approx(float(data.max()))
+
+    def test_merge_equals_sequential(self):
+        rng = make_rng(3)
+        a_data = rng.normal(0, 1, size=100)
+        b_data = rng.normal(10, 5, size=200)
+        merged = RunningStats()
+        for v in list(a_data) + list(b_data):
+            merged.add(v)
+        a = RunningStats()
+        b = RunningStats()
+        for v in a_data:
+            a.add(v)
+        for v in b_data:
+            b.add(v)
+        a.merge(b)
+        assert a.mean == pytest.approx(merged.mean)
+        assert a.variance == pytest.approx(merged.variance)
+        assert a.count == merged.count
+
+    def test_merge_with_empty(self):
+        a = RunningStats()
+        a.add(1.0)
+        a.merge(RunningStats())
+        assert a.count == 1
+
+
+class TestDecayedCounter:
+    def test_decays_exponentially(self):
+        counter = DecayedCounter(tau=10.0)
+        counter.add(now=0.0)
+        assert counter.value(10.0) == pytest.approx(math.exp(-1))
+
+    def test_accumulates(self):
+        counter = DecayedCounter(tau=1e9)
+        counter.add(0.0)
+        counter.add(1.0)
+        assert counter.value(1.0) == pytest.approx(2.0, rel=1e-6)
+
+    def test_time_backwards_rejected(self):
+        counter = DecayedCounter(tau=1.0)
+        counter.add(5.0)
+        with pytest.raises(ConfigError):
+            counter.value(4.0)
+
+
+class TestIncrementalTopK:
+    def test_top_ordering(self):
+        topk = IncrementalTopK(2)
+        for key, n in [("a", 3), ("b", 5), ("c", 1)]:
+            for _ in range(n):
+                topk.add(key)
+        assert topk.top() == [("b", 5.0), ("a", 3.0)]
+
+    def test_tie_broken_by_key(self):
+        topk = IncrementalTopK(2)
+        topk.add("z")
+        topk.add("a")
+        assert topk.top() == [("a", 1.0), ("z", 1.0)]
+
+
+class TestIncrementalQuery:
+    def test_update_answers_match_rebuild(self):
+        history = [{"cat": "a", "v": float(i)} for i in range(10)]
+        query = IncrementalQuery(criteria=lambda e: e["cat"] == "a",
+                                 value_fn=lambda e: e["v"])
+        for element in history:
+            query.update(element)
+        assert query.answer() == pytest.approx(4.5)
+        assert query.updates == 10
+        assert query.rebuilds == 0
+
+    def test_criteria_change_rebuilds_from_history(self):
+        history = [{"cat": "a" if i % 2 else "b", "v": float(i)}
+                   for i in range(10)]
+        query = IncrementalQuery(criteria=lambda e: e["cat"] == "a",
+                                 value_fn=lambda e: e["v"])
+        for element in history:
+            query.update(element)
+        query.change_criteria(lambda e: e["cat"] == "b", history)
+        assert query.rebuilds == 1
+        assert query.rebuild_cost == 10
+        assert query.answer() == pytest.approx(np.mean([0, 2, 4, 6, 8]))

@@ -1,0 +1,77 @@
+"""Unit tests: the collaborative virtual operating room (Sec 3.3)."""
+
+import pytest
+
+from repro.apps import HealthcareApp
+from repro.core import ARBigDataPipeline, PipelineConfig
+from repro.datagen import generate_patients
+from repro.util.errors import PipelineError
+from repro.util.rng import make_rng
+
+
+def _app(seed=0):
+    rng = make_rng(seed)
+    patients = generate_patients(rng, n=2, episode_rate=0.0)
+    app = HealthcareApp(ARBigDataPipeline(PipelineConfig(seed=seed)),
+                        patients)
+    return app, rng
+
+
+class TestCollaborativeConsult:
+    def test_findings_propagate_to_all_peers(self):
+        app, rng = _app(1)
+        stats = app.collaborative_consult(
+            rng, "pt-000", {"onsite": "lan", "remote": "wan"},
+            duration_s=1200.0, finding_rate_per_s=0.05)
+        assert stats.doctors == 2
+        assert stats.findings_published > 20
+        # Every finding eventually reached every peer.
+        assert len(stats.propagation_delays_s) == stats.findings_published
+
+    def test_propagation_bounded_by_sync_period_plus_links(self):
+        app, rng = _app(2)
+        stats = app.collaborative_consult(
+            rng, "pt-000", {"a": "lan", "b": "lan"},
+            duration_s=1200.0, finding_rate_per_s=0.05,
+            sync_period_s=1.0)
+        # LAN latency is negligible; propagation is dominated by the
+        # sync cadence: mean ~ period/2, p95 < ~period.
+        assert stats.mean_propagation_s < 1.0
+        assert stats.p95_propagation_s < 1.5
+
+    def test_faster_sync_cuts_propagation(self):
+        app, rng = _app(3)
+        slow = app.collaborative_consult(
+            rng, "pt-000", {"a": "lan", "b": "lan"}, duration_s=800.0,
+            finding_rate_per_s=0.05, sync_period_s=4.0)
+        fast = app.collaborative_consult(
+            rng, "pt-000", {"a": "lan", "b": "lan"}, duration_s=800.0,
+            finding_rate_per_s=0.05, sync_period_s=0.25)
+        assert fast.mean_propagation_s < slow.mean_propagation_s / 3
+
+    def test_slow_link_slows_everyone(self):
+        app, rng = _app(4)
+        lan_only = app.collaborative_consult(
+            rng, "pt-000", {"a": "lan", "b": "lan"}, duration_s=800.0,
+            finding_rate_per_s=0.05, sync_period_s=0.25)
+        with_lte = app.collaborative_consult(
+            rng, "pt-000", {"a": "lan", "b": "lte"}, duration_s=800.0,
+            finding_rate_per_s=0.05, sync_period_s=0.25)
+        assert with_lte.mean_propagation_s > lan_only.mean_propagation_s
+
+    def test_unknown_patient_rejected(self):
+        app, rng = _app(5)
+        with pytest.raises(PipelineError):
+            app.collaborative_consult(rng, "pt-999",
+                                      {"a": "lan", "b": "lan"})
+
+    def test_single_doctor_rejected(self):
+        app, rng = _app(6)
+        with pytest.raises(PipelineError):
+            app.collaborative_consult(rng, "pt-000", {"solo": "lan"})
+
+    def test_unknown_link_rejected(self):
+        app, rng = _app(7)
+        with pytest.raises(PipelineError):
+            app.collaborative_consult(rng, "pt-000",
+                                      {"a": "lan", "b": "tin-cans"})

@@ -1,0 +1,22 @@
+"""Unit tests: the ``python -m repro`` info CLI."""
+
+from repro.__main__ import SUBSYSTEMS, main, _smoke
+
+
+class TestCli:
+    def test_main_reports_healthy(self, capsys):
+        assert main(["--no-smoke"]) == 0
+        out = capsys.readouterr().out
+        assert "repro 1.0.0" in out
+        for module_name, _desc in SUBSYSTEMS:
+            assert module_name in out
+        assert "FAILED" not in out
+
+    def test_smoke_runs_the_loop(self):
+        line = _smoke()
+        assert "windowed" in line
+        assert "rendered" in line
+
+    def test_main_with_smoke(self, capsys):
+        assert main([]) == 0
+        assert "smoke:" in capsys.readouterr().out

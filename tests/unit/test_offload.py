@@ -1,0 +1,189 @@
+"""Unit tests: pipeline cuts, plan pricing, offload policies."""
+
+import pytest
+
+from repro.offload import (
+    AlwaysLocal,
+    AlwaysRemote,
+    DeadlineEnergyAware,
+    EnergyModel,
+    GreedyLatency,
+    OffloadPlanner,
+    Pipeline,
+    TaskStage,
+    vision_pipeline,
+)
+from repro.simnet import LinkSpec, NodeSpec, Topology
+from repro.util.errors import OffloadError
+from repro.util.rng import make_rng
+from repro.vision.tracker import StageProfile
+
+
+def _pipeline():
+    return Pipeline("p", (
+        TaskStage("acquire", cycles=1e6, output_bytes=80_000,
+                  pinned="device"),
+        TaskStage("detect", cycles=20e6, output_bytes=10_000),
+        TaskStage("match", cycles=30e6, output_bytes=500),
+        TaskStage("render", cycles=4e6, output_bytes=80_000,
+                  pinned="device"),
+    ))
+
+
+def _topology(access_latency=0.002, access_bw=25e6):
+    topology = Topology(make_rng(0))
+    topology.add_node(NodeSpec("device", cpu_hz=2e9, role="device"))
+    topology.add_node(NodeSpec("edge", cpu_hz=16e9, role="edge"))
+    topology.add_node(NodeSpec("cloud", cpu_hz=64e9, role="cloud"))
+    topology.add_link("device", "edge",
+                      LinkSpec(latency_s=access_latency,
+                               bandwidth_bps=access_bw))
+    topology.add_link("edge", "cloud",
+                      LinkSpec(latency_s=0.05, bandwidth_bps=12.5e6))
+    return topology
+
+
+class TestPipeline:
+    def test_valid_cuts_respect_pinning(self):
+        pipeline = _pipeline()
+        # acquire pinned leading, render pinned trailing:
+        # free region is stages [1, 3); cuts 1, 2, 3 are valid.
+        assert pipeline.valid_cuts() == [1, 2, 3]
+
+    def test_remote_cycles_per_cut(self):
+        pipeline = _pipeline()
+        assert pipeline.remote_cycles(1) == 50e6  # detect + match
+        assert pipeline.remote_cycles(2) == 30e6  # match only
+        assert pipeline.remote_cycles(3) == 0.0  # all local
+
+    def test_upload_bytes_is_boundary_output(self):
+        pipeline = _pipeline()
+        assert pipeline.upload_bytes(1) == 80_000  # acquire's frame
+        assert pipeline.upload_bytes(2) == 10_000  # detect's features
+        assert pipeline.upload_bytes(3) == 0.0
+
+    def test_invalid_cut_rejected(self):
+        with pytest.raises(OffloadError):
+            _pipeline().remote_cycles(0)
+
+    def test_duplicate_stage_names_rejected(self):
+        with pytest.raises(OffloadError):
+            Pipeline("p", (TaskStage("a", 1, 1), TaskStage("a", 1, 1)))
+
+    def test_vision_pipeline_from_profile(self):
+        profile = StageProfile(pixels=320 * 240, features=200, matches=80,
+                               ransac_iterations=50)
+        pipeline = vision_pipeline(profile)
+        assert [s.name for s in pipeline.stages] == [
+            "acquire", "detect", "describe", "match", "estimate_pose",
+            "render"]
+        assert pipeline.total_cycles > 0
+        assert pipeline.upload_bytes(1) == pytest.approx(320 * 240)
+
+
+class TestPlanner:
+    def test_local_plan_has_no_network(self):
+        planner = OffloadPlanner(_topology(), "device")
+        outcome = planner.price(_pipeline(), 3, "device")
+        assert outcome.is_local
+        assert outcome.latency_s == pytest.approx(55e6 / 2e9)
+
+    def test_remote_plan_includes_transfer(self):
+        planner = OffloadPlanner(_topology(), "device")
+        outcome = planner.price(_pipeline(), 1, "edge")
+        local_s = 5e6 / 2e9
+        remote_s = 50e6 / 16e9
+        up = 0.002 + 80_000 / 25e6
+        down = 0.002 + 128 / 25e6
+        assert outcome.latency_s == pytest.approx(
+            local_s + remote_s + up + down)
+
+    def test_cloud_pays_both_hops(self):
+        planner = OffloadPlanner(_topology(), "device")
+        edge = planner.price(_pipeline(), 2, "edge")
+        cloud = planner.price(_pipeline(), 2, "cloud")
+        assert cloud.network_s > edge.network_s
+        assert cloud.remote_compute_s < edge.remote_compute_s
+
+    def test_energy_model(self):
+        energy = EnergyModel(active_w=2.0, radio_w=1.0, idle_w=0.5)
+        planner = OffloadPlanner(_topology(), "device", energy=energy)
+        outcome = planner.price(_pipeline(), 1, "edge")
+        expected = (2.0 * outcome.local_compute_s
+                    + 1.0 * outcome.network_s
+                    + 0.5 * outcome.remote_compute_s)
+        assert outcome.energy_j == pytest.approx(expected)
+
+    def test_plan_enumerates_all(self):
+        planner = OffloadPlanner(_topology(), "device")
+        outcomes = planner.plan(_pipeline())
+        # 1 local + 2 tiers x 2 offloading cuts (cut 3 is local-only).
+        assert len(outcomes) == 5
+
+    def test_down_tier_excluded(self):
+        topology = _topology()
+        topology.fail_node("cloud")
+        planner = OffloadPlanner(topology, "device")
+        outcomes = planner.plan(_pipeline())
+        assert all(o.tier_node != "cloud" for o in outcomes)
+
+
+class TestPolicies:
+    def test_always_local(self):
+        planner = OffloadPlanner(_topology(), "device")
+        decision = AlwaysLocal().decide(planner, _pipeline())
+        assert decision.outcome.is_local
+
+    def test_always_remote(self):
+        planner = OffloadPlanner(_topology(), "device")
+        decision = AlwaysRemote("cloud").decide(planner, _pipeline())
+        assert decision.outcome.tier_node == "cloud"
+        assert decision.outcome.cut == 1
+
+    def test_greedy_picks_minimum_latency(self):
+        planner = OffloadPlanner(_topology(), "device")
+        decision = GreedyLatency().decide(planner, _pipeline())
+        all_latencies = [o.latency_s for o in planner.plan(_pipeline())]
+        assert decision.outcome.latency_s <= min(all_latencies) + 1e-6
+
+    def test_greedy_prefers_local_on_terrible_network(self):
+        topology = _topology(access_latency=0.5, access_bw=1e4)
+        planner = OffloadPlanner(topology, "device")
+        decision = GreedyLatency().decide(planner, _pipeline())
+        assert decision.outcome.is_local
+
+    def test_greedy_prefers_offload_on_fast_network_slow_device(self):
+        topology = Topology(make_rng(1))
+        topology.add_node(NodeSpec("device", cpu_hz=0.2e9, role="device"))
+        topology.add_node(NodeSpec("edge", cpu_hz=64e9, role="edge"))
+        topology.add_link("device", "edge",
+                          LinkSpec(latency_s=1e-4, bandwidth_bps=1e9))
+        planner = OffloadPlanner(topology, "device")
+        decision = GreedyLatency().decide(planner, _pipeline())
+        assert not decision.outcome.is_local
+
+    def test_deadline_policy_meets_when_feasible(self):
+        planner = OffloadPlanner(_topology(), "device")
+        policy = DeadlineEnergyAware(deadline_s=0.1)
+        decision = policy.decide(planner, _pipeline())
+        assert decision.met_deadline
+        assert decision.outcome.latency_s <= 0.1
+
+    def test_deadline_policy_picks_lowest_energy_among_meeting(self):
+        planner = OffloadPlanner(_topology(), "device")
+        policy = DeadlineEnergyAware(deadline_s=10.0)  # everything meets
+        decision = policy.decide(planner, _pipeline())
+        energies = [o.energy_j for o in planner.plan(_pipeline())]
+        assert decision.outcome.energy_j <= min(energies) + 1e-9
+
+    def test_deadline_policy_degrades_to_fastest(self):
+        planner = OffloadPlanner(_topology(), "device")
+        policy = DeadlineEnergyAware(deadline_s=1e-6)  # impossible
+        decision = policy.decide(planner, _pipeline())
+        assert decision.met_deadline is False
+        latencies = [o.latency_s for o in planner.plan(_pipeline())]
+        assert decision.outcome.latency_s <= min(latencies) + 1e-6
+
+    def test_bad_deadline_rejected(self):
+        with pytest.raises(OffloadError):
+            DeadlineEnergyAware(deadline_s=0.0)

@@ -1,0 +1,82 @@
+"""Unit tests: battery model and device classes."""
+
+import pytest
+
+from repro.offload import (
+    DEVICE_CLASSES,
+    AlwaysLocal,
+    AlwaysRemote,
+    Battery,
+    OffloadPlanner,
+    vision_pipeline,
+)
+from repro.simnet import LINK_PRESETS, NodeSpec, Topology
+from repro.util.errors import OffloadError
+from repro.util.rng import make_rng
+from repro.vision.tracker import StageProfile
+
+
+class TestBattery:
+    def test_drain_and_fraction(self):
+        battery = Battery(100.0)
+        assert battery.drain(25.0)
+        assert battery.fraction == 0.75
+        assert battery.frames_served == 1
+
+    def test_dies_at_zero(self):
+        battery = Battery(10.0)
+        assert battery.drain(9.0)
+        assert not battery.drain(2.0)
+        assert battery.empty
+        assert not battery.drain(0.1)
+
+    def test_lifetime_projection(self):
+        battery = Battery(3600.0)  # 1 Wh
+        # 0.1 J/frame at 30 fps = 3 W -> 1/3 hour.
+        assert battery.lifetime_hours(0.1, 30.0) == pytest.approx(1 / 3)
+
+    def test_invalid_params(self):
+        with pytest.raises(OffloadError):
+            Battery(0.0)
+        with pytest.raises(OffloadError):
+            Battery(1.0).drain(-1.0)
+        with pytest.raises(OffloadError):
+            Battery(1.0).lifetime_hours(0.0, 30.0)
+
+
+class TestDeviceClasses:
+    def test_presets_complete(self):
+        assert set(DEVICE_CLASSES) == {"phone", "glasses", "contact-lens"}
+        for device in DEVICE_CLASSES.values():
+            assert device.cpu_hz > 0
+            assert device.battery_j > 0
+
+    def test_minimization_trend(self):
+        """Smaller devices: less compute AND less battery (the paper's
+        conflict)."""
+        phone = DEVICE_CLASSES["phone"]
+        glasses = DEVICE_CLASSES["glasses"]
+        lens = DEVICE_CLASSES["contact-lens"]
+        assert phone.cpu_hz > glasses.cpu_hz > lens.cpu_hz
+        assert phone.battery_j > glasses.battery_j > lens.battery_j
+
+    def test_offloading_extends_glasses_lifetime(self):
+        """On a constrained device over a good link, offloading beats
+        local compute on energy per frame and therefore battery life."""
+        device = DEVICE_CLASSES["glasses"]
+        topology = Topology(make_rng(0))
+        topology.add_node(NodeSpec("device", cpu_hz=device.cpu_hz,
+                                   role="device"))
+        topology.add_node(NodeSpec("edge", cpu_hz=16e9, role="edge"))
+        topology.add_link("device", "edge", LINK_PRESETS["wifi"])
+        planner = OffloadPlanner(topology, "device", energy=device.energy)
+        profile = StageProfile(pixels=320 * 240, features=300,
+                               matches=120, ransac_iterations=80)
+        pipeline = vision_pipeline(profile)
+        local = AlwaysLocal().decide(planner, pipeline).outcome
+        remote = AlwaysRemote("edge").decide(planner, pipeline).outcome
+        assert remote.energy_j < local.energy_j
+        battery = device.battery()
+        local_hours = battery.lifetime_hours(local.energy_j, 30.0)
+        remote_hours = battery.lifetime_hours(remote.energy_j, 30.0)
+        assert remote_hours > local_hours

@@ -1,0 +1,76 @@
+"""Unit tests: contention-aware offload pricing."""
+
+import pytest
+
+from repro.offload import (
+    GreedyLatency,
+    OffloadPlanner,
+    Pipeline,
+    TaskStage,
+)
+from repro.simnet import LinkSpec, NodeSpec, Topology
+from repro.util.errors import OffloadError
+from repro.util.rng import make_rng
+
+
+def _setup():
+    topology = Topology(make_rng(0))
+    topology.add_node(NodeSpec("device", cpu_hz=0.5e9, role="device"))
+    topology.add_node(NodeSpec("edge", cpu_hz=16e9, role="edge"))
+    topology.add_node(NodeSpec("cloud", cpu_hz=64e9, role="cloud"))
+    topology.add_link("device", "edge",
+                      LinkSpec(latency_s=0.002, bandwidth_bps=50e6))
+    topology.add_link("edge", "cloud",
+                      LinkSpec(latency_s=0.02, bandwidth_bps=25e6))
+    planner = OffloadPlanner(topology, "device")
+    pipeline = Pipeline("p", (
+        TaskStage("acquire", cycles=1e6, output_bytes=80_000,
+                  pinned="device"),
+        TaskStage("work", cycles=100e6, output_bytes=500),
+        TaskStage("render", cycles=1e6, output_bytes=80_000,
+                  pinned="device")))
+    return topology, planner, pipeline
+
+
+class TestContentionAwarePricing:
+    def test_zero_load_is_baseline(self):
+        _t, planner, pipeline = _setup()
+        base = planner.price(pipeline, 1, "edge").remote_compute_s
+        planner.set_tier_load("edge", 0.0)
+        assert planner.price(pipeline, 1, "edge").remote_compute_s == \
+            pytest.approx(base)
+
+    def test_load_inflates_remote_compute(self):
+        _t, planner, pipeline = _setup()
+        base = planner.price(pipeline, 1, "edge").remote_compute_s
+        planner.set_tier_load("edge", 0.5)
+        assert planner.price(pipeline, 1, "edge").remote_compute_s == \
+            pytest.approx(2.0 * base)
+        planner.set_tier_load("edge", 0.9)
+        assert planner.price(pipeline, 1, "edge").remote_compute_s == \
+            pytest.approx(10.0 * base)
+
+    def test_saturated_tier_infeasible(self):
+        _t, planner, pipeline = _setup()
+        planner.set_tier_load("edge", 1.0)
+        with pytest.raises(OffloadError):
+            planner.price(pipeline, 1, "edge")
+
+    def test_plan_skips_saturated_tier(self):
+        _t, planner, pipeline = _setup()
+        planner.set_tier_load("edge", 1.2)
+        outcomes = planner.plan(pipeline)
+        assert all(o.tier_node != "edge" for o in outcomes)
+
+    def test_greedy_reroutes_around_congestion(self):
+        _t, planner, pipeline = _setup()
+        free = GreedyLatency().decide(planner, pipeline)
+        assert free.outcome.tier_node == "edge"
+        planner.set_tier_load("edge", 0.99)
+        congested = GreedyLatency().decide(planner, pipeline)
+        assert congested.outcome.tier_node != "edge"
+
+    def test_negative_load_rejected(self):
+        _t, planner, _p = _setup()
+        with pytest.raises(OffloadError):
+            planner.set_tier_load("edge", -0.1)

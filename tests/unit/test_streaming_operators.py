@@ -1,0 +1,152 @@
+"""Unit tests: stream operators, watermark generation, windows assigners."""
+
+import pytest
+
+from repro.streaming import (
+    Element,
+    FilterOperator,
+    FlatMapOperator,
+    KeyByOperator,
+    MapOperator,
+    ReduceOperator,
+    SessionWindows,
+    SlidingWindows,
+    TimestampAssigner,
+    TumblingWindows,
+    Watermark,
+    WatermarkGenerator,
+    Window,
+)
+from repro.util.errors import ConfigError, StreamError
+
+
+def _el(value, ts=0.0, key=None):
+    return Element(value=value, timestamp=ts, key=key)
+
+
+class TestBasicOperators:
+    def test_map(self):
+        op = MapOperator("m", lambda v: v * 2)
+        out = op.handle(_el(3))
+        assert [o.value for o in out] == [6]
+        assert op.processed == 1
+        assert op.emitted == 1
+
+    def test_map_preserves_timestamp_and_key(self):
+        op = MapOperator("m", str)
+        out = op.handle(_el(1, ts=9.0, key="k"))
+        assert out[0].timestamp == 9.0
+        assert out[0].key == "k"
+
+    def test_filter(self):
+        op = FilterOperator("f", lambda v: v % 2 == 0)
+        assert op.handle(_el(2)) == [_el(2)]
+        assert op.handle(_el(3)) == []
+
+    def test_flat_map(self):
+        op = FlatMapOperator("fm", lambda v: range(v))
+        out = op.handle(_el(3, ts=1.0))
+        assert [o.value for o in out] == [0, 1, 2]
+        assert all(o.timestamp == 1.0 for o in out)
+
+    def test_key_by(self):
+        op = KeyByOperator("k", lambda v: v["user"])
+        out = op.handle(_el({"user": "u1"}))
+        assert out[0].key == "u1"
+
+    def test_reduce_requires_key(self):
+        op = ReduceOperator("r", lambda a, b: a + b)
+        with pytest.raises(StreamError):
+            op.handle(_el(1))
+
+    def test_reduce_accumulates_per_key(self):
+        op = ReduceOperator("r", lambda a, b: a + b)
+        assert op.handle(_el(1, key="a"))[0].value == 1
+        assert op.handle(_el(2, key="a"))[0].value == 3
+        assert op.handle(_el(10, key="b"))[0].value == 10
+
+    def test_reduce_snapshot_restore(self):
+        op = ReduceOperator("r", lambda a, b: a + b)
+        op.handle(_el(5, key="a"))
+        snap = op.snapshot()
+        op.handle(_el(5, key="a"))
+        op.restore(snap)
+        assert op.handle(_el(1, key="a"))[0].value == 6
+
+    def test_timestamp_assigner(self):
+        op = TimestampAssigner("ts", lambda v: v["t"])
+        out = op.handle(_el({"t": 42.0}, ts=0.0))
+        assert out[0].timestamp == 42.0
+
+    def test_watermark_passthrough_on_stateless(self):
+        op = MapOperator("m", lambda v: v)
+        assert op.handle(Watermark(5.0)) == [Watermark(5.0)]
+
+
+class TestWatermarkGenerator:
+    def test_emits_behind_max_timestamp(self):
+        gen = WatermarkGenerator("wm", max_lateness=2.0)
+        out = gen.handle(_el(1, ts=10.0))
+        wms = [o for o in out if isinstance(o, Watermark)]
+        assert wms == [Watermark(8.0)]
+
+    def test_watermarks_monotone(self):
+        gen = WatermarkGenerator("wm", max_lateness=0.0)
+        gen.handle(_el(1, ts=10.0))
+        out = gen.handle(_el(1, ts=5.0))  # late element
+        assert not any(isinstance(o, Watermark) for o in out)
+
+    def test_emit_every(self):
+        gen = WatermarkGenerator("wm", max_lateness=0.0, emit_every=3)
+        outs = [gen.handle(_el(1, ts=float(i))) for i in range(1, 4)]
+        assert not any(isinstance(o, Watermark) for o in outs[0])
+        assert not any(isinstance(o, Watermark) for o in outs[1])
+        assert any(isinstance(o, Watermark) for o in outs[2])
+
+    def test_swallows_upstream_watermarks(self):
+        gen = WatermarkGenerator("wm", max_lateness=1.0)
+        assert gen.handle(Watermark(99.0)) == []
+
+    def test_flush_emits_final_watermark(self):
+        gen = WatermarkGenerator("wm", max_lateness=1.0)
+        gen.handle(_el(1, ts=1.0))
+        assert gen.flush() == [Watermark(float("inf"))]
+
+    def test_flush_empty_stream(self):
+        assert WatermarkGenerator("wm", 1.0).flush() == []
+
+
+class TestWindowAssigners:
+    def test_tumbling_assigns_single_window(self):
+        assigner = TumblingWindows(10.0)
+        assert assigner.assign(25.0) == [Window(20.0, 30.0)]
+
+    def test_tumbling_boundary_goes_to_next(self):
+        assigner = TumblingWindows(10.0)
+        assert assigner.assign(20.0) == [Window(20.0, 30.0)]
+
+    def test_tumbling_offset(self):
+        assigner = TumblingWindows(10.0, offset=3.0)
+        assert assigner.assign(12.0) == [Window(3.0, 13.0)]
+
+    def test_sliding_assigns_overlapping(self):
+        assigner = SlidingWindows(size=10.0, slide=5.0)
+        windows = assigner.assign(12.0)
+        assert windows == [Window(5.0, 15.0), Window(10.0, 20.0)]
+        assert all(w.contains(12.0) for w in windows)
+
+    def test_sliding_rejects_gaps(self):
+        with pytest.raises(ConfigError):
+            SlidingWindows(size=5.0, slide=10.0)
+
+    def test_session_is_merging(self):
+        assigner = SessionWindows(gap=5.0)
+        assert assigner.merging
+        assert assigner.assign(10.0) == [Window(10.0, 15.0)]
+
+    def test_window_merge(self):
+        assert Window(0, 10).merged(Window(5, 15)) == Window(0, 15)
+
+    def test_empty_window_rejected(self):
+        with pytest.raises(ConfigError):
+            Window(5.0, 5.0)

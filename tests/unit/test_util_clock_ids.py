@@ -1,0 +1,159 @@
+"""Unit tests: SimClock, IdFactory, EventBus, metrics."""
+
+import math
+
+import pytest
+
+from repro.util import (
+    Counter,
+    EventBus,
+    IdFactory,
+    MetricsRegistry,
+    SimClock,
+    Summary,
+)
+from repro.util.errors import ClockError
+
+
+class TestSimClock:
+    def test_starts_at_zero(self):
+        assert SimClock().now == 0.0
+
+    def test_starts_at_given_time(self):
+        assert SimClock(5.0).now == 5.0
+
+    def test_negative_start_rejected(self):
+        with pytest.raises(ClockError):
+            SimClock(-1.0)
+
+    def test_advance(self):
+        clock = SimClock()
+        assert clock.advance(1.5) == 1.5
+        assert clock.advance(0.5) == 2.0
+
+    def test_advance_zero_allowed(self):
+        clock = SimClock(3.0)
+        assert clock.advance(0.0) == 3.0
+
+    def test_negative_advance_rejected(self):
+        with pytest.raises(ClockError):
+            SimClock().advance(-0.1)
+
+    def test_advance_to(self):
+        clock = SimClock()
+        clock.advance_to(10.0)
+        assert clock.now == 10.0
+
+    def test_advance_to_past_rejected(self):
+        clock = SimClock(5.0)
+        with pytest.raises(ClockError):
+            clock.advance_to(4.9)
+
+    def test_advance_to_same_time_ok(self):
+        clock = SimClock(5.0)
+        assert clock.advance_to(5.0) == 5.0
+
+
+class TestIdFactory:
+    def test_sequential_per_namespace(self):
+        factory = IdFactory()
+        assert factory.next("task") == "task-0000"
+        assert factory.next("task") == "task-0001"
+
+    def test_namespaces_independent(self):
+        factory = IdFactory()
+        factory.next("a")
+        assert factory.next("b") == "b-0000"
+
+    def test_next_int(self):
+        factory = IdFactory()
+        assert factory.next_int("n") == 0
+        assert factory.next_int("n") == 1
+
+    def test_peek_does_not_consume(self):
+        factory = IdFactory()
+        assert factory.peek("x") == 0
+        assert factory.peek("x") == 0
+        factory.next("x")
+        assert factory.peek("x") == 1
+
+
+class TestEventBus:
+    def test_publish_delivers_to_subscriber(self):
+        bus = EventBus()
+        got = []
+        bus.subscribe("topic", got.append)
+        delivered = bus.publish("topic", 42)
+        assert got == [42]
+        assert delivered == 1
+
+    def test_publish_no_subscribers(self):
+        assert EventBus().publish("nobody", 1) == 0
+
+    def test_unsubscribe(self):
+        bus = EventBus()
+        got = []
+        unsub = bus.subscribe("t", got.append)
+        unsub()
+        bus.publish("t", 1)
+        assert got == []
+
+    def test_unsubscribe_idempotent(self):
+        bus = EventBus()
+        unsub = bus.subscribe("t", lambda _x: None)
+        unsub()
+        unsub()  # must not raise
+
+    def test_publish_count(self):
+        bus = EventBus()
+        bus.publish("t")
+        bus.publish("t")
+        assert bus.publish_count("t") == 2
+
+    def test_handlers_called_in_order(self):
+        bus = EventBus()
+        order = []
+        bus.subscribe("t", lambda _x: order.append("first"))
+        bus.subscribe("t", lambda _x: order.append("second"))
+        bus.publish("t")
+        assert order == ["first", "second"]
+
+
+class TestMetrics:
+    def test_counter_increments(self):
+        counter = Counter()
+        counter.inc()
+        counter.inc(5)
+        assert counter.value == 6
+
+    def test_counter_rejects_negative(self):
+        with pytest.raises(ValueError):
+            Counter().inc(-1)
+
+    def test_summary_statistics(self):
+        summary = Summary()
+        for value in [1.0, 2.0, 3.0, 4.0]:
+            summary.observe(value)
+        assert summary.count == 4
+        assert summary.mean == 2.5
+        assert summary.minimum == 1.0
+        assert summary.maximum == 4.0
+        assert summary.percentile(50) == 2.5
+
+    def test_summary_empty_is_nan(self):
+        assert math.isnan(Summary().mean)
+
+    def test_registry_same_name_same_object(self):
+        registry = MetricsRegistry()
+        assert registry.counter("a") is registry.counter("a")
+        assert registry.summary("s") is registry.summary("s")
+
+    def test_registry_snapshot(self):
+        registry = MetricsRegistry()
+        registry.counter("c").inc(3)
+        registry.gauge("g").set(1.5)
+        registry.summary("s").observe(2.0)
+        snap = registry.snapshot()
+        assert snap["c"] == 3.0
+        assert snap["g"] == 1.5
+        assert snap["s.mean"] == 2.0
