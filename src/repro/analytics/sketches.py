@@ -9,12 +9,16 @@ streams in bounded memory with quantified error —
 - :class:`ReservoirSample` — uniform sample of a stream
 
 All are deterministic given their construction parameters (hash seeds
-are fixed), so tests can assert exact behaviour.
+are fixed), so tests can assert exact behaviour.  The ``add_many``
+batch paths hash whole key arrays with a numpy FNV-1a kernel that is
+bit-identical to the scalar ``_hash64`` — per-item and batched inserts
+produce the same tables/registers.
 """
 
 from __future__ import annotations
 
 import math
+from typing import Iterable, Sequence
 
 import numpy as np
 
@@ -34,6 +38,57 @@ def _hash64(data: str, seed: int) -> int:
     h = (h * 0xFF51AFD7ED558CCD) % (1 << 64)
     h ^= h >> 33
     return h
+
+
+_FNV_PRIME = np.uint64(1099511628211)
+_AVALANCHE = np.uint64(0xFF51AFD7ED558CCD)
+_SHIFT33 = np.uint64(33)
+
+
+def _hash64_many(items: Sequence[str], seed: int) -> np.ndarray:
+    """Vectorized seeded FNV-1a: hash every string at once.
+
+    Strings are encoded into a padded byte matrix; the byte-sequential
+    FNV fold then runs *across items* one byte-column at a time, so the
+    Python-level loop is O(longest key) instead of O(total bytes).
+    Bit-identical to :func:`_hash64` (uint64 wraparound arithmetic).
+    """
+    n = len(items)
+    init = (1469598103934665603 ^ (seed * 0x9E3779B97F4A7C15)) % (1 << 64)
+    h = np.full(n, init, dtype=np.uint64)
+    if n == 0:
+        return h
+    encoded = [s.encode("utf-8") for s in items]
+    lengths = np.fromiter((len(b) for b in encoded), dtype=np.int64, count=n)
+    max_len = int(lengths.max())
+    buf = np.zeros((n, max_len), dtype=np.uint8)
+    for i, b in enumerate(encoded):
+        if b:
+            buf[i, :len(b)] = np.frombuffer(b, dtype=np.uint8)
+    for j in range(max_len):
+        active = lengths > j
+        if active.all():
+            h = (h ^ buf[:, j].astype(np.uint64)) * _FNV_PRIME
+        else:
+            h[active] = ((h[active] ^ buf[active, j].astype(np.uint64))
+                         * _FNV_PRIME)
+    h ^= h >> _SHIFT33
+    h *= _AVALANCHE
+    h ^= h >> _SHIFT33
+    return h
+
+
+def _bit_length64(values: np.ndarray) -> np.ndarray:
+    """Vectorized ``int.bit_length`` for uint64 arrays (exact — no float
+    round-trip, which loses precision above 2**53)."""
+    bits = np.zeros(values.shape, dtype=np.int64)
+    v = values.copy()
+    for shift in (32, 16, 8, 4, 2, 1):
+        mask = v >= np.uint64(1 << shift)
+        bits[mask] += shift
+        v[mask] >>= np.uint64(shift)
+    bits += (v > 0)
+    return bits
 
 
 class CountMinSketch:
@@ -61,9 +116,45 @@ class CountMinSketch:
             self._table[row, col] += count
         self.total += count
 
+    def add_many(self, items: Iterable[str],
+                 counts: Iterable[int] | None = None) -> None:
+        """Batch insert: one vectorized hash pass per sketch row.
+
+        Equivalent to ``add`` in a loop (additions commute, duplicate
+        columns are handled by the unbuffered ``np.add.at``).
+        """
+        items = list(items)
+        if not items:
+            return
+        if counts is None:
+            count_arr = np.ones(len(items), dtype=np.int64)
+        else:
+            count_arr = np.asarray(list(counts), dtype=np.int64)
+            if count_arr.shape != (len(items),):
+                raise ConfigError("counts must match items in length")
+            if (count_arr < 0).any():
+                raise ConfigError("count must be non-negative")
+        width = np.uint64(self.width)
+        for row in range(self.depth):
+            cols = (_hash64_many(items, row) % width).astype(np.int64)
+            np.add.at(self._table[row], cols, count_arr)
+        self.total += int(count_arr.sum())
+
     def estimate(self, item: str) -> int:
         return int(min(self._table[row, col]
                        for row, col in enumerate(self._indices(item))))
+
+    def estimate_many(self, items: Sequence[str]) -> np.ndarray:
+        """Vectorized ``estimate`` over many keys."""
+        if not len(items):
+            return np.zeros(0, dtype=np.int64)
+        estimates = np.full(len(items), np.iinfo(np.int64).max,
+                            dtype=np.int64)
+        width = np.uint64(self.width)
+        for row in range(self.depth):
+            cols = (_hash64_many(items, row) % width).astype(np.int64)
+            np.minimum(estimates, self._table[row, cols], out=estimates)
+        return estimates
 
     def merge(self, other: "CountMinSketch") -> None:
         if (self.width, self.depth) != (other.width, other.depth):
@@ -97,9 +188,31 @@ class BloomFilter:
             self._bits[_hash64(item, seed) % self.num_bits] = True
         self.added += 1
 
+    def add_many(self, items: Iterable[str]) -> None:
+        """Batch insert: one vectorized hash pass per hash function."""
+        items = list(items)
+        if not items:
+            return
+        num_bits = np.uint64(self.num_bits)
+        for seed in range(self.num_hashes):
+            idx = (_hash64_many(items, seed) % num_bits).astype(np.int64)
+            self._bits[idx] = True
+        self.added += len(items)
+
     def __contains__(self, item: str) -> bool:
         return all(self._bits[_hash64(item, seed) % self.num_bits]
                    for seed in range(self.num_hashes))
+
+    def contains_many(self, items: Sequence[str]) -> np.ndarray:
+        """Vectorized membership test; returns a boolean array."""
+        if not len(items):
+            return np.zeros(0, dtype=bool)
+        result = np.ones(len(items), dtype=bool)
+        num_bits = np.uint64(self.num_bits)
+        for seed in range(self.num_hashes):
+            idx = (_hash64_many(items, seed) % num_bits).astype(np.int64)
+            result &= self._bits[idx]
+        return result
 
     @property
     def fill_ratio(self) -> float:
@@ -132,6 +245,19 @@ class HyperLogLog:
         rho = (64 - self.precision) - remainder.bit_length() + 1
         if rho > self._registers[register]:
             self._registers[register] = rho
+
+    def add_many(self, items: Iterable[str]) -> None:
+        """Batch insert: vectorized hash + leading-zero count; duplicate
+        registers resolve through the unbuffered ``np.maximum.at``."""
+        items = list(items)
+        if not items:
+            return
+        h = _hash64_many(items, 0)
+        tail_bits = 64 - self.precision
+        registers = (h >> np.uint64(tail_bits)).astype(np.int64)
+        remainders = h & np.uint64((1 << tail_bits) - 1)
+        rho = (tail_bits - _bit_length64(remainders) + 1).astype(np.uint8)
+        np.maximum.at(self._registers, registers, rho)
 
     def estimate(self) -> float:
         registers = self._registers.astype(np.float64)

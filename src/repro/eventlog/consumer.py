@@ -8,6 +8,8 @@ the mechanism behind the horizontal-scaling ablation (exp A2).
 
 from __future__ import annotations
 
+from typing import Iterator
+
 from ..util.errors import LogError, OffsetOutOfRange
 from .broker import LogCluster
 from .record import ConsumedRecord
@@ -110,6 +112,18 @@ class Consumer:
             remaining -= len(rows)
         self.consumed += len(out)
         return out
+
+    def iter_batches(self, max_records: int = 512,
+                     ) -> Iterator[list[ConsumedRecord]]:
+        """Yield non-empty poll batches until the assigned partitions are
+        drained — the batch-granular feed for streaming sources, so the
+        executor's batched source pulls ride on batched log reads instead
+        of a hidden record-at-a-time loop."""
+        while True:
+            batch = self.poll(max_records)
+            if not batch:
+                return
+            yield batch
 
 
 class ConsumerGroup:

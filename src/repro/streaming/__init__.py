@@ -1,6 +1,7 @@
 """Flink-like event-time dataflow engine (single-threaded simulation)."""
 
 from .cep import PatternMatch, PatternOperator, PatternStep
+from .chain import ChainedOperator
 from .connectors import log_sink, log_source
 from .element import Element, StreamItem, Watermark
 from .graph import JobBuilder, JobGraph, SourceSpec
@@ -45,6 +46,7 @@ __all__ = [
     "Checkpoint",
     "SinkBuffer",
     "Operator",
+    "ChainedOperator",
     "MapOperator",
     "FilterOperator",
     "FlatMapOperator",

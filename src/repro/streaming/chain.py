@@ -1,0 +1,98 @@
+"""Operator chaining: fuse linear runs of operators into one node.
+
+Flink-style task chaining for the single-threaded executor: a maximal
+linear run of chainable operators (single input, single output, no
+keyed state, no side-tagged edges) is fused into one
+:class:`ChainedOperator` at executor build time.  Items then traverse
+the whole run in a single call instead of one bounded channel hop per
+operator — the per-hop deque traffic and drain bookkeeping disappear.
+
+A chain is broken by (see docs/ARCHITECTURE.md):
+
+- **keyed state** — reduce, window, CEP operators are shuffle points;
+- **joins** — two side-tagged inputs need their own channels;
+- **fan-out / fan-in** — a node with multiple downstreams (or an
+  operator fed by several upstreams) must stay a routing point.
+
+Member operators keep their identity: the job graph still names them,
+the checkpoint coordinator snapshots/restores them individually, and
+their ``processed``/``emitted`` counters keep working, so chaining is
+invisible to everything except the channel structure.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Sequence
+
+from ..util.errors import StreamError
+from .element import StreamItem
+from .operators import Operator
+
+__all__ = ["ChainedOperator"]
+
+
+class ChainedOperator(Operator):
+    """A fused linear run of operators executed as one node.
+
+    The chain itself is stateless glue: member operators own all state
+    and counters.  ``snapshot``/``restore`` delegate per member keyed by
+    name (the executor normally checkpoints members directly through the
+    job graph, but the chain stays self-contained for direct use).
+    """
+
+    chainable = False  # chains are built once; never re-fused
+
+    def __init__(self, operators: Sequence[Operator]) -> None:
+        if len(operators) < 2:
+            raise StreamError("a chain needs at least two operators")
+        super().__init__("chain(" + "+".join(op.name for op in operators)
+                         + ")")
+        self.operators = list(operators)
+
+    def handle(self, item: StreamItem) -> list[StreamItem]:
+        pending: list[StreamItem] = [item]
+        for op in self.operators:
+            if not pending:
+                break
+            nxt: list[StreamItem] = []
+            for it in pending:
+                nxt.extend(op.handle(it))
+            pending = nxt
+        return pending
+
+    def process(self, element):  # pragma: no cover - handle() is the entry
+        raise StreamError(
+            f"chain {self.name!r} dispatches via handle()/process_batch()"
+        )
+
+    def process_batch(self, items: Iterable[StreamItem]) -> list[StreamItem]:
+        pending: list[StreamItem] | Iterable[StreamItem] = items
+        for op in self.operators:
+            pending = op.process_batch(pending)
+            if not pending:
+                return []
+        return list(pending)
+
+    def flush(self) -> list[StreamItem]:
+        """Flush members head-to-tail, cascading each member's pendings
+        through the rest of the chain — equivalent to the unchained
+        executor flushing each node and draining its downstream hops."""
+        out: list[StreamItem] = []
+        for i, op in enumerate(self.operators):
+            pending: list[StreamItem] = op.flush()
+            for later in self.operators[i + 1:]:
+                if not pending:
+                    break
+                pending = later.process_batch(pending)
+            out.extend(pending)
+        return out
+
+    # -- checkpointing ------------------------------------------------------
+
+    def snapshot(self) -> Any:
+        return {op.name: op.snapshot() for op in self.operators}
+
+    def restore(self, snapshot: Any) -> None:
+        snapshot = snapshot or {}
+        for op in self.operators:
+            op.restore(snapshot.get(op.name))

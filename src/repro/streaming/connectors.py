@@ -36,19 +36,13 @@ def log_source(cluster: LogCluster, topic: str,
     def iterate() -> Iterable[Element]:
         consumer = Consumer(cluster, topic, partitions, start="earliest")
         if not time_ordered:
-            while True:
-                batch = consumer.poll(max_records=1024)
-                if not batch:
-                    return
+            for batch in consumer.iter_batches(max_records=1024):
                 for row in batch:
                     yield Element(value=row.value, timestamp=row.timestamp,
                                   key=row.key)
             return
         rows = []
-        while True:
-            batch = consumer.poll(max_records=4096)
-            if not batch:
-                break
+        for batch in consumer.iter_batches(max_records=4096):
             rows.extend(batch)
         rows.sort(key=lambda r: (r.timestamp, r.partition, r.offset))
         for row in rows:

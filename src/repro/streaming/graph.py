@@ -121,26 +121,33 @@ class _StreamHandle:
 
     # -- transforms ------------------------------------------------------
 
-    def map(self, fn: Callable[[Any], Any], name: str | None = None):
-        return self._attach(MapOperator(self._builder._auto(name, "map"), fn))
+    def map(self, fn: Callable[[Any], Any], name: str | None = None,
+            vectorized: bool = False):
+        return self._attach(MapOperator(self._builder._auto(name, "map"), fn,
+                                        vectorized=vectorized))
 
-    def filter(self, predicate: Callable[[Any], bool], name: str | None = None):
+    def filter(self, predicate: Callable[[Any], bool], name: str | None = None,
+               vectorized: bool = False):
         return self._attach(FilterOperator(
-            self._builder._auto(name, "filter"), predicate))
+            self._builder._auto(name, "filter"), predicate,
+            vectorized=vectorized))
 
     def flat_map(self, fn: Callable[[Any], Iterable[Any]],
                  name: str | None = None):
         return self._attach(FlatMapOperator(
             self._builder._auto(name, "flat_map"), fn))
 
-    def key_by(self, key_fn: Callable[[Any], Any], name: str | None = None):
+    def key_by(self, key_fn: Callable[[Any], Any], name: str | None = None,
+               vectorized: bool = False):
         return self._attach(KeyByOperator(
-            self._builder._auto(name, "key_by"), key_fn))
+            self._builder._auto(name, "key_by"), key_fn,
+            vectorized=vectorized))
 
     def reduce(self, reduce_fn: Callable[[Any, Any], Any],
-               name: str | None = None):
+               name: str | None = None, vectorized: bool = False):
         return self._attach(ReduceOperator(
-            self._builder._auto(name, "reduce"), reduce_fn))
+            self._builder._auto(name, "reduce"), reduce_fn,
+            vectorized=vectorized))
 
     def assign_timestamps(self, ts_fn: Callable[[Any], float],
                           name: str | None = None):

@@ -10,7 +10,7 @@ side; the executor delivers items from each upstream edge with its tag.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Callable
+from typing import Any, Callable, Iterable
 
 from ..util.errors import StreamError
 from .element import Element, StreamItem, Watermark
@@ -93,6 +93,20 @@ class IntervalJoinOperator(Operator):
                                    timestamp=max(left_ts, right_ts),
                                    key=element.key))
         self.emitted += len(out)
+        return out
+
+    def process_side_batch(self, side: str,
+                           items: "Iterable[StreamItem]") -> list[StreamItem]:
+        """Batch dispatch for one side's channel: same per-item order and
+        counters as the executor's per-item loop."""
+        out: list[StreamItem] = []
+        process_side = self.process_side
+        on_watermark_side = self.on_watermark_side
+        for item in items:
+            if isinstance(item, Watermark):
+                out.extend(on_watermark_side(side, item))
+            else:
+                out.extend(process_side(side, item))
         return out
 
     def on_watermark_side(self, side: str, watermark: Watermark) -> list[StreamItem]:

@@ -6,6 +6,15 @@ via :meth:`Operator.process` (for elements) and
 stateless operators untouched; stateful event-time operators (windows,
 joins) react to them.
 
+Batched execution: :meth:`Operator.process_batch` moves a whole channel
+batch through an operator in one call.  The default defers to the
+per-item ``handle`` loop (so any subclass is automatically correct);
+the built-in operators override it with fast paths that segment the
+batch at watermarks and process element runs with hoisted locals — or,
+when constructed with ``vectorized=True``, with one numpy call over the
+whole run.  Batch processing is order-preserving and therefore
+bit-identical to per-item execution.
+
 Operators expose ``snapshot``/``restore`` so the checkpoint coordinator
 can capture the whole job — stateless operators return ``None``.
 """
@@ -13,6 +22,8 @@ can capture the whole job — stateless operators return ``None``.
 from __future__ import annotations
 
 from typing import Any, Callable, Iterable
+
+import numpy as np
 
 from ..util.errors import StreamError
 from .element import Element, StreamItem, Watermark
@@ -30,8 +41,38 @@ __all__ = [
 ]
 
 
+def _segmented(op: "Operator", items: Iterable[StreamItem]) -> list[StreamItem]:
+    """Run a batch through ``op`` by splitting it into element runs
+    separated by watermarks.  Order (and therefore semantics) is exactly
+    that of the per-item loop; ``op._run`` maintains its own counters for
+    elements, this helper maintains ``emitted`` for watermark outputs
+    (fired windows etc.), mirroring :meth:`Operator.handle`.
+    """
+    out: list[StreamItem] = []
+    run: list[Element] = []
+    for item in items:
+        if isinstance(item, Watermark):
+            if run:
+                op._run(run, out)
+                run = []
+            wm_out = op.on_watermark(item)
+            op.emitted += sum(1 for o in wm_out if isinstance(o, Element))
+            out.extend(wm_out)
+        else:
+            run.append(item)
+    if run:
+        op._run(run, out)
+    return out
+
+
 class Operator:
     """Base operator.  Subclasses override ``process``/``on_watermark``."""
+
+    #: Whether the executor may fuse this operator into a chain with its
+    #: neighbours.  True only for single-input record-at-a-time operators
+    #: without keyed state; keyed operators, joins and custom subclasses
+    #: stay unfused (see docs/ARCHITECTURE.md, "Batched execution").
+    chainable = False
 
     def __init__(self, name: str) -> None:
         self.name = name
@@ -47,6 +88,25 @@ class Operator:
             out = self.process(item)
         self.emitted += sum(1 for o in out if isinstance(o, Element))
         return out
+
+    def process_batch(self, items: Iterable[StreamItem]) -> list[StreamItem]:
+        """Process a whole batch, preserving per-item order and counters.
+
+        The default is the per-item loop, so any subclass is correct by
+        construction; built-in operators override it (via ``_run``) with
+        fast paths.
+        """
+        out: list[StreamItem] = []
+        handle = self.handle
+        for item in items:
+            out.extend(handle(item))
+        return out
+
+    def _run(self, elements: list[Element], out: list[StreamItem]) -> None:
+        """Fast path for a watermark-free run of elements (see
+        :func:`_segmented`).  Implementations must append outputs to
+        ``out`` and maintain ``processed``/``emitted`` themselves."""
+        raise NotImplementedError
 
     def process(self, element: Element) -> list[StreamItem]:
         raise NotImplementedError
@@ -72,29 +132,86 @@ class Operator:
 
 
 class MapOperator(Operator):
-    """1-to-1 value transform."""
+    """1-to-1 value transform.
 
-    def __init__(self, name: str, fn: Callable[[Any], Any]) -> None:
+    With ``vectorized=True`` the function receives a numpy array of all
+    values in a batch run and must return an equally long array-like of
+    results (per-item execution then feeds it length-1 arrays, so both
+    executor modes produce identical outputs).
+    """
+
+    chainable = True
+
+    def __init__(self, name: str, fn: Callable[[Any], Any],
+                 vectorized: bool = False) -> None:
         super().__init__(name)
         self.fn = fn
+        self.vectorized = vectorized
 
     def process(self, element: Element) -> list[StreamItem]:
+        if self.vectorized:
+            return [element.with_value(self.fn(np.asarray([element.value]))[0])]
         return [element.with_value(self.fn(element.value))]
+
+    def process_batch(self, items: Iterable[StreamItem]) -> list[StreamItem]:
+        return _segmented(self, items)
+
+    def _run(self, elements: list[Element], out: list[StreamItem]) -> None:
+        n = len(elements)
+        if self.vectorized:
+            values = self.fn(np.asarray([e.value for e in elements]))
+            out.extend(Element(v, e.timestamp, e.key)
+                       for e, v in zip(elements, values))
+        else:
+            fn = self.fn
+            out.extend(Element(fn(e.value), e.timestamp, e.key)
+                       for e in elements)
+        self.processed += n
+        self.emitted += n
 
 
 class FilterOperator(Operator):
-    """Keep elements whose value satisfies the predicate."""
+    """Keep elements whose value satisfies the predicate.
 
-    def __init__(self, name: str, predicate: Callable[[Any], bool]) -> None:
+    With ``vectorized=True`` the predicate receives a numpy array of
+    values and must return a boolean mask of the same length.
+    """
+
+    chainable = True
+
+    def __init__(self, name: str, predicate: Callable[[Any], bool],
+                 vectorized: bool = False) -> None:
         super().__init__(name)
         self.predicate = predicate
+        self.vectorized = vectorized
 
     def process(self, element: Element) -> list[StreamItem]:
-        return [element] if self.predicate(element.value) else []
+        if self.vectorized:
+            keep = bool(self.predicate(np.asarray([element.value]))[0])
+        else:
+            keep = bool(self.predicate(element.value))
+        return [element] if keep else []
+
+    def process_batch(self, items: Iterable[StreamItem]) -> list[StreamItem]:
+        return _segmented(self, items)
+
+    def _run(self, elements: list[Element], out: list[StreamItem]) -> None:
+        if self.vectorized:
+            mask = np.asarray(
+                self.predicate(np.asarray([e.value for e in elements])))
+            kept = [e for e, m in zip(elements, mask) if m]
+        else:
+            predicate = self.predicate
+            kept = [e for e in elements if predicate(e.value)]
+        out.extend(kept)
+        self.processed += len(elements)
+        self.emitted += len(kept)
 
 
 class FlatMapOperator(Operator):
     """1-to-N value transform."""
+
+    chainable = True
 
     def __init__(self, name: str, fn: Callable[[Any], Iterable[Any]]) -> None:
         super().__init__(name)
@@ -103,16 +220,57 @@ class FlatMapOperator(Operator):
     def process(self, element: Element) -> list[StreamItem]:
         return [element.with_value(v) for v in self.fn(element.value)]
 
+    def process_batch(self, items: Iterable[StreamItem]) -> list[StreamItem]:
+        return _segmented(self, items)
+
+    def _run(self, elements: list[Element], out: list[StreamItem]) -> None:
+        fn = self.fn
+        append = out.append
+        emitted = 0
+        for e in elements:
+            ts, key = e.timestamp, e.key
+            for v in fn(e.value):
+                append(Element(v, ts, key))
+                emitted += 1
+        self.processed += len(elements)
+        self.emitted += emitted
+
 
 class KeyByOperator(Operator):
-    """Assign a partitioning key extracted from the value."""
+    """Assign a partitioning key extracted from the value.
 
-    def __init__(self, name: str, key_fn: Callable[[Any], Any]) -> None:
+    With ``vectorized=True`` the key function receives a numpy array of
+    values and must return an equally long array-like of keys.
+    """
+
+    chainable = True
+
+    def __init__(self, name: str, key_fn: Callable[[Any], Any],
+                 vectorized: bool = False) -> None:
         super().__init__(name)
         self.key_fn = key_fn
+        self.vectorized = vectorized
 
     def process(self, element: Element) -> list[StreamItem]:
+        if self.vectorized:
+            return [element.with_key(self.key_fn(np.asarray([element.value]))[0])]
         return [element.with_key(self.key_fn(element.value))]
+
+    def process_batch(self, items: Iterable[StreamItem]) -> list[StreamItem]:
+        return _segmented(self, items)
+
+    def _run(self, elements: list[Element], out: list[StreamItem]) -> None:
+        n = len(elements)
+        if self.vectorized:
+            keys = self.key_fn(np.asarray([e.value for e in elements]))
+            out.extend(Element(e.value, e.timestamp, k)
+                       for e, k in zip(elements, keys))
+        else:
+            key_fn = self.key_fn
+            out.extend(Element(e.value, e.timestamp, key_fn(e.value))
+                       for e in elements)
+        self.processed += n
+        self.emitted += n
 
 
 class ReduceOperator(Operator):
@@ -120,12 +278,24 @@ class ReduceOperator(Operator):
 
     Requires keyed input (a ``KeyByOperator`` upstream); raises otherwise
     — silently reducing a keyless stream is a classic correctness trap.
+
+    With ``vectorized=True`` the reduce function must be a numpy ufunc
+    (e.g. ``np.add``, ``np.maximum``); batches are then reduced with
+    ``ufunc.accumulate`` per key, which is sequential and therefore
+    bit-identical to the per-item fold.
     """
 
     def __init__(self, name: str,
-                 reduce_fn: Callable[[Any, Any], Any]) -> None:
+                 reduce_fn: Callable[[Any, Any], Any],
+                 vectorized: bool = False) -> None:
         super().__init__(name)
+        if vectorized and not hasattr(reduce_fn, "accumulate"):
+            raise StreamError(
+                f"reduce {name!r}: vectorized=True needs a numpy ufunc "
+                "(something with .accumulate)"
+            )
         self.reduce_fn = reduce_fn
+        self.vectorized = vectorized
         self._state = KeyedState()
 
     def process(self, element: Element) -> list[StreamItem]:
@@ -140,6 +310,54 @@ class ReduceOperator(Operator):
         self._state.put(element.key, acc)
         return [element.with_value(acc)]
 
+    def process_batch(self, items: Iterable[StreamItem]) -> list[StreamItem]:
+        return _segmented(self, items)
+
+    def _run(self, elements: list[Element], out: list[StreamItem]) -> None:
+        n = len(elements)
+        if any(e.key is None for e in elements):
+            raise StreamError(
+                f"reduce {self.name!r} requires keyed input; add key_by()"
+            )
+        if self.vectorized:
+            self._run_vectorized(elements, out)
+        else:
+            state = self._state
+            reduce_fn = self.reduce_fn
+            for e in elements:
+                key = e.key
+                if key in state:
+                    acc = reduce_fn(state.get(key), e.value)
+                else:
+                    acc = e.value
+                state.put(key, acc)
+                out.append(Element(acc, e.timestamp, key))
+        self.processed += n
+        self.emitted += n
+
+    def _run_vectorized(self, elements: list[Element],
+                        out: list[StreamItem]) -> None:
+        state = self._state
+        positions: dict[Any, list[int]] = {}
+        for i, e in enumerate(elements):
+            positions.setdefault(e.key, []).append(i)
+        results: list[Any] = [None] * len(elements)
+        for key, idx in positions.items():
+            values = np.asarray([elements[i].value for i in idx])
+            if key in state:
+                # Seed the fold with the checkpointed accumulator; the
+                # leading slot is dropped from the emitted prefix.
+                values = np.concatenate(
+                    (np.asarray([state.get(key)]), values))
+                acc = self.reduce_fn.accumulate(values)[1:]
+            else:
+                acc = self.reduce_fn.accumulate(values)
+            state.put(key, acc[-1])
+            for i, a in zip(idx, acc):
+                results[i] = a
+        out.extend(Element(results[i], e.timestamp, e.key)
+                   for i, e in enumerate(elements))
+
     def snapshot(self) -> Any:
         return self._state.snapshot()
 
@@ -150,6 +368,8 @@ class ReduceOperator(Operator):
 class TimestampAssigner(Operator):
     """Rewrite element timestamps from a field of the value."""
 
+    chainable = True
+
     def __init__(self, name: str, ts_fn: Callable[[Any], float]) -> None:
         super().__init__(name)
         self.ts_fn = ts_fn
@@ -157,6 +377,16 @@ class TimestampAssigner(Operator):
     def process(self, element: Element) -> list[StreamItem]:
         return [Element(value=element.value, timestamp=float(
             self.ts_fn(element.value)), key=element.key)]
+
+    def process_batch(self, items: Iterable[StreamItem]) -> list[StreamItem]:
+        return _segmented(self, items)
+
+    def _run(self, elements: list[Element], out: list[StreamItem]) -> None:
+        ts_fn = self.ts_fn
+        out.extend(Element(e.value, float(ts_fn(e.value)), e.key)
+                   for e in elements)
+        self.processed += len(elements)
+        self.emitted += len(elements)
 
 
 class WatermarkGenerator(Operator):
@@ -166,7 +396,12 @@ class WatermarkGenerator(Operator):
     ``emit_every`` elements) emits ``Watermark(max_ts - max_lateness)``.
     Incoming watermarks are swallowed — this operator is the authority
     downstream of it.
+
+    Chainable: its state is per-record, not keyed, and the checkpoint
+    coordinator snapshots members of a chain individually.
     """
+
+    chainable = True
 
     def __init__(self, name: str, max_lateness: float,
                  emit_every: int = 1) -> None:
@@ -192,6 +427,34 @@ class WatermarkGenerator(Operator):
                 self._last_wm = wm
                 out.append(Watermark(wm))
         return out
+
+    def process_batch(self, items: Iterable[StreamItem]) -> list[StreamItem]:
+        return _segmented(self, items)
+
+    def _run(self, elements: list[Element], out: list[StreamItem]) -> None:
+        append = out.append
+        max_ts = self._max_ts
+        since = self._since_emit
+        last_wm = self._last_wm
+        emit_every = self.emit_every
+        lateness = self.max_lateness
+        for e in elements:
+            ts = e.timestamp
+            if ts > max_ts:
+                max_ts = ts
+            since += 1
+            append(e)
+            if since >= emit_every:
+                since = 0
+                wm = max_ts - lateness
+                if wm > last_wm:
+                    last_wm = wm
+                    append(Watermark(wm))
+        self._max_ts = max_ts
+        self._since_emit = since
+        self._last_wm = last_wm
+        self.processed += len(elements)
+        self.emitted += len(elements)
 
     def on_watermark(self, watermark: Watermark) -> list[StreamItem]:
         return []  # swallow upstream watermarks; we generate our own

@@ -16,7 +16,7 @@ from typing import Any, Callable
 
 from ..util.errors import StreamError
 from .element import Element, StreamItem, Watermark
-from .operators import Operator
+from .operators import Operator, _segmented
 from .windows import Window, WindowAssigner
 
 __all__ = ["WindowResult", "LateRecord", "WindowAggregateOperator",
@@ -118,6 +118,11 @@ class WindowAggregateOperator(Operator):
         # key -> {window -> [acc, count]}
         self._windows: dict[Any, dict[Window, list[Any]]] = {}
         self._current_wm = float("-inf")
+        # Lower bound on min(window.end + allowed_lateness) over all open
+        # windows: lets on_watermark skip the full ripeness scan when no
+        # window can possibly fire (the overwhelmingly common case with
+        # per-element watermarks).
+        self._min_deadline = float("inf")
         self.dropped_late = 0
         self.fired = 0
 
@@ -147,9 +152,67 @@ class WindowAggregateOperator(Operator):
             if slot is None:
                 slot = [self.agg.init(), 0]
                 per_key[window] = slot
+                deadline = window.end + self.allowed_lateness
+                if deadline < self._min_deadline:
+                    self._min_deadline = deadline
             slot[0] = self.agg.add(slot[0], value)
             slot[1] += 1
         return []
+
+    def process_batch(self, items) -> list[StreamItem]:
+        return _segmented(self, items)
+
+    def _run(self, elements: list[Element], out: list[StreamItem]) -> None:
+        """Watermark-free element run with hoisted hot-path locals; the
+        watermark is constant across the run so the late check is a pure
+        comparison."""
+        assigner = self.assigner
+        assign = assigner.assign
+        merging = assigner.merging
+        value_fn = self.value_fn
+        agg_init = self.agg.init
+        agg_add = self.agg.add
+        windows = self._windows
+        lateness = self.allowed_lateness
+        current_wm = self._current_wm
+        min_deadline = self._min_deadline
+        emit_late = self.emit_late
+        dropped = 0
+        late_emitted = 0
+        for element in elements:
+            key = element.key
+            if key is None:
+                raise StreamError(
+                    f"window {self.name!r} requires keyed input; add key_by()"
+                )
+            ts = element.timestamp
+            if ts + lateness <= current_wm:
+                dropped += 1
+                if emit_late:
+                    late = LateRecord(value=element.value, timestamp=ts,
+                                      key=key, lateness=current_wm - ts)
+                    out.append(Element(value=late, timestamp=ts, key=key))
+                    late_emitted += 1
+                continue
+            per_key = windows.get(key)
+            if per_key is None:
+                per_key = windows[key] = {}
+            value = value_fn(element.value)
+            for window in assign(ts):
+                if merging:
+                    window = self._merge_sessions(per_key, window)
+                slot = per_key.get(window)
+                if slot is None:
+                    slot = per_key[window] = [agg_init(), 0]
+                    deadline = window.end + lateness
+                    if deadline < min_deadline:
+                        min_deadline = deadline
+                slot[0] = agg_add(slot[0], value)
+                slot[1] += 1
+        self._min_deadline = min_deadline
+        self.dropped_late += dropped
+        self.processed += len(elements)
+        self.emitted += late_emitted
 
     def _merge_sessions(self, per_key: dict[Window, list[Any]],
                         new_window: Window) -> Window:
@@ -172,6 +235,11 @@ class WindowAggregateOperator(Operator):
 
     def on_watermark(self, watermark: Watermark) -> list[StreamItem]:
         self._current_wm = max(self._current_wm, watermark.timestamp)
+        if self._min_deadline > self._current_wm:
+            # No open window can be ripe yet; skip the full scan.  The
+            # bound is conservative (a lower bound), so this fast path
+            # never suppresses a firing.
+            return [watermark]
         out: list[StreamItem] = []
         for key in sorted(self._windows, key=repr):
             per_key = self._windows[key]
@@ -184,6 +252,10 @@ class WindowAggregateOperator(Operator):
                                       value=self.agg.result(acc), count=count)
                 out.append(Element(value=result, timestamp=window.end, key=key))
         self._windows = {k: v for k, v in self._windows.items() if v}
+        self._min_deadline = min(
+            (w.end + self.allowed_lateness
+             for per_key in self._windows.values() for w in per_key),
+            default=float("inf"))
         out.append(watermark)
         return out
 
@@ -210,3 +282,7 @@ class WindowAggregateOperator(Operator):
         self._current_wm = snapshot.get("wm", float("-inf"))
         self.dropped_late = snapshot.get("dropped", 0)
         self.fired = snapshot.get("fired", 0)
+        self._min_deadline = min(
+            (w.end + self.allowed_lateness
+             for per_key in self._windows.values() for w in per_key),
+            default=float("inf"))

@@ -65,10 +65,19 @@ class TumblingWindows(WindowAssigner):
             raise ConfigError("window size must be positive")
         self.size = size
         self.offset = offset
+        self._last: tuple[float, list[Window]] | None = None
 
     def assign(self, timestamp: float) -> list[Window]:
         start = ((timestamp - self.offset) // self.size) * self.size + self.offset
-        return [Window(start, start + self.size)]
+        # Consecutive timestamps overwhelmingly land in the same bucket;
+        # reuse the last Window instead of re-constructing it (callers
+        # never mutate the returned list).
+        last = self._last
+        if last is not None and last[0] == start:
+            return last[1]
+        windows = [Window(start, start + self.size)]
+        self._last = (start, windows)
+        return windows
 
 
 class SlidingWindows(WindowAssigner):

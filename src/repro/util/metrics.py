@@ -43,13 +43,31 @@ class Gauge:
 
 
 class Summary:
-    """Exact summary statistics over observed samples."""
+    """Exact summary statistics over observed samples.
+
+    The sample list is converted to a numpy array lazily and the array
+    is cached — repeated ``mean``/``total``/``percentile`` reads between
+    observations no longer pay an O(n) list->array conversion each call.
+    ``observe`` invalidates the cache.
+    """
 
     def __init__(self) -> None:
         self._samples: list[float] = []
+        self._array: np.ndarray | None = None
 
     def observe(self, value: float) -> None:
         self._samples.append(float(value))
+        self._array = None
+
+    def reset(self) -> None:
+        """Drop all observations (for reusing one Summary across runs)."""
+        self._samples.clear()
+        self._array = None
+
+    def _as_array(self) -> np.ndarray:
+        if self._array is None:
+            self._array = np.asarray(self._samples, dtype=np.float64)
+        return self._array
 
     @property
     def count(self) -> int:
@@ -57,7 +75,7 @@ class Summary:
 
     @property
     def mean(self) -> float:
-        return float(np.mean(self._samples)) if self._samples else math.nan
+        return float(self._as_array().mean()) if self._samples else math.nan
 
     @property
     def minimum(self) -> float:
@@ -69,13 +87,13 @@ class Summary:
 
     @property
     def total(self) -> float:
-        return float(np.sum(self._samples)) if self._samples else 0.0
+        return float(self._as_array().sum()) if self._samples else 0.0
 
     def percentile(self, q: float) -> float:
         """q in [0, 100]."""
         if not self._samples:
             return math.nan
-        return float(np.percentile(self._samples, q))
+        return float(np.percentile(self._as_array(), q))
 
     def samples(self) -> list[float]:
         return list(self._samples)

@@ -261,3 +261,83 @@ class TestIncrementalQuery:
         assert query.rebuilds == 1
         assert query.rebuild_cost == 10
         assert query.answer() == pytest.approx(np.mean([0, 2, 4, 6, 8]))
+
+
+class TestBatchKernels:
+    """Vectorized add_many/estimate_many/contains_many are bit-identical
+    to the scalar loops they replace."""
+
+    KEYS = [f"user-{i % 37}-{i}" for i in range(500)] + ["", "x", "x"]
+
+    def test_cms_add_many_matches_loop(self):
+        loop = CountMinSketch(epsilon=0.01, delta=0.01)
+        batch = CountMinSketch(epsilon=0.01, delta=0.01)
+        for k in self.KEYS:
+            loop.add(k)
+        batch.add_many(self.KEYS)
+        assert (loop._table == batch._table).all()
+        assert loop.total == batch.total
+
+    def test_cms_add_many_with_counts(self):
+        loop = CountMinSketch(epsilon=0.01, delta=0.01)
+        batch = CountMinSketch(epsilon=0.01, delta=0.01)
+        counts = [(i % 5) for i in range(len(self.KEYS))]
+        for k, c in zip(self.KEYS, counts):
+            loop.add(k, c)
+        batch.add_many(self.KEYS, counts)
+        assert (loop._table == batch._table).all()
+        assert loop.total == batch.total
+
+    def test_cms_estimate_many_matches_scalar(self):
+        cms = CountMinSketch(epsilon=0.01, delta=0.01)
+        cms.add_many(self.KEYS)
+        queries = self.KEYS[:50] + ["never-seen-1", "never-seen-2"]
+        got = cms.estimate_many(queries)
+        assert got.tolist() == [cms.estimate(q) for q in queries]
+
+    def test_cms_add_many_validates_counts(self):
+        cms = CountMinSketch()
+        with pytest.raises(ConfigError):
+            cms.add_many(["a", "b"], [1])
+        with pytest.raises(ConfigError):
+            cms.add_many(["a", "b"], [1, -1])
+
+    def test_cms_add_many_empty_is_noop(self):
+        cms = CountMinSketch()
+        cms.add_many([])
+        assert cms.total == 0
+
+    def test_bloom_add_many_matches_loop(self):
+        loop = BloomFilter(capacity=1000, fp_rate=0.01)
+        batch = BloomFilter(capacity=1000, fp_rate=0.01)
+        for k in self.KEYS:
+            loop.add(k)
+        batch.add_many(self.KEYS)
+        assert (loop._bits == batch._bits).all()
+        assert loop.added == batch.added
+
+    def test_bloom_contains_many_matches_scalar(self):
+        bloom = BloomFilter(capacity=1000, fp_rate=0.01)
+        bloom.add_many(self.KEYS)
+        queries = self.KEYS[:50] + [f"absent-{i}" for i in range(200)]
+        got = bloom.contains_many(queries)
+        assert got.tolist() == [q in bloom for q in queries]
+        assert got[:50].all()  # no false negatives, ever
+
+    def test_hll_add_many_matches_loop(self):
+        loop, batch = HyperLogLog(10), HyperLogLog(10)
+        for k in self.KEYS:
+            loop.add(k)
+        batch.add_many(self.KEYS)
+        assert (loop._registers == batch._registers).all()
+        assert loop.estimate() == batch.estimate()
+
+    def test_hll_add_many_incremental_merge(self):
+        # Splitting the stream across add_many calls lands on the same
+        # registers as one call (register updates are max-commutative).
+        one = HyperLogLog(10)
+        split = HyperLogLog(10)
+        one.add_many(self.KEYS)
+        split.add_many(self.KEYS[:100])
+        split.add_many(self.KEYS[100:])
+        assert (one._registers == split._registers).all()

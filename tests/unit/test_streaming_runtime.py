@@ -174,9 +174,10 @@ class TestCheckpoint:
                 .map(lambda v: v)
                 .sink("out"))
         executor = Executor(builder.build())
-        # Manually stuff a channel to simulate in-flight data.
-        executor._channels[("map_0", None)].append(
-            Element(value=1, timestamp=0.0))
+        # Manually stuff a channel to simulate in-flight data (the two
+        # maps fuse under chaining, so grab whatever channel exists).
+        channel = next(iter(executor._channels.values()))
+        channel.append(Element(value=1, timestamp=0.0))
         with pytest.raises(CheckpointError):
             executor.checkpoint()
 

@@ -1,0 +1,122 @@
+#!/usr/bin/env python
+"""Perf gate: tier-1 tests + a throughput smoke vs the committed baseline.
+
+Runs the full tier-1 suite, then a short (~5 s) run of
+``benchmarks/bench_p1_throughput.py`` and compares batched/chained
+elements-per-second against the committed ``benchmarks/BENCH_streaming.json``.
+Fails (exit 1) if either regresses more than ``--tolerance`` (default
+20%) — the guard that keeps future PRs from quietly giving back the
+batched-execution win.
+
+Usage:  python tools/check_perf.py [--events N] [--tolerance 0.2]
+        python tools/check_perf.py --skip-tests   # bench gate only
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+import tempfile
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+BASELINE = REPO / "benchmarks" / "BENCH_streaming.json"
+GATED = ["batched_eps", "chained_eps"]
+
+
+def _env() -> dict[str, str]:
+    env = dict(os.environ)
+    src = str(REPO / "src")
+    existing = env.get("PYTHONPATH")
+    env["PYTHONPATH"] = f"{src}:{existing}" if existing else src
+    return env
+
+
+def run_tests() -> bool:
+    print("== tier-1 test suite ==", flush=True)
+    proc = subprocess.run([sys.executable, "-m", "pytest", "-x", "-q"],
+                          cwd=REPO, env=_env())
+    return proc.returncode == 0
+
+
+def run_bench_smoke(events: int) -> dict | None:
+    print(f"\n== throughput smoke ({events} events) ==", flush=True)
+    with tempfile.TemporaryDirectory() as tmp:
+        out = Path(tmp) / "bench.json"
+        proc = subprocess.run(
+            [sys.executable, str(REPO / "benchmarks" / "bench_p1_throughput.py"),
+             "--events", str(events), "--out", str(out)],
+            cwd=REPO, env=_env())
+        if proc.returncode != 0:
+            return None
+        return json.loads(out.read_text())
+
+
+def check_regression(current: dict, tolerance: float) -> bool:
+    if not BASELINE.exists():
+        print(f"no baseline at {BASELINE}; run "
+              "benchmarks/bench_p1_throughput.py to create one")
+        return True
+    baseline = json.loads(BASELINE.read_text())
+    ok = True
+    print(f"\n== regression gate (tolerance {tolerance:.0%}) ==")
+    same_size = (current["config"]["n_events"]
+                 == baseline["config"]["n_events"])
+    if same_size:
+        # Absolute throughput only compares like-for-like stream sizes
+        # (fixed costs amortize differently on a smoke-sized stream).
+        for key in GATED:
+            base = baseline["throughput"][key]
+            now = current["throughput"][key]
+            ratio = now / base
+            status = "ok" if ratio >= 1.0 - tolerance else "REGRESSED"
+            if status == "REGRESSED":
+                ok = False
+            print(f"  {key:>15}: baseline {base:12.0f}/s  "
+                  f"now {now:12.0f}/s  ({ratio:6.1%})  {status}")
+    else:
+        print(f"  (stream sizes differ — {current['config']['n_events']} vs "
+              f"baseline {baseline['config']['n_events']} — skipping "
+              "absolute eps; gating size-robust speedup ratios)")
+    # Speedup vs the per-item baseline is a within-run ratio, robust to
+    # stream size and machine speed; gate it unconditionally.
+    for key in ("speedup_batched", "speedup_chained"):
+        base = baseline["throughput"][key]
+        now = current["throughput"][key]
+        ratio = now / base
+        status = "ok" if ratio >= 1.0 - tolerance else "REGRESSED"
+        if status == "REGRESSED":
+            ok = False
+        print(f"  {key:>15}: baseline {base:10.2f}x   now {now:10.2f}x   "
+              f"({ratio:6.1%})  {status}")
+    return ok
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--events", type=int, default=30_000,
+                        help="smoke-run stream size (default keeps the "
+                             "bench near 5 seconds)")
+    parser.add_argument("--tolerance", type=float, default=0.20)
+    parser.add_argument("--skip-tests", action="store_true")
+    args = parser.parse_args()
+
+    if not args.skip_tests and not run_tests():
+        print("\ncheck_perf: FAIL (tier-1 tests)")
+        return 1
+    current = run_bench_smoke(args.events)
+    if current is None:
+        print("\ncheck_perf: FAIL (benchmark crashed)")
+        return 1
+    if not check_regression(current, args.tolerance):
+        print("\ncheck_perf: FAIL (throughput regression)")
+        return 1
+    print("\ncheck_perf: OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
