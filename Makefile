@@ -1,0 +1,22 @@
+# Single entry points for the repo's gates.  `make verify` is the full
+# pre-merge check: tier-1 tests, the perf gate, and the chaos gate.
+
+PYTHON ?= python
+export PYTHONPATH := src
+
+.PHONY: test chaos perf robustness verify
+
+test:  ## tier-1: fast unit/integration/property tests
+	$(PYTHON) -m pytest -x -q
+
+chaos:  ## fault-injection recovery suites (chaos + slow markers)
+	$(PYTHON) -m pytest -q -m "chaos or slow"
+
+perf:  ## throughput regression gate vs committed baseline
+	$(PYTHON) tools/check_perf.py --skip-tests
+
+robustness:  ## fixed-schedule crash-recovery smoke
+	$(PYTHON) tools/check_robustness.py --skip-tests
+
+verify: test perf chaos robustness
+	@echo "verify: all gates passed"

@@ -1,0 +1,47 @@
+"""Deterministic fault injection and crash-consistent recovery testing.
+
+The chaos substrate the robustness suites are built on: seeded
+:class:`FaultPlan` schedules, a :class:`FaultInjector` with counted
+hooks threaded through the eventlog / streaming / offload layers, a
+:class:`ChaosLogCluster` proxy for log-level faults, and a supervisor
+harness (:func:`run_with_recovery`) that enforces the headline
+invariant — sinks after recovery are bit-identical to the fault-free
+run, for any seeded schedule.
+"""
+
+from .harness import (
+    RecoveryReport,
+    fault_free_sinks,
+    reference_events,
+    reference_job,
+    reference_operator_names,
+    run_with_recovery,
+)
+from .injector import ChaosLogCluster, FaultInjector
+from .plan import (
+    SITE_APPEND,
+    SITE_FETCH,
+    SITE_OFFLOAD,
+    SITE_OPERATOR,
+    FaultEvent,
+    FaultPlan,
+    FaultSpec,
+)
+
+__all__ = [
+    "FaultSpec",
+    "FaultPlan",
+    "FaultEvent",
+    "FaultInjector",
+    "ChaosLogCluster",
+    "RecoveryReport",
+    "run_with_recovery",
+    "reference_events",
+    "reference_job",
+    "reference_operator_names",
+    "fault_free_sinks",
+    "SITE_OPERATOR",
+    "SITE_APPEND",
+    "SITE_FETCH",
+    "SITE_OFFLOAD",
+]

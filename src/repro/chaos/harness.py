@@ -1,0 +1,170 @@
+"""Crash-consistent recovery harness for streaming jobs under chaos.
+
+The harness runs a job the way a supervised production deployment
+would: make progress, take an aligned checkpoint whenever quiescent,
+and on a crash restore the last checkpoint and replay.  Sources rewind
+by position (the event log replays by offset), so the recovery
+invariant the whole chaos suite enforces is:
+
+    for any seeded fault schedule, the sinks after recovery are
+    **bit-identical** to the fault-free run.
+
+``run_with_recovery`` is that supervisor loop; ``reference_job`` builds
+the canonical pipeline (watermarks -> map -> filter -> key_by -> window
+sum) used by the equivalence suites, and ``reference_events`` its
+seeded input — shared here so tests, the robustness gate and benchmarks
+all agree on what "the reference pipeline" means.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from ..streaming.element import Element
+from ..streaming.graph import JobBuilder, JobGraph
+from ..streaming.runtime import Checkpoint, Executor
+from ..streaming.windows import TumblingWindows
+from ..util.errors import BrokerDown, ChaosError, OperatorCrash
+from ..util.rng import make_rng
+from .injector import FaultInjector
+from .plan import FaultPlan
+
+__all__ = ["RecoveryReport", "run_with_recovery", "reference_events",
+           "reference_job", "reference_operator_names", "fault_free_sinks"]
+
+
+@dataclass
+class RecoveryReport:
+    """What happened during a supervised run."""
+
+    sink_values: dict[str, list[Any]]
+    crashes: int = 0
+    broker_faults: int = 0
+    checkpoints: int = 0
+    restores: int = 0
+    trace: list = field(default_factory=list)
+
+    @property
+    def failures(self) -> int:
+        return self.crashes + self.broker_faults
+
+
+def run_with_recovery(job: JobGraph, injector: FaultInjector | None = None,
+                      *, batch_mode: bool = True, chaining: bool = True,
+                      source_batch: int = 64, checkpoint_every: int = 1,
+                      max_failures: int = 1000) -> RecoveryReport:
+    """Run ``job`` to completion, checkpointing and restoring on faults.
+
+    Catches :class:`OperatorCrash` (injected or organic operator death)
+    and :class:`BrokerDown` (log-backed source hitting an unavailable
+    partition; the retry advances the fault window) and restores the
+    latest checkpoint.  ``max_failures`` bounds pathological plans —
+    the deterministic schedule cannot re-fire a passed fault, so any
+    finite plan terminates well below it.
+    """
+    executor = Executor(job, batch_mode=batch_mode, chaining=chaining,
+                        injector=injector)
+    report = RecoveryReport(sink_values={})
+
+    def _check_budget() -> None:
+        if report.failures > max_failures:
+            raise ChaosError(
+                f"gave up after {report.failures} failures; the fault "
+                "plan appears to re-fire indefinitely")
+
+    def _restore(checkpoint: Checkpoint) -> None:
+        # Restoring a log-backed source re-reads the log, so the restore
+        # itself can land in an unavailability window; the counters only
+        # move forward, so retrying walks out of any finite window.
+        while True:
+            try:
+                executor.restore(checkpoint)
+            except BrokerDown:
+                report.broker_faults += 1
+                _check_budget()
+                continue
+            report.restores += 1
+            return
+
+    # Checkpoint zero: the initial state is always a valid restore point,
+    # so a crash before the first aligned snapshot restarts from scratch.
+    last: Checkpoint = executor.checkpoint()
+    report.checkpoints += 1
+    while True:
+        try:
+            executor.run(source_batch=source_batch,
+                         max_cycles=checkpoint_every)
+        except OperatorCrash:
+            report.crashes += 1
+            _check_budget()
+            _restore(last)
+            continue
+        except BrokerDown:
+            report.broker_faults += 1
+            _check_budget()
+            # The source fetch hit a fault window; restoring resets
+            # in-flight state, then the retry re-reads the log.
+            _restore(last)
+            continue
+        if executor.done:
+            break
+        last = executor.checkpoint()
+        report.checkpoints += 1
+    report.sink_values = {name: list(buf.values)
+                          for name, buf in executor.sinks.items()}
+    if injector is not None:
+        report.trace = list(injector.trace)
+    return report
+
+
+# -- the reference pipeline -------------------------------------------------
+
+
+def reference_events(seed: int = 0, n: int = 400,
+                     keys: int = 4) -> list[Element]:
+    """Seeded out-of-order keyed events for the reference pipeline."""
+    rng = make_rng((int(seed), 0xE7E27))
+    events = []
+    for i in range(n):
+        ts = float(i) * 0.25 + float(rng.uniform(-1.5, 1.5))
+        events.append(Element(
+            value={"k": int(rng.integers(0, keys)),
+                   "v": float(rng.uniform(0.0, 10.0))},
+            timestamp=max(0.0, ts)))
+    return events
+
+
+def reference_job(elements_or_source: Any,
+                  max_lateness: float = 5.0,
+                  window_s: float = 10.0) -> JobGraph:
+    """watermarks -> map -> filter -> key_by -> window(sum) -> sink.
+
+    The linear head is chainable, the window is a shuffle point, so one
+    graph exercises per-item, batched and chained execution paths.
+    """
+    builder = JobBuilder("chaos-reference")
+    (builder.source("events", elements_or_source)
+            .with_watermarks(max_lateness, name="watermarks")
+            .map(lambda v: {"k": v["k"], "v": v["v"] * 2.0}, name="double")
+            .filter(lambda v: v["v"] >= 1.0, name="drop_tiny")
+            .key_by(lambda v: v["k"], name="by_key")
+            .window(TumblingWindows(window_s), "sum",
+                    value_fn=lambda v: v["v"], name="window_sum")
+            .sink("out"))
+    return builder.build()
+
+
+def reference_operator_names() -> tuple[str, ...]:
+    """Crash targets in the reference job (kept in sync by tests)."""
+    return ("watermarks", "double", "drop_tiny", "by_key", "window_sum")
+
+
+def fault_free_sinks(build: Callable[[], JobGraph], *,
+                     batch_mode: bool = True,
+                     chaining: bool = True,
+                     source_batch: int = 64) -> dict[str, list[Any]]:
+    """The golden run: same job, no injector, straight execution."""
+    sinks = Executor(build(), batch_mode=batch_mode,
+                     chaining=chaining).run(source_batch=source_batch)
+    return {name: list(buf.values) for name, buf in sinks.items()}

@@ -1,0 +1,344 @@
+"""The fault injector: counted hooks + the chaos log-cluster wrapper.
+
+:class:`FaultInjector` owns a :class:`~repro.chaos.plan.FaultPlan` and a
+set of monotonically increasing occurrence counters, one per (site,
+identity).  Production code passes through the hooks; when a counter
+enters a scheduled spec's window the injector fires — raising the
+injected failure or returning a corruption directive — and records a
+:class:`~repro.chaos.plan.FaultEvent` in ``trace``.  Counters live for
+the injector's lifetime (not per run), so a crash-and-restore replay
+does not re-trigger the same fault: the schedule moves strictly
+forward, exactly like real time does.
+
+Injected failures reuse the production exception types
+(:class:`BrokerDown`, :class:`OperatorCrash`, :class:`TaskTimeout`,
+:class:`TierDropout`) so recovery code cannot special-case chaos.
+
+:class:`ChaosLogCluster` wraps a :class:`~repro.eventlog.broker.LogCluster`
+and threads the data plane through the injector: append unavailability
+windows, torn appends (applied but unacknowledged), real broker
+outages with leader failover, and duplicate delivery on fetch.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterable
+
+from ..eventlog.broker import LogCluster
+from ..eventlog.record import Record
+from ..streaming.chain import ChainedOperator
+from ..streaming.element import StreamItem
+from ..streaming.operators import Operator
+from ..util.errors import (
+    BrokerDown,
+    OperatorCrash,
+    TaskTimeout,
+    TierDropout,
+)
+from .plan import (
+    SITE_APPEND,
+    SITE_FETCH,
+    SITE_OFFLOAD,
+    SITE_OPERATOR,
+    FaultEvent,
+    FaultPlan,
+    FaultSpec,
+)
+
+__all__ = ["FaultInjector", "ChaosLogCluster"]
+
+
+class FaultInjector:
+    """Executes a fault plan against counted injection sites."""
+
+    def __init__(self, plan: FaultPlan) -> None:
+        self.plan = plan
+        self.trace: list[FaultEvent] = []
+        self._counts: dict[tuple[str, str | None], int] = {}
+        self._armed: list[FaultSpec] = list(plan.specs)
+        #: broker_down specs progress through pending -> failed -> done
+        self._broker_stage: dict[int, str] = {
+            i: "pending" for i, s in enumerate(plan.specs)
+            if s.kind == "broker_down"
+        }
+
+    # -- bookkeeping ---------------------------------------------------------
+
+    def count(self, site: str, identity: str | None = None) -> int:
+        """Current occurrence count for a (site, identity) counter."""
+        return self._counts.get((site, identity), 0)
+
+    def trace_tuples(self) -> list[tuple]:
+        """The fired-fault trace in comparable form (for reproducibility
+        assertions: same seed, same trace)."""
+        return [e.as_tuple() for e in self.trace]
+
+    def _fire(self, spec: FaultSpec, identity: str, occurrence: int,
+              detail: str = "") -> None:
+        self.trace.append(FaultEvent(kind=spec.kind, site=spec.site,
+                                     identity=identity,
+                                     occurrence=occurrence, detail=detail))
+        if spec.one_shot():
+            self._armed.remove(spec)
+
+    def _advance(self, site: str,
+                 idents: Iterable[str | None]) -> dict[str | None, int]:
+        """Increment every identity counter for one site call; returns
+        the pre-increment occurrence indices."""
+        before: dict[str | None, int] = {}
+        for ident in idents:
+            key = (site, ident)
+            before[ident] = self._counts.get(key, 0)
+            self._counts[key] = before[ident] + 1
+        return before
+
+    def _matching(self, site: str, kind: str,
+                  before: dict[str | None, int]) -> FaultSpec | None:
+        """First armed window spec of ``kind`` whose target counter sits
+        inside [at, end) for this call."""
+        for spec in self._armed:
+            if spec.site != site or spec.kind != kind:
+                continue
+            if spec.target not in before:
+                continue
+            occurrence = before[spec.target]
+            if spec.at <= occurrence < spec.end:
+                return spec
+        return None
+
+    # -- streaming operator site --------------------------------------------
+
+    @staticmethod
+    def _member_names(op: Operator) -> set[str]:
+        names = {op.name}
+        if isinstance(op, ChainedOperator):
+            names.update(member.name for member in op.operators)
+        return names
+
+    def _crash_candidates(self, idents: set[str],
+                          below: int) -> list[FaultSpec]:
+        return [s for s in self._armed
+                if s.site == SITE_OPERATOR and s.kind == "operator_crash"
+                and (s.target is None or s.target in idents)
+                and s.at < below]
+
+    def intercept_batch(self, op: Operator, items: Iterable[StreamItem],
+                        process: Callable[[list[StreamItem]],
+                                          list[StreamItem]],
+                        ) -> list[StreamItem]:
+        """Run ``process`` over a batch, possibly crashing mid-batch.
+
+        The occurrence counter is per execution node and counts stream
+        items *entering* the node (chain targets count items entering
+        the chain).  A crash scheduled at index ``at`` processes the
+        prefix for real — mutating operator state — then raises
+        :class:`OperatorCrash`; the partial outputs are lost in flight,
+        exactly like a process dying between state update and emit.
+        """
+        items = list(items)
+        key = (SITE_OPERATOR, op.name)
+        c = self._counts.get(key, 0)
+        candidates = self._crash_candidates(self._member_names(op),
+                                            below=c + len(items))
+        if candidates:
+            spec = min(candidates, key=lambda s: s.at)
+            k = max(0, spec.at - c)
+            self._counts[key] = c + k
+            if k:
+                process(items[:k])  # partial progress; outputs lost
+            self._fire(spec, identity=op.name, occurrence=max(c, spec.at),
+                       detail=f"mid-batch k={k}/{len(items)}")
+            raise OperatorCrash(
+                f"injected crash in {op.name!r} at item index "
+                f"{max(c, spec.at)}")
+        self._counts[key] = c + len(items)
+        return process(items)
+
+    def before_item(self, op: Operator) -> None:
+        """Per-item twin of :meth:`intercept_batch`: called before each
+        item is dispatched in per-item execution mode."""
+        key = (SITE_OPERATOR, op.name)
+        c = self._counts.get(key, 0)
+        candidates = self._crash_candidates(self._member_names(op),
+                                            below=c + 1)
+        if candidates:
+            spec = min(candidates, key=lambda s: s.at)
+            self._fire(spec, identity=op.name, occurrence=c,
+                       detail="per-item")
+            raise OperatorCrash(
+                f"injected crash in {op.name!r} at item index {c}")
+        self._counts[key] = c + 1
+
+    # -- eventlog sites ------------------------------------------------------
+
+    @staticmethod
+    def _log_idents(topic: str, partition: int) -> tuple[str | None, ...]:
+        return (None, topic, f"{topic}[{partition}]")
+
+    def before_append(self, cluster: LogCluster, topic: str,
+                      partition: int) -> dict[str, Any]:
+        """Hook before an append attempt.  May fail/recover brokers,
+        raise :class:`BrokerDown` (unavailability window), or direct the
+        caller to tear the append (apply it, then lose the ack)."""
+        before = self._advance(SITE_APPEND, self._log_idents(topic,
+                                                             partition))
+        self._run_broker_events(cluster, before)
+        window = self._matching(SITE_APPEND, "partition_unavailable", before)
+        if window is not None:
+            self._fire(window, identity=window.target or "*",
+                       occurrence=before[window.target],
+                       detail=f"append {topic}[{partition}]")
+            raise BrokerDown(
+                f"injected: {topic}[{partition}] unavailable for appends")
+        directives: dict[str, Any] = {}
+        for spec in list(self._armed):
+            if (spec.site == SITE_APPEND and spec.kind == "torn_append"
+                    and spec.target in before
+                    and before[spec.target] >= spec.at):
+                self._fire(spec, identity=spec.target or "*",
+                           occurrence=before[spec.target],
+                           detail=f"torn {topic}[{partition}]")
+                directives["torn"] = True
+                break
+        return directives
+
+    def _run_broker_events(self, cluster: LogCluster,
+                           before: dict[str | None, int]) -> None:
+        for i, spec in enumerate(self.plan.specs):
+            if spec.kind != "broker_down" or spec.target not in before:
+                continue
+            stage = self._broker_stage[i]
+            occurrence = before[spec.target]
+            if stage == "pending" and occurrence >= spec.at:
+                cluster.fail_broker(spec.param)
+                self._broker_stage[i] = "failed"
+                self.trace.append(FaultEvent(
+                    kind="broker_down", site=SITE_APPEND,
+                    identity=f"broker:{spec.param}", occurrence=occurrence,
+                    detail="fail"))
+                stage = "failed"
+            if stage == "failed" and occurrence >= spec.end:
+                cluster.recover_broker(spec.param)
+                self._broker_stage[i] = "done"
+                self.trace.append(FaultEvent(
+                    kind="broker_down", site=SITE_APPEND,
+                    identity=f"broker:{spec.param}", occurrence=occurrence,
+                    detail="recover"))
+
+    def finish_broker_events(self, cluster: LogCluster) -> None:
+        """Recover every broker still failed by an outage spec — the
+        chaos analogue of 'the ops team eventually shows up'.  Call when
+        the workload that advances the append counter has ended."""
+        for i, spec in enumerate(self.plan.specs):
+            if spec.kind == "broker_down" and \
+                    self._broker_stage.get(i) == "failed":
+                cluster.recover_broker(spec.param)
+                self._broker_stage[i] = "done"
+                self.trace.append(FaultEvent(
+                    kind="broker_down", site=SITE_APPEND,
+                    identity=f"broker:{spec.param}",
+                    occurrence=self.count(SITE_APPEND), detail="recover"))
+
+    def before_fetch(self, topic: str, partition: int) -> int:
+        """Hook before a fetch.  May raise :class:`BrokerDown` or return
+        a rewind depth to re-serve already-delivered records (duplicate
+        delivery, the at-least-once failure mode consumers must absorb)."""
+        before = self._advance(SITE_FETCH, self._log_idents(topic,
+                                                            partition))
+        window = self._matching(SITE_FETCH, "partition_unavailable", before)
+        if window is not None:
+            self._fire(window, identity=window.target or "*",
+                       occurrence=before[window.target],
+                       detail=f"fetch {topic}[{partition}]")
+            raise BrokerDown(
+                f"injected: {topic}[{partition}] unavailable for fetch")
+        dup = self._matching(SITE_FETCH, "duplicate_delivery", before)
+        if dup is not None:
+            rewind = dup.param if dup.param is not None else 1
+            self._fire(dup, identity=dup.target or "*",
+                       occurrence=before[dup.target],
+                       detail=f"rewind {rewind} on {topic}[{partition}]")
+            return rewind
+        return 0
+
+    # -- offload site --------------------------------------------------------
+
+    def before_offload(self, pipeline: str, tier: str) -> None:
+        """Hook before executing a remotely-placed task attempt."""
+        before = self._advance(SITE_OFFLOAD, (None, pipeline, tier))
+        timeout = self._matching(SITE_OFFLOAD, "task_timeout", before)
+        if timeout is not None:
+            self._fire(timeout, identity=timeout.target or "*",
+                       occurrence=before[timeout.target],
+                       detail=f"{pipeline}@{tier}")
+            raise TaskTimeout(
+                f"injected: task {pipeline!r} timed out on {tier!r}")
+        dropout = self._matching(SITE_OFFLOAD, "tier_dropout", before)
+        if dropout is not None:
+            self._fire(dropout, identity=dropout.target or "*",
+                       occurrence=before[dropout.target],
+                       detail=f"{pipeline}@{tier}")
+            raise TierDropout(
+                f"injected: tier {tier!r} dropped mid-task {pipeline!r}")
+
+
+class ChaosLogCluster:
+    """A :class:`LogCluster` proxy that routes the data plane through a
+    :class:`FaultInjector`.
+
+    Producers and consumers take it anywhere a cluster is expected
+    (attribute access delegates), so the production retry/idempotence
+    machinery is exercised unmodified.
+    """
+
+    def __init__(self, cluster: LogCluster, injector: FaultInjector) -> None:
+        self._cluster = cluster
+        self._injector = injector
+
+    @property
+    def cluster(self) -> LogCluster:
+        return self._cluster
+
+    @property
+    def injector(self) -> FaultInjector:
+        return self._injector
+
+    def __getattr__(self, name: str) -> Any:
+        return getattr(self._cluster, name)
+
+    def _after_append(self, directives: dict[str, Any], topic: str,
+                      partition: int, offset: int) -> int:
+        if directives.get("torn"):
+            # The record is durably appended, but the acknowledgement is
+            # lost — the ambiguous failure idempotent retry exists for.
+            raise BrokerDown(
+                f"injected: ack lost for {topic}[{partition}]@{offset} "
+                "(append applied)")
+        return offset
+
+    def append(self, topic: str, partition: int, record: Record) -> int:
+        directives = self._injector.before_append(self._cluster, topic,
+                                                  partition)
+        offset = self._cluster.append(topic, partition, record)
+        return self._after_append(directives, topic, partition, offset)
+
+    def append_idempotent(self, topic: str, partition: int, record: Record,
+                          producer_id: int, sequence: int,
+                          epoch: int = 0) -> int:
+        directives = self._injector.before_append(self._cluster, topic,
+                                                  partition)
+        offset = self._cluster.append_idempotent(
+            topic, partition, record, producer_id, sequence, epoch=epoch)
+        return self._after_append(directives, topic, partition, offset)
+
+    def read(self, topic: str, partition: int, offset: int,
+             max_records: int = 512):
+        rewind = self._injector.before_fetch(topic, partition)
+        if rewind:
+            offset = max(self._cluster.base_offset(topic, partition),
+                         offset - rewind)
+        return self._cluster.read(topic, partition, offset, max_records)
+
+    def settle(self) -> None:
+        """Finish any in-flight broker outages (recover failed brokers)."""
+        self._injector.finish_broker_events(self._cluster)

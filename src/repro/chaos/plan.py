@@ -1,0 +1,190 @@
+"""Fault plans: seeded, deterministic schedules of what breaks when.
+
+A :class:`FaultPlan` is a list of :class:`FaultSpec` entries, each
+naming an injection *site* (a counted hook the production code passes
+through), a *kind* of failure, and the occurrence index ``at`` at which
+it fires.  Because every site counts deterministically — items entering
+a streaming operator, append attempts on the log cluster, fetches,
+offload task attempts — a plan replays the same fault trace on every
+invocation, which is what makes crash-recovery testable at all: the
+assertion "recovered sinks == fault-free sinks" only means something if
+the crash lands in the same place twice.
+
+``FaultPlan.random(seed, ...)`` draws a schedule from a seeded RNG so
+property tests can sweep many scenarios while each remains perfectly
+reproducible from its seed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..util.errors import ChaosError
+from ..util.rng import make_rng
+
+__all__ = ["FaultSpec", "FaultPlan", "FaultEvent",
+           "SITE_OPERATOR", "SITE_APPEND", "SITE_FETCH", "SITE_OFFLOAD"]
+
+SITE_OPERATOR = "streaming.operator"
+SITE_APPEND = "eventlog.append"
+SITE_FETCH = "eventlog.fetch"
+SITE_OFFLOAD = "offload.task"
+
+#: kind -> sites where it may be scheduled
+KIND_SITES = {
+    "operator_crash": {SITE_OPERATOR},
+    "partition_unavailable": {SITE_APPEND, SITE_FETCH},
+    "torn_append": {SITE_APPEND},
+    "broker_down": {SITE_APPEND},
+    "duplicate_delivery": {SITE_FETCH},
+    "task_timeout": {SITE_OFFLOAD},
+    "tier_dropout": {SITE_OFFLOAD},
+}
+
+#: kinds that fire exactly once and then disarm (vs. window kinds that
+#: affect every occurrence in [at, at + count)).
+ONE_SHOT_KINDS = {"operator_crash", "torn_append"}
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One scheduled fault.
+
+    kind    what breaks (see :data:`KIND_SITES`)
+    site    which counted hook it observes
+    at      0-based occurrence index at the site when the fault starts
+    count   window width in occurrences (ignored by one-shot kinds)
+    target  narrows the hook: an operator (or chain member) name, a
+            ``"topic[partition]"`` / ``"topic"`` string, a tier name —
+            ``None`` matches the site's global counter
+    param   kind-specific knob: broker id for ``broker_down``, rewind
+            depth for ``duplicate_delivery``
+    """
+
+    kind: str
+    site: str
+    at: int
+    count: int = 1
+    target: str | None = None
+    param: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.kind not in KIND_SITES:
+            raise ChaosError(f"unknown fault kind {self.kind!r}")
+        if self.site not in KIND_SITES[self.kind]:
+            raise ChaosError(
+                f"kind {self.kind!r} cannot be scheduled at site "
+                f"{self.site!r} (valid: {sorted(KIND_SITES[self.kind])})")
+        if self.at < 0:
+            raise ChaosError("at must be >= 0")
+        if self.count < 1:
+            raise ChaosError("count must be >= 1")
+        if self.kind == "broker_down" and self.param is None:
+            raise ChaosError("broker_down needs param=broker_id")
+
+    @property
+    def end(self) -> int:
+        """First occurrence index past the fault window."""
+        return self.at + self.count
+
+    def one_shot(self) -> bool:
+        return self.kind in ONE_SHOT_KINDS
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One fired fault, recorded in the injector's trace."""
+
+    kind: str
+    site: str
+    identity: str
+    occurrence: int
+    detail: str = ""
+
+    def as_tuple(self) -> tuple:
+        return (self.kind, self.site, self.identity, self.occurrence,
+                self.detail)
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """An immutable, seeded schedule of faults."""
+
+    specs: tuple[FaultSpec, ...]
+    seed: int = 0
+    name: str = "plan"
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "specs", tuple(self.specs))
+
+    def __len__(self) -> int:
+        return len(self.specs)
+
+    def for_site(self, site: str) -> list[FaultSpec]:
+        return [s for s in self.specs if s.site == site]
+
+    @classmethod
+    def random(cls, seed: int, *, horizon: int,
+               operators: tuple[str, ...] | list[str] = (),
+               tiers: tuple[str, ...] | list[str] = (),
+               brokers: tuple[int, ...] | list[int] = (),
+               crashes: int = 2,
+               torn_appends: int = 1,
+               unavailable_windows: int = 1,
+               duplicate_deliveries: int = 1,
+               broker_outages: int = 0,
+               task_timeouts: int = 1,
+               tier_dropouts: int = 0,
+               name: str = "random") -> "FaultPlan":
+        """Draw a deterministic schedule from ``seed``.
+
+        ``horizon`` bounds every ``at`` index — pick roughly the number
+        of events flowing through the system so faults actually land.
+        Categories without a target pool (no ``operators`` for crashes,
+        no ``brokers`` for outages, ...) are silently skipped, so one
+        generator serves single-layer and whole-system tests alike.
+        """
+        if horizon < 1:
+            raise ChaosError("horizon must be >= 1")
+        rng = make_rng((int(seed), 0xC4A05))
+        specs: list[FaultSpec] = []
+
+        def _at() -> int:
+            return int(rng.integers(0, horizon))
+
+        def _window() -> int:
+            return int(rng.integers(1, max(2, horizon // 4)))
+
+        if operators:
+            for _ in range(crashes):
+                target = str(operators[int(rng.integers(len(operators)))])
+                specs.append(FaultSpec("operator_crash", SITE_OPERATOR,
+                                       at=_at(), target=target))
+        for _ in range(torn_appends):
+            specs.append(FaultSpec("torn_append", SITE_APPEND, at=_at()))
+        for _ in range(unavailable_windows):
+            site = SITE_APPEND if rng.random() < 0.5 else SITE_FETCH
+            specs.append(FaultSpec("partition_unavailable", site,
+                                   at=_at(), count=_window()))
+        for _ in range(duplicate_deliveries):
+            specs.append(FaultSpec("duplicate_delivery", SITE_FETCH,
+                                   at=_at(),
+                                   param=int(rng.integers(1, 4))))
+        if brokers:
+            for _ in range(broker_outages):
+                broker = int(brokers[int(rng.integers(len(brokers)))])
+                specs.append(FaultSpec("broker_down", SITE_APPEND, at=_at(),
+                                       count=_window(), param=broker))
+        for _ in range(task_timeouts):
+            target = (str(tiers[int(rng.integers(len(tiers)))])
+                      if tiers else None)
+            specs.append(FaultSpec("task_timeout", SITE_OFFLOAD, at=_at(),
+                                   count=int(rng.integers(1, 3)),
+                                   target=target))
+        if tiers:
+            for _ in range(tier_dropouts):
+                target = str(tiers[int(rng.integers(len(tiers)))])
+                specs.append(FaultSpec("tier_dropout", SITE_OFFLOAD,
+                                       at=_at(), target=target))
+        specs.sort(key=lambda s: (s.site, s.at, s.kind, s.target or ""))
+        return cls(specs=tuple(specs), seed=int(seed), name=name)

@@ -15,7 +15,12 @@ from .influence import (
     classify,
     classify_score,
 )
-from .pipeline import DEFAULT_INTRINSICS, ARBigDataPipeline, PipelineConfig
+from .pipeline import (
+    DEFAULT_INTRINSICS,
+    AnalyticsSnapshot,
+    ARBigDataPipeline,
+    PipelineConfig,
+)
 from .privacy_guard import PrivacyConfig, PrivacyGuard
 from .session import ARSession, Probe, SharedDataset
 from .timeliness import (
@@ -33,6 +38,7 @@ __all__ = [
     "classify",
     "classify_score",
     "DEFAULT_INTRINSICS",
+    "AnalyticsSnapshot",
     "ARBigDataPipeline",
     "PipelineConfig",
     "PrivacyConfig",

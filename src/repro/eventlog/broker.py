@@ -83,9 +83,9 @@ class LogCluster:
         self._topics: dict[str, TopicConfig] = {}
         self._states: dict[tuple[str, int], PartitionState] = {}
         self._placement_cursor = 0
-        # (topic, partition, producer_id) -> (last sequence, its offset)
+        # (topic, partition, producer_id) -> (epoch, last sequence, offset)
         self._producer_state: dict[tuple[str, int, int],
-                                   tuple[int, int]] = {}
+                                   tuple[int, int, int]] = {}
 
     # -- topic management ---------------------------------------------------
 
@@ -193,11 +193,24 @@ class LogCluster:
         return offset
 
     def append_idempotent(self, topic: str, partition: int, record: Record,
-                          producer_id: int, sequence: int) -> int:
-        """Deduplicating append: (producer, sequence) seen before on the
-        partition returns the original offset; a gap is an error."""
+                          producer_id: int, sequence: int,
+                          epoch: int = 0) -> int:
+        """Deduplicating append: (producer, epoch, sequence) seen before on
+        the partition returns the original offset; a gap is an error.
+
+        Epochs fence zombie producers: a bumped epoch resets the sequence
+        space, and appends from an older epoch are rejected outright.
+        """
         key = (topic, partition, producer_id)
-        last_seq, last_offset = self._producer_state.get(key, (-1, -1))
+        last_epoch, last_seq, last_offset = self._producer_state.get(
+            key, (-1, -1, -1))
+        if epoch < last_epoch:
+            raise LogError(
+                f"fenced: producer {producer_id} epoch {epoch} is older "
+                f"than {last_epoch} on {topic}[{partition}]")
+        if epoch > last_epoch:
+            # New incarnation: its sequence numbering starts over.
+            last_seq, last_offset = -1, -1
         if sequence <= last_seq:
             if sequence == last_seq:
                 return last_offset  # the retry case: already appended
@@ -210,7 +223,7 @@ class LogCluster:
                 f"{topic}[{partition}]: got {sequence}, expected "
                 f"{last_seq + 1}")
         offset = self.append(topic, partition, record)
-        self._producer_state[key] = (sequence, offset)
+        self._producer_state[key] = (epoch, sequence, offset)
         return offset
 
     def read(self, topic: str, partition: int, offset: int,

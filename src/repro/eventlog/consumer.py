@@ -10,7 +10,9 @@ from __future__ import annotations
 
 from typing import Iterator
 
-from ..util.errors import LogError, OffsetOutOfRange
+from ..util.clock import SimClock
+from ..util.errors import BrokerDown, LogError, OffsetOutOfRange
+from ..util.retry import Retrier, RetryPolicy
 from .broker import LogCluster
 from .record import ConsumedRecord
 
@@ -18,17 +20,27 @@ __all__ = ["Consumer", "ConsumerGroup"]
 
 
 class Consumer:
-    """Reads one or more partitions of one topic."""
+    """Reads one or more partitions of one topic.
+
+    With ``dedup=True`` the consumer keeps a delivered high-watermark per
+    partition and silently drops any fetched record at an offset it has
+    already delivered — so a broker that re-delivers (duplicate delivery,
+    a fetch retried past an ambiguous failure) still yields each offset
+    exactly once downstream.  Positions only move forward.
+    """
 
     def __init__(self, cluster: LogCluster, topic: str,
                  partitions: list[int] | None = None,
-                 start: str = "earliest") -> None:
+                 start: str = "earliest", dedup: bool = False) -> None:
         self.cluster = cluster
         self.topic = topic
         if partitions is None:
             partitions = list(range(cluster.partition_count(topic)))
         self.partitions = sorted(partitions)
+        self.dedup = dedup
         self._positions: dict[int, int] = {}
+        # Highest offset + 1 already handed to the caller, per partition.
+        self._delivered: dict[int, int] = {}
         for p in self.partitions:
             if start == "earliest":
                 self._positions[p] = cluster.base_offset(topic, p)
@@ -36,7 +48,9 @@ class Consumer:
                 self._positions[p] = cluster.end_offset(topic, p)
             else:
                 raise LogError(f"unknown start mode {start!r}")
+            self._delivered[p] = self._positions[p]
         self.consumed = 0
+        self.duplicates_dropped = 0
 
     def position(self, partition: int) -> int:
         try:
@@ -56,6 +70,9 @@ class Consumer:
                 f"[{base}, {end}]"
             )
         self._positions[partition] = offset
+        # An explicit seek is a deliberate rewind: re-delivery from the
+        # new position is wanted, so the dedup watermark follows it.
+        self._delivered[partition] = offset
 
     def seek_to_timestamp(self, timestamp: float) -> None:
         """Position every assigned partition at the first retained record
@@ -83,6 +100,7 @@ class Consumer:
                 else:
                     hi = mid  # holes in [mid, offset) are skipped anyway
             self._positions[p] = lo
+            self._delivered[p] = lo
 
     def lag(self, partition: int) -> int:
         """Records between the consumer position and the end offset."""
@@ -92,9 +110,10 @@ class Consumer:
     def total_lag(self) -> int:
         return sum(self.lag(p) for p in self.partitions)
 
-    def poll(self, max_records: int = 512) -> list[ConsumedRecord]:
-        """Round-robin fetch across assigned partitions."""
+    def _poll_once(self, max_records: int) -> tuple[list[ConsumedRecord], bool]:
+        """One fetch pass; returns (records delivered, fetched anything)."""
         out: list[ConsumedRecord] = []
+        fetched_any = False
         remaining = max_records
         for p in self.partitions:
             if remaining <= 0:
@@ -106,12 +125,48 @@ class Consumer:
                 # via the returned gap, mirroring auto.offset.reset).
                 position = base
             rows = self.cluster.read(self.topic, p, position, remaining)
+            if rows:
+                fetched_any = True
+            delivered = self._delivered.get(p, position)
             for offset, record in rows:
+                if self.dedup and offset < delivered:
+                    self.duplicates_dropped += 1
+                    continue
                 out.append(ConsumedRecord(self.topic, p, offset, record))
-            self._positions[p] = (rows[-1][0] + 1) if rows else position
+            if rows:
+                # Positions only move forward: a fetch that re-delivered
+                # older offsets (duplicate delivery) must not rewind us.
+                self._positions[p] = max(position, rows[-1][0] + 1)
+                self._delivered[p] = max(delivered, rows[-1][0] + 1)
+            else:
+                self._positions[p] = position
             remaining -= len(rows)
         self.consumed += len(out)
+        return out, fetched_any
+
+    def poll(self, max_records: int = 512) -> list[ConsumedRecord]:
+        """Round-robin fetch across assigned partitions.
+
+        When dedup filters an entire fetched batch (everything was
+        re-delivered), the poll transparently re-fetches — bounded — so
+        callers that treat an empty poll as end-of-partition don't stop
+        early with live data still ahead.
+        """
+        out, fetched_any = self._poll_once(max_records)
+        guard = 0
+        while self.dedup and not out and fetched_any and guard < 64:
+            guard += 1
+            out, fetched_any = self._poll_once(max_records)
         return out
+
+    def poll_with_retry(self, max_records: int = 512,
+                        policy: RetryPolicy | None = None,
+                        clock: SimClock | None = None) -> list[ConsumedRecord]:
+        """``poll`` with capped-backoff retries on :class:`BrokerDown` —
+        rides out partition-unavailable windows instead of surfacing them."""
+        retrier = Retrier(policy or RetryPolicy(), clock=clock)
+        return retrier.call(lambda: self.poll(max_records),
+                            retry_on=(BrokerDown,))
 
     def iter_batches(self, max_records: int = 512,
                      ) -> Iterator[list[ConsumedRecord]]:

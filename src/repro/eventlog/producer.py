@@ -10,6 +10,8 @@ from __future__ import annotations
 from typing import Any, Mapping
 
 from ..util.clock import SimClock
+from ..util.errors import BrokerDown
+from ..util.retry import Retrier, RetryPolicy
 from .broker import LogCluster
 from .record import Record
 
@@ -44,11 +46,24 @@ class Producer:
         self.idempotent = idempotent
         self.producer_id = Producer._next_producer_id
         Producer._next_producer_id += 1
+        self.epoch = 0
         self._sequences: dict[tuple[str, int], int] = {}
         self._round_robin: dict[str, int] = {}
         self.sent = 0
         self.bytes_sent = 0
         self.duplicates_rejected = 0
+        self.retries = 0
+
+    def bump_epoch(self) -> int:
+        """Start a new producer incarnation.
+
+        The cluster fences appends from older epochs and resets the
+        sequence space, so a restarted producer cannot collide with its
+        previous self's in-flight sends."""
+        self.epoch += 1
+        self._sequences.clear()
+        self._last_record = None
+        return self.epoch
 
     def _choose_partition(self, topic: str, key: str | None) -> int:
         n = self.cluster.partition_count(topic)
@@ -73,13 +88,19 @@ class Producer:
             sequence = self._sequences.get((topic, partition), -1) + 1
             self._sequences[(topic, partition)] = sequence
             all_headers["pid"] = str(self.producer_id)
+            all_headers["epoch"] = str(self.epoch)
             all_headers["seq"] = str(sequence)
         record = Record(value=value, key=key, timestamp=timestamp,
                         headers=all_headers)
         if self.idempotent:
+            # Remember the attempt *before* the append: an ambiguous
+            # failure (applied but the ack was lost) must be retryable
+            # via resend_last with the same sequence.
+            self._last_record = (topic, partition, record, sequence,
+                                 self.epoch)
             offset = self.cluster.append_idempotent(
-                topic, partition, record, self.producer_id, sequence)
-            self._last_record = (topic, partition, record, sequence)
+                topic, partition, record, self.producer_id, sequence,
+                epoch=self.epoch)
         else:
             offset = self.cluster.append(topic, partition, record)
         self.sent += 1
@@ -88,17 +109,46 @@ class Producer:
 
     def resend_last(self) -> tuple[int, int]:
         """Retry the last idempotent send (e.g. after an ambiguous
-        failure); the cluster deduplicates by (producer, sequence)."""
+        failure); the cluster deduplicates by (producer, epoch, seq)."""
         if not self.idempotent:
             raise ValueError("resend_last requires an idempotent producer")
         last = getattr(self, "_last_record", None)
         if last is None:
             raise ValueError("nothing sent yet")
-        topic, partition, record, sequence = last
+        topic, partition, record, sequence, epoch = last
         offset = self.cluster.append_idempotent(
-            topic, partition, record, self.producer_id, sequence)
+            topic, partition, record, self.producer_id, sequence,
+            epoch=epoch)
         self.duplicates_rejected += 1
         return partition, offset
+
+    def send_with_retry(self, topic: str, value: Any, key: str | None = None,
+                        timestamp: float | None = None,
+                        headers: Mapping[str, str] | None = None,
+                        partition: int | None = None,
+                        policy: RetryPolicy | None = None) -> tuple[int, int]:
+        """``send`` with capped-backoff retries on :class:`BrokerDown`.
+
+        For an idempotent producer the retries go through
+        :meth:`resend_last`, so the sequence number is claimed once and
+        an append that *applied* before the failure deduplicates instead
+        of double-appending — at-least-once delivery with effectively-
+        once log contents.  Non-idempotent producers simply re-send.
+        """
+        retrier = Retrier(policy or RetryPolicy(), clock=self.clock)
+        state = {"started": False}
+
+        def _attempt() -> tuple[int, int]:
+            if state["started"] and self.idempotent:
+                return self.resend_last()
+            state["started"] = True
+            return self.send(topic, value, key=key, timestamp=timestamp,
+                             headers=headers, partition=partition)
+
+        try:
+            return retrier.call(_attempt, retry_on=(BrokerDown,))
+        finally:
+            self.retries += retrier.retries
 
     def send_batch(self, topic: str, values: list[Any],
                    key_fn=None) -> list[tuple[int, int]]:

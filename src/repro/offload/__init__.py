@@ -1,5 +1,5 @@
 """Computation offloading (CloudRiDAR-style): pipeline models, plan
-pricing, placement policies."""
+pricing, placement policies, resilient execution."""
 
 from .battery import DEVICE_CLASSES, Battery, DeviceClass
 from .executor import EnergyModel, OffloadPlanner, PlanOutcome
@@ -11,6 +11,7 @@ from .policies import (
     OffloadPolicy,
     PolicyDecision,
 )
+from .runner import OffloadAttempt, OffloadResult, OffloadRunner
 from .tasks import Pipeline, TaskStage, vision_pipeline
 
 __all__ = [
@@ -26,6 +27,9 @@ __all__ = [
     "GreedyLatency",
     "OffloadPolicy",
     "PolicyDecision",
+    "OffloadAttempt",
+    "OffloadResult",
+    "OffloadRunner",
     "Pipeline",
     "TaskStage",
     "vision_pipeline",

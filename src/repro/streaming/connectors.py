@@ -31,10 +31,15 @@ def log_source(cluster: LogCluster, topic: str,
     a single watermark generator drop most of the replay as late.  Pass
     ``time_ordered=False`` to get raw partition-grouped order (useful
     for studying exactly that effect, as experiment A3 does).
+
+    The consumer runs with offset dedup on: a broker that re-delivers
+    (duplicate delivery under fault injection, a retried fetch) still
+    feeds each record into the stream exactly once.
     """
 
     def iterate() -> Iterable[Element]:
-        consumer = Consumer(cluster, topic, partitions, start="earliest")
+        consumer = Consumer(cluster, topic, partitions, start="earliest",
+                            dedup=True)
         if not time_ordered:
             for batch in consumer.iter_batches(max_records=1024):
                 for row in batch:

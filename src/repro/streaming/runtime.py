@@ -113,13 +113,18 @@ class Executor:
 
     def __init__(self, job: JobGraph, channel_capacity: int = 10_000,
                  drop_on_overflow: bool = False, batch_mode: bool = True,
-                 chaining: bool = True) -> None:
+                 chaining: bool = True, injector: Any = None) -> None:
         job.validate()
         self.job = job
         self.channel_capacity = channel_capacity
         self.drop_on_overflow = drop_on_overflow
         self.batch_mode = batch_mode
         self.chaining = chaining and batch_mode
+        #: optional fault injector (see :mod:`repro.chaos`) — duck-typed
+        #: so the streaming layer never imports chaos: anything with
+        #: ``intercept_batch(op, items, process)`` and ``before_item(op)``
+        #: works.  ``None`` keeps the hot paths hook-free.
+        self.injector = injector
         self.sinks: dict[str, SinkBuffer] = {
             s: SinkBuffer(s) for s in job.sinks
         }
@@ -304,6 +309,7 @@ class Executor:
 
     def _drain_cycle_batched(self) -> int:
         moved = 0
+        injector = self.injector
         for name in self._topo:
             op = self._exec_ops[name]
             if isinstance(op, IntervalJoinOperator):
@@ -312,18 +318,30 @@ class Executor:
                     if pending is None:
                         continue
                     moved += len(pending)
-                    self._route_batch(
-                        name, op.process_side_batch(side, pending))
+                    if injector is None:
+                        out = op.process_side_batch(side, pending)
+                    else:
+                        out = injector.intercept_batch(
+                            op, pending,
+                            lambda batch, _s=side:
+                                op.process_side_batch(_s, batch))
+                    self._route_batch(name, out)
             else:
                 pending = self._take_channel(name, None)
                 if pending is None:
                     continue
                 moved += len(pending)
-                self._route_batch(name, op.process_batch(pending))
+                if injector is None:
+                    out = op.process_batch(pending)
+                else:
+                    out = injector.intercept_batch(op, pending,
+                                                   op.process_batch)
+                self._route_batch(name, out)
         return moved
 
     def _drain_cycle_per_item(self) -> int:
         moved = 0
+        injector = self.injector
         for name in self._topo:
             op = self._exec_ops[name]
             for side in ([None] if not isinstance(op, IntervalJoinOperator)
@@ -333,6 +351,8 @@ class Executor:
                     continue
                 for item in pending:
                     moved += 1
+                    if injector is not None:
+                        injector.before_item(op)  # may raise a crash
                     if isinstance(op, IntervalJoinOperator):
                         if isinstance(item, Watermark):
                             out = op.on_watermark_side(side, item)
@@ -381,6 +401,12 @@ class Executor:
                 while self._drain_cycle():
                     pass
 
+    @property
+    def done(self) -> bool:
+        """True once the job ran to completion (sources exhausted,
+        channels drained, end-of-stream flush delivered)."""
+        return self._flushed
+
     # -- checkpoints -------------------------------------------------------------------
 
     def checkpoint(self) -> Checkpoint:
@@ -395,7 +421,11 @@ class Executor:
         self._checkpoint_seq += 1
         return Checkpoint(
             checkpoint_id=self._checkpoint_seq,
-            source_positions=dict(self._source_positions),
+            # Unmaterialized sources snapshot at position 0, so a
+            # checkpoint taken before the first pull is a valid
+            # restart-from-scratch restore point.
+            source_positions={name: self._source_positions.get(name, 0)
+                              for name in self.job.sources},
             operator_state={name: op.snapshot()
                             for name, op in self.job.operators.items()},
             emitted_to_sinks={s: len(buf) for s, buf in self.sinks.items()},

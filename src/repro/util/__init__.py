@@ -5,6 +5,7 @@ from .events import EventBus
 from .geometry import Rect, clamp
 from .ids import IdFactory, monotonic_ids
 from .metrics import Counter, Gauge, MetricsRegistry, Summary
+from .retry import CircuitBreaker, Retrier, RetryPolicy, retry_call
 from .rng import RngRegistry, make_rng, spawn
 
 __all__ = [
@@ -23,4 +24,8 @@ __all__ = [
     "RngRegistry",
     "make_rng",
     "spawn",
+    "RetryPolicy",
+    "Retrier",
+    "CircuitBreaker",
+    "retry_call",
 ]

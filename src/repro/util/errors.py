@@ -57,6 +57,22 @@ class NotLeader(LogError):
     """Write addressed to a replica that is not the partition leader."""
 
 
+class RetryExhausted(ReproError):
+    """A retried call gave up: attempts or deadline budget ran out.
+
+    ``last_error`` carries the final underlying failure (also chained as
+    ``__cause__``), so callers can distinguish *why* the retries failed.
+    """
+
+    def __init__(self, message: str, last_error: Exception | None = None):
+        super().__init__(message)
+        self.last_error = last_error
+
+
+class CircuitOpen(ReproError):
+    """A circuit breaker refused the call without attempting it."""
+
+
 class StreamError(ReproError):
     """Base class for streaming-engine errors."""
 
@@ -71,6 +87,15 @@ class CheckpointError(StreamError):
 
 class BackpressureOverflow(StreamError):
     """A bounded channel overflowed with backpressure disabled."""
+
+
+class OperatorCrash(StreamError):
+    """An operator died mid-processing (raised by fault injection).
+
+    Subclassing :class:`StreamError` keeps injected crashes
+    indistinguishable from organic operator failures to recovery code —
+    the point of chaos testing is that the production path cannot tell.
+    """
 
 
 class VisionError(ReproError):
@@ -101,6 +126,14 @@ class OffloadError(ReproError):
     """Offload planning failed (no feasible tier, unknown task)."""
 
 
+class TaskTimeout(OffloadError):
+    """A remotely placed task exceeded its time budget."""
+
+
+class TierDropout(OffloadError):
+    """The tier executing a task went away mid-task (edge/cloud loss)."""
+
+
 class PrivacyError(ReproError):
     """Privacy-mechanism misuse (invalid epsilon, exhausted budget)."""
 
@@ -123,3 +156,7 @@ class InterpretationError(ContextError):
 
 class PipelineError(ReproError):
     """Core AR x BigData pipeline wiring or lifecycle error."""
+
+
+class ChaosError(ReproError):
+    """Fault-injection plan or harness misuse (not an injected fault)."""

@@ -1,0 +1,167 @@
+"""Event-log faults: retries, torn appends, duplicates, epoch fencing."""
+
+import pytest
+
+from repro.chaos import (
+    SITE_APPEND,
+    SITE_FETCH,
+    ChaosLogCluster,
+    FaultInjector,
+    FaultPlan,
+    FaultSpec,
+)
+from repro.eventlog.broker import LogCluster, TopicConfig
+from repro.eventlog.consumer import Consumer
+from repro.eventlog.producer import Producer
+from repro.util.clock import SimClock
+from repro.util.errors import BrokerDown, LogError, RetryExhausted
+from repro.util.retry import RetryPolicy
+
+
+def _cluster(partitions=2):
+    cluster = LogCluster(num_brokers=3)
+    cluster.create_topic(TopicConfig("t", partitions=partitions,
+                                     replication=2))
+    return cluster
+
+
+def _chaos(specs, partitions=2):
+    cluster = _cluster(partitions)
+    injector = FaultInjector(FaultPlan(specs=tuple(specs)))
+    return ChaosLogCluster(cluster, injector), cluster
+
+
+def _drain(consumer, batch=4):
+    rows = []
+    while True:
+        out = consumer.poll(batch)
+        if not out:
+            return rows
+        rows.extend((r.partition, r.offset) for r in out)
+
+
+class TestRetryOnUnavailable:
+    def test_send_with_retry_rides_out_unavailable_window(self):
+        chaos, base = _chaos([
+            FaultSpec("partition_unavailable", SITE_APPEND, at=3, count=2)])
+        producer = Producer(chaos, clock=SimClock(), idempotent=True)
+        for i in range(10):
+            producer.send_with_retry("t", {"i": i}, key=str(i))
+        assert sum(base.end_offset("t", p) for p in range(2)) == 10
+        assert producer.retries >= 1
+
+    def test_plain_send_surfaces_broker_down(self):
+        chaos, _ = _chaos([
+            FaultSpec("partition_unavailable", SITE_APPEND, at=0, count=1)])
+        producer = Producer(chaos, clock=SimClock())
+        with pytest.raises(BrokerDown):
+            producer.send("t", {"i": 0})
+
+    def test_retry_exhaustion_when_window_outlasts_policy(self):
+        chaos, _ = _chaos([
+            FaultSpec("partition_unavailable", SITE_APPEND, at=0,
+                      count=100)])
+        producer = Producer(chaos, clock=SimClock(), idempotent=True)
+        with pytest.raises(RetryExhausted):
+            producer.send_with_retry("t", {"i": 0},
+                                     policy=RetryPolicy(max_attempts=3))
+
+
+class TestTornAppend:
+    def test_idempotent_retry_is_exactly_once(self):
+        # The ack is lost but the append applied: resend deduplicates.
+        chaos, base = _chaos([FaultSpec("torn_append", SITE_APPEND, at=4)],
+                             partitions=1)
+        producer = Producer(chaos, clock=SimClock(), idempotent=True)
+        for i in range(10):
+            producer.send_with_retry("t", {"i": i})
+        assert base.end_offset("t", 0) == 10
+        assert producer.duplicates_rejected == 1
+        values = [r.value["i"] for _, r in base.read("t", 0, 0, 100)]
+        assert values == list(range(10))
+
+    def test_non_idempotent_retry_double_appends(self):
+        # The control: without sequences the same retry duplicates.
+        chaos, base = _chaos([FaultSpec("torn_append", SITE_APPEND, at=4)],
+                             partitions=1)
+        producer = Producer(chaos, clock=SimClock(), idempotent=False)
+        for i in range(10):
+            producer.send_with_retry("t", {"i": i})
+        assert base.end_offset("t", 0) == 11
+        values = [r.value["i"] for _, r in base.read("t", 0, 0, 100)]
+        assert values.count(4) == 2
+
+
+class TestDuplicateDelivery:
+    def test_plain_consumer_sees_duplicates(self):
+        chaos, base = _chaos([], partitions=1)
+        Producer(base, clock=SimClock()).send_batch(
+            "t", [{"i": i} for i in range(12)])
+        chaos, _ = (ChaosLogCluster(base, FaultInjector(FaultPlan(specs=(
+            FaultSpec("duplicate_delivery", SITE_FETCH, at=1, param=3),)))),
+            base)
+        rows = _drain(Consumer(chaos, "t"))
+        assert len(rows) > 12
+        assert len(set(rows)) == 12
+
+    def test_dedup_consumer_is_effectively_once(self):
+        base = _cluster(partitions=1)
+        Producer(base, clock=SimClock()).send_batch(
+            "t", [{"i": i} for i in range(12)])
+        chaos = ChaosLogCluster(base, FaultInjector(FaultPlan(specs=(
+            FaultSpec("duplicate_delivery", SITE_FETCH, at=1, param=3),))))
+        consumer = Consumer(chaos, "t", dedup=True)
+        rows = _drain(consumer)
+        assert rows == [(0, i) for i in range(12)]
+        assert consumer.duplicates_dropped > 0
+
+    def test_dedup_does_not_suppress_explicit_seek(self):
+        base = _cluster(partitions=1)
+        Producer(base, clock=SimClock()).send_batch(
+            "t", [{"i": i} for i in range(6)])
+        consumer = Consumer(base, "t", dedup=True)
+        assert len(_drain(consumer)) == 6
+        consumer.seek(0, 2)
+        assert [o for _, o in _drain(consumer)] == [2, 3, 4, 5]
+
+    def test_poll_with_retry_rides_out_fetch_unavailability(self):
+        base = _cluster(partitions=1)
+        Producer(base, clock=SimClock()).send_batch(
+            "t", [{"i": i} for i in range(8)])
+        chaos = ChaosLogCluster(base, FaultInjector(FaultPlan(specs=(
+            FaultSpec("partition_unavailable", SITE_FETCH, at=0, count=2),))))
+        consumer = Consumer(chaos, "t", dedup=True)
+        rows = consumer.poll_with_retry(max_records=100, clock=SimClock())
+        assert len(rows) == 8
+
+
+class TestEpochFencing:
+    def test_old_epoch_is_fenced(self):
+        cluster = _cluster(partitions=1)
+        producer = Producer(cluster, clock=SimClock(), idempotent=True)
+        producer.send("t", {"i": 0})
+        record = cluster.read("t", 0, 0, 1)[0][1]
+        producer.bump_epoch()
+        producer.send("t", {"i": 1})
+        # A zombie with the pre-bump epoch can no longer append.
+        with pytest.raises(LogError, match="fenced"):
+            cluster.append_idempotent("t", 0, record,
+                                      producer.producer_id, 1, epoch=0)
+
+    def test_bump_resets_sequence_space(self):
+        cluster = _cluster(partitions=1)
+        producer = Producer(cluster, clock=SimClock(), idempotent=True)
+        for i in range(3):
+            producer.send("t", {"i": i})
+        producer.bump_epoch()
+        # Sequences restart at 0 in the new epoch without a gap error.
+        partition, offset = producer.send("t", {"i": 3})
+        assert (partition, offset) == (0, 3)
+
+    def test_same_epoch_duplicate_still_dedups(self):
+        cluster = _cluster(partitions=1)
+        producer = Producer(cluster, clock=SimClock(), idempotent=True)
+        _, first = producer.send("t", {"i": 0})
+        _, again = producer.resend_last()
+        assert first == again
+        assert cluster.end_offset("t", 0) == 1

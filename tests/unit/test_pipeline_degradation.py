@@ -1,0 +1,88 @@
+"""Graceful degradation: last-known analytics under backbone failure."""
+
+import pytest
+
+from repro.core import AnalyticsSnapshot, ARBigDataPipeline, PipelineConfig
+from repro.util.errors import BrokerDown
+
+
+def _pipeline():
+    pipeline = ARBigDataPipeline(PipelineConfig(seed=11))
+    pipeline.create_topic("readings")
+    for i in range(40):
+        pipeline.ingest("readings", {"sensor": i % 3, "v": float(i)},
+                        key=str(i % 3), timestamp=float(i))
+    return pipeline
+
+
+def _query(pipeline):
+    return pipeline.resilient_windowed_aggregate(
+        "readings", key_fn=lambda v: v["sensor"],
+        value_fn=lambda v: v["v"], window_s=10.0)
+
+
+def _fail_all_brokers(pipeline):
+    for broker_id in list(pipeline.log.brokers):
+        pipeline.log.fail_broker(broker_id)
+
+
+def _recover_all_brokers(pipeline):
+    for broker_id in list(pipeline.log.brokers):
+        pipeline.log.recover_broker(broker_id)
+
+
+class TestGracefulDegradation:
+    def test_healthy_query_is_fresh(self):
+        snapshot = _query(_pipeline())
+        assert isinstance(snapshot, AnalyticsSnapshot)
+        assert not snapshot.stale
+        assert snapshot.age_s == 0.0
+        assert snapshot.reason is None
+        assert len(snapshot.results) > 0
+
+    def test_failure_serves_last_known_with_staleness(self):
+        pipeline = _pipeline()
+        fresh = _query(pipeline)
+        _fail_all_brokers(pipeline)
+        pipeline.clock.advance(7.5)
+        stale = _query(pipeline)
+        assert stale.stale
+        assert stale.results == fresh.results
+        assert stale.age_s == pytest.approx(7.5)
+        assert "BrokerDown" in stale.reason
+
+    def test_recovery_returns_to_fresh(self):
+        pipeline = _pipeline()
+        _query(pipeline)
+        _fail_all_brokers(pipeline)
+        assert _query(pipeline).stale
+        _recover_all_brokers(pipeline)
+        again = _query(pipeline)
+        assert not again.stale
+        assert again.age_s == 0.0
+
+    def test_failure_with_no_cache_raises(self):
+        pipeline = _pipeline()
+        _fail_all_brokers(pipeline)
+        with pytest.raises(BrokerDown):
+            _query(pipeline)
+
+    def test_cache_is_keyed_per_aggregation(self):
+        pipeline = _pipeline()
+        _query(pipeline)  # caches (readings, 10.0, mean) only
+        _fail_all_brokers(pipeline)
+        with pytest.raises(BrokerDown):
+            pipeline.resilient_windowed_aggregate(
+                "readings", key_fn=lambda v: v["sensor"],
+                value_fn=lambda v: v["v"], window_s=20.0)
+
+    def test_staleness_accumulates_until_recovery(self):
+        pipeline = _pipeline()
+        _query(pipeline)
+        _fail_all_brokers(pipeline)
+        pipeline.clock.advance(3.0)
+        first = _query(pipeline)
+        pipeline.clock.advance(4.0)
+        second = _query(pipeline)
+        assert second.age_s == pytest.approx(first.age_s + 4.0)
+        assert second.computed_at == first.computed_at

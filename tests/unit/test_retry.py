@@ -1,0 +1,186 @@
+"""Retry policy, retrier and circuit breaker."""
+
+import pytest
+
+from repro.util.clock import SimClock
+from repro.util.errors import CircuitOpen, ConfigError, RetryExhausted
+from repro.util.retry import CircuitBreaker, Retrier, RetryPolicy, retry_call
+
+
+class Flaky:
+    """Fails the first ``failures`` calls, then succeeds."""
+
+    def __init__(self, failures, exc=RuntimeError):
+        self.failures = failures
+        self.exc = exc
+        self.calls = 0
+
+    def __call__(self):
+        self.calls += 1
+        if self.calls <= self.failures:
+            raise self.exc(f"failure {self.calls}")
+        return "ok"
+
+
+class TestRetryPolicy:
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            RetryPolicy(max_attempts=0)
+        with pytest.raises(ConfigError):
+            RetryPolicy(multiplier=0.5)
+        with pytest.raises(ConfigError):
+            RetryPolicy(jitter=1.0)
+        with pytest.raises(ConfigError):
+            RetryPolicy(base_delay_s=-1.0)
+        with pytest.raises(ConfigError):
+            RetryPolicy(deadline_s=-0.1)
+
+    def test_delays_grow_exponentially_up_to_cap(self):
+        policy = RetryPolicy(base_delay_s=1.0, multiplier=2.0,
+                             max_delay_s=5.0, jitter=0.0)
+        assert policy.delays(4) == [1.0, 2.0, 4.0, 5.0]
+
+    def test_jitter_is_seeded_and_deterministic(self):
+        a = RetryPolicy(jitter=0.3, seed=42).delays(6)
+        b = RetryPolicy(jitter=0.3, seed=42).delays(6)
+        c = RetryPolicy(jitter=0.3, seed=43).delays(6)
+        assert a == b
+        assert a != c
+
+    def test_jitter_stays_within_band(self):
+        policy = RetryPolicy(base_delay_s=1.0, multiplier=1.0,
+                             max_delay_s=1.0, jitter=0.2, seed=5)
+        for delay in policy.delays(50):
+            assert 0.8 <= delay <= 1.2
+
+
+class TestRetrier:
+    def test_succeeds_after_transient_failures(self):
+        fn = Flaky(3)
+        retrier = Retrier(RetryPolicy(max_attempts=5, jitter=0.0))
+        assert retrier.call(fn) == "ok"
+        assert fn.calls == 4
+        assert retrier.retries == 3
+
+    def test_exhausts_attempts(self):
+        fn = Flaky(100)
+        retrier = Retrier(RetryPolicy(max_attempts=3, jitter=0.0))
+        with pytest.raises(RetryExhausted) as info:
+            retrier.call(fn)
+        assert fn.calls == 3
+        assert isinstance(info.value.last_error, RuntimeError)
+
+    def test_non_matching_exception_propagates_immediately(self):
+        fn = Flaky(2, exc=ValueError)
+        retrier = Retrier(RetryPolicy(max_attempts=5))
+        with pytest.raises(ValueError):
+            retrier.call(fn, retry_on=(KeyError,))
+        assert fn.calls == 1
+
+    def test_deadline_bounds_total_backoff(self):
+        # Delays 1, 2, 4, ...: the third retry would push past 4s.
+        policy = RetryPolicy(max_attempts=10, base_delay_s=1.0,
+                             multiplier=2.0, jitter=0.0, deadline_s=4.0)
+        clock = SimClock()
+        retrier = Retrier(policy, clock=clock)
+        with pytest.raises(RetryExhausted) as info:
+            retrier.call(Flaky(100))
+        assert "deadline" in str(info.value)
+        assert retrier.total_backoff_s == pytest.approx(3.0)
+        assert clock.now == pytest.approx(3.0)
+
+    def test_backoff_advances_sim_clock(self):
+        clock = SimClock()
+        retrier = Retrier(RetryPolicy(max_attempts=4, base_delay_s=0.5,
+                                      multiplier=2.0, jitter=0.0),
+                          clock=clock)
+        retrier.call(Flaky(3))
+        assert clock.now == pytest.approx(0.5 + 1.0 + 2.0)
+
+    def test_on_retry_hook_sees_each_failure(self):
+        seen = []
+        retrier = Retrier(RetryPolicy(max_attempts=4, jitter=0.0))
+        retrier.call(Flaky(2),
+                     on_retry=lambda attempt, exc: seen.append(attempt))
+        assert seen == [1, 2]
+
+    def test_retry_call_convenience(self):
+        assert retry_call(Flaky(1),
+                          RetryPolicy(max_attempts=2, jitter=0.0)) == "ok"
+
+
+class TestCircuitBreaker:
+    def _tripped(self, clock, threshold=3):
+        breaker = CircuitBreaker(failure_threshold=threshold,
+                                 reset_timeout_s=10.0, clock=clock)
+        for _ in range(threshold):
+            breaker.record_failure()
+        return breaker
+
+    def test_trips_after_consecutive_failures(self):
+        clock = SimClock()
+        breaker = CircuitBreaker(failure_threshold=3, clock=clock)
+        breaker.record_failure()
+        breaker.record_failure()
+        assert breaker.state == CircuitBreaker.CLOSED
+        breaker.record_failure()
+        assert breaker.state == CircuitBreaker.OPEN
+        assert breaker.trips == 1
+
+    def test_success_resets_the_failure_streak(self):
+        breaker = CircuitBreaker(failure_threshold=3)
+        breaker.record_failure()
+        breaker.record_failure()
+        breaker.record_success()
+        breaker.record_failure()
+        breaker.record_failure()
+        assert breaker.state == CircuitBreaker.CLOSED
+
+    def test_open_rejects_until_cooldown(self):
+        clock = SimClock()
+        breaker = self._tripped(clock)
+        assert not breaker.allow()
+        with pytest.raises(CircuitOpen):
+            breaker.call(lambda: "never runs")
+        assert breaker.rejected == 1
+        clock.advance(10.0)
+        assert breaker.allow()
+        assert breaker.state == CircuitBreaker.HALF_OPEN
+
+    def test_half_open_success_closes(self):
+        clock = SimClock()
+        breaker = self._tripped(clock)
+        clock.advance(10.0)
+        assert breaker.call(lambda: "probe") == "probe"
+        assert breaker.state == CircuitBreaker.CLOSED
+
+    def test_half_open_failure_reopens_and_restarts_cooldown(self):
+        clock = SimClock()
+        breaker = self._tripped(clock)
+        clock.advance(10.0)
+        assert breaker.allow()
+        breaker.record_failure()
+        assert breaker.state == CircuitBreaker.OPEN
+        assert breaker.trips == 2
+        clock.advance(9.9)
+        assert not breaker.allow()
+        clock.advance(0.1)
+        assert breaker.allow()
+
+    def test_multiple_half_open_successes_required(self):
+        clock = SimClock()
+        breaker = CircuitBreaker(failure_threshold=1, reset_timeout_s=1.0,
+                                 half_open_successes=2, clock=clock)
+        breaker.record_failure()
+        clock.advance(1.0)
+        assert breaker.allow()
+        breaker.record_success()
+        assert breaker.state == CircuitBreaker.HALF_OPEN
+        breaker.record_success()
+        assert breaker.state == CircuitBreaker.CLOSED
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            CircuitBreaker(failure_threshold=0)
+        with pytest.raises(ConfigError):
+            CircuitBreaker(reset_timeout_s=-1.0)

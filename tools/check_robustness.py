@@ -1,0 +1,194 @@
+#!/usr/bin/env python
+"""Robustness gate: a fixed whole-system fault schedule must recover.
+
+One seeded schedule kills a streaming operator mid-batch, makes a log
+partition unavailable on the fetch path, re-delivers already-consumed
+records, and times out an offload task — then the gate asserts:
+
+1. the supervised streaming run's sinks are **bit-identical** to the
+   fault-free run, in per-item, batched and chained modes;
+2. the offload runner absorbs the timeout and still serves the frame;
+3. the same seed reproduces the same fault trace on a second run.
+
+Exit 0 when all hold, 1 otherwise.  Runs the ``chaos``-marked suite
+first unless ``--skip-tests``.
+
+Usage:  python tools/check_robustness.py [--seed N] [--skip-tests]
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO / "src"))
+
+from repro.chaos import (  # noqa: E402
+    SITE_FETCH,
+    SITE_OFFLOAD,
+    SITE_OPERATOR,
+    ChaosLogCluster,
+    FaultInjector,
+    FaultPlan,
+    FaultSpec,
+    fault_free_sinks,
+    reference_events,
+    reference_job,
+    run_with_recovery,
+)
+from repro.eventlog.broker import LogCluster, TopicConfig  # noqa: E402
+from repro.eventlog.producer import Producer  # noqa: E402
+from repro.offload import OffloadPlanner, OffloadRunner  # noqa: E402
+from repro.offload.tasks import StageProfile, vision_pipeline  # noqa: E402
+from repro.simnet.network import LINK_PRESETS  # noqa: E402
+from repro.simnet.topology import NodeSpec, Topology  # noqa: E402
+from repro.streaming.connectors import log_source  # noqa: E402
+from repro.util.clock import SimClock  # noqa: E402
+from repro.util.rng import RngRegistry  # noqa: E402
+
+MODES = [(False, False), (True, False), (True, True)]
+
+
+def _env() -> dict[str, str]:
+    env = dict(os.environ)
+    src = str(REPO / "src")
+    existing = env.get("PYTHONPATH")
+    env["PYTHONPATH"] = f"{src}:{existing}" if existing else src
+    return env
+
+
+def run_chaos_suite() -> bool:
+    print("== chaos test suite ==", flush=True)
+    proc = subprocess.run(
+        [sys.executable, "-m", "pytest", "-q", "-m", "chaos or slow"],
+        cwd=REPO, env=_env())
+    return proc.returncode == 0
+
+
+def the_schedule(seed: int) -> FaultPlan:
+    """Operator crash mid-batch + partition drop + duplicate delivery
+    (streaming/log) and an offload task timeout — the acceptance
+    scenario, pinned."""
+    return FaultPlan(specs=(
+        FaultSpec("operator_crash", SITE_OPERATOR, at=83,
+                  target="window_sum"),
+        FaultSpec("partition_unavailable", SITE_FETCH, at=2, count=2),
+        FaultSpec("duplicate_delivery", SITE_FETCH, at=6, param=3),
+        FaultSpec("task_timeout", SITE_OFFLOAD, at=0, target="edge"),
+    ), seed=seed, name="robustness-gate")
+
+
+def seeded_cluster(seed: int, injector: FaultInjector | None):
+    cluster = LogCluster(num_brokers=3)
+    cluster.create_topic(TopicConfig("events", partitions=2, replication=2))
+    producer = Producer(cluster, clock=SimClock(), idempotent=True)
+    for element in reference_events(seed=seed, n=200):
+        producer.send("events", element.value,
+                      key=str(element.value["k"]),
+                      timestamp=element.timestamp)
+    if injector is None:
+        return cluster
+    return ChaosLogCluster(cluster, injector)
+
+
+def check_streaming_recovery(seed: int) -> tuple[bool, list]:
+    print("\n== streaming recovery (log-backed, all modes) ==")
+    ok = True
+    traces = []
+    for batch_mode, chaining in MODES:
+        golden = fault_free_sinks(
+            lambda: reference_job(
+                log_source(seeded_cluster(seed, None), "events")),
+            batch_mode=batch_mode, chaining=chaining)
+        injector = FaultInjector(the_schedule(seed))
+        chaos = seeded_cluster(seed, injector)
+        report = run_with_recovery(
+            reference_job(log_source(chaos, "events")), injector,
+            batch_mode=batch_mode, chaining=chaining)
+        identical = report.sink_values == golden
+        ok = ok and identical
+        traces.append(injector.trace_tuples())
+        mode = ("chained" if chaining else
+                "batched" if batch_mode else "per-item")
+        print(f"  {mode:>8}: crashes={report.crashes} "
+              f"broker_faults={report.broker_faults} "
+              f"restores={report.restores} "
+              f"sinks {'IDENTICAL' if identical else 'DIVERGED'}")
+    return ok, traces
+
+
+def check_offload_timeout(seed: int) -> bool:
+    print("\n== offload timeout absorption ==")
+    rngs = RngRegistry(seed)
+    topology = Topology(rngs.get("net"))
+    topology.add_node(NodeSpec("device", cpu_hz=2e9, role="device"))
+    topology.add_node(NodeSpec("edge", cpu_hz=16e9, role="edge"))
+    topology.add_node(NodeSpec("cloud", cpu_hz=64e9, role="cloud"))
+    topology.add_link("device", "edge", LINK_PRESETS["wifi"])
+    topology.add_link("edge", "cloud", LINK_PRESETS["wan"])
+    runner = OffloadRunner(OffloadPlanner(topology, "device"),
+                           injector=FaultInjector(the_schedule(seed)),
+                           clock=SimClock())
+    pipeline = vision_pipeline(StageProfile(
+        pixels=320 * 240, features=200, matches=80, ransac_iterations=50))
+    result = runner.execute(pipeline)
+    served = bool(result.attempts and result.attempts[-1].ok)
+    print(f"  timeouts={result.timeouts} final_tier={result.tier} "
+          f"degraded={result.degraded} "
+          f"frame {'SERVED' if served else 'DROPPED'}")
+    return served and result.timeouts >= 1
+
+
+def check_trace_reproducibility(seed: int, first: list) -> bool:
+    print("\n== trace reproducibility (same seed, second run) ==")
+    _, second = check_quietly(seed)
+    same = first == second
+    print(f"  {len(first[0])} fired faults per streaming mode; "
+          f"traces {'MATCH' if same else 'DIFFER'}")
+    return same
+
+
+def check_quietly(seed: int) -> tuple[bool, list]:
+    traces = []
+    ok = True
+    for batch_mode, chaining in MODES:
+        injector = FaultInjector(the_schedule(seed))
+        chaos = seeded_cluster(seed, injector)
+        report = run_with_recovery(
+            reference_job(log_source(chaos, "events")), injector,
+            batch_mode=batch_mode, chaining=chaining)
+        ok = ok and bool(report.failures)
+        traces.append(injector.trace_tuples())
+    return ok, traces
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--skip-tests", action="store_true",
+                        help="skip the chaos-marked pytest suite")
+    args = parser.parse_args()
+
+    if not args.skip_tests and not run_chaos_suite():
+        print("\ncheck_robustness: FAIL (chaos suite)")
+        return 1
+    recovered, traces = check_streaming_recovery(args.seed)
+    if not recovered:
+        print("\ncheck_robustness: FAIL (recovered sinks diverged)")
+        return 1
+    if not check_offload_timeout(args.seed):
+        print("\ncheck_robustness: FAIL (offload frame not served)")
+        return 1
+    if not check_trace_reproducibility(args.seed, traces):
+        print("\ncheck_robustness: FAIL (fault trace not reproducible)")
+        return 1
+    print("\ncheck_robustness: OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
