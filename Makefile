@@ -4,10 +4,13 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test chaos perf robustness verify
+.PHONY: test chaos perf robustness obs verify
 
 test:  ## tier-1: fast unit/integration/property tests
 	$(PYTHON) -m pytest -x -q
+
+obs:  ## observability gate: span-tree completeness + overhead budget
+	$(PYTHON) tools/check_obs.py
 
 chaos:  ## fault-injection recovery suites (chaos + slow markers)
 	$(PYTHON) -m pytest -q -m "chaos or slow"
@@ -18,5 +21,5 @@ perf:  ## throughput regression gate vs committed baseline
 robustness:  ## fixed-schedule crash-recovery smoke
 	$(PYTHON) tools/check_robustness.py --skip-tests
 
-verify: test perf chaos robustness
+verify: test perf obs chaos robustness
 	@echo "verify: all gates passed"

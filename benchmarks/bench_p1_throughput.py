@@ -21,6 +21,13 @@ future PRs against throughput regressions.
 
 Also micro-benches two satellite fixes: the cached sample array in
 ``util.metrics.Summary`` and the vectorized sketch ``add_many`` kernels.
+
+All measured rates are reported *through* a
+:class:`~repro.util.metrics.MetricsRegistry` (the tables read the
+snapshot, not the raw floats), and an observability-overhead section
+times the chained job with hooks off / disabled / fully enabled —
+backing the "<5% enabled, ~0% disabled" budget that
+``tools/check_obs.py`` gates.
 """
 
 import argparse
@@ -34,8 +41,9 @@ import numpy as np
 sys.path.insert(0, str(Path(__file__).parent))
 
 from repro.analytics.sketches import CountMinSketch, HyperLogLog
+from repro.obs import Tracer
 from repro.streaming import Element, Executor, JobBuilder, TumblingWindows
-from repro.util.metrics import Summary
+from repro.util.metrics import MetricsRegistry, Summary
 
 from tableprint import print_table
 
@@ -75,9 +83,8 @@ def _canonical_sink(sink) -> list[tuple]:
             for r in sink.values]
 
 
-def bench_pipeline(n_events: int) -> dict:
+def bench_pipeline(n_events: int, registry: MetricsRegistry) -> dict:
     elements = _elements(n_events)
-    eps: dict[str, float] = {}
     outputs: dict[str, list[tuple]] = {}
     for mode, flags in MODES.items():
         job = _build_job(elements)  # fresh operators (state) per mode
@@ -85,12 +92,16 @@ def bench_pipeline(n_events: int) -> dict:
         start = time.perf_counter()
         sinks = executor.run(source_batch=SOURCE_BATCH)
         elapsed = time.perf_counter() - start
-        eps[mode] = n_events / elapsed
+        registry.gauge("bench.eps", mode=mode).set(n_events / elapsed)
         outputs[mode] = _canonical_sink(sinks["out"])
     base = outputs["per_item"]
     for mode in ("batched", "chained"):
         assert outputs[mode] == base, (
             f"{mode} execution diverged from per-item results")
+    # Results flow through the registry: the report table and the
+    # committed baseline both read the snapshot, not local floats.
+    snap = registry.snapshot()
+    eps = {mode: snap[f"bench.eps{{mode={mode}}}"] for mode in MODES}
     return {
         "per_item_eps": eps["per_item"],
         "batched_eps": eps["batched"],
@@ -98,6 +109,54 @@ def bench_pipeline(n_events: int) -> dict:
         "speedup_batched": eps["batched"] / eps["per_item"],
         "speedup_chained": eps["chained"] / eps["per_item"],
         "window_results": len(base),
+    }
+
+
+def bench_obs_overhead(n_events: int, registry: MetricsRegistry,
+                       repeats: int = 3) -> dict:
+    """Chained-mode throughput with observability off / disabled / on.
+
+    Configs run back-to-back within each round and the reported ratio is
+    the median of within-round ratios — the same drift-cancelling
+    statistic ``tools/check_obs.py`` gates (see the comment there).
+    """
+    elements = _elements(n_events)
+
+    def one_run(tracer, metrics) -> float:
+        executor = Executor(_build_job(elements), tracer=tracer,
+                            metrics=metrics)
+        start = time.perf_counter()
+        executor.run(source_batch=SOURCE_BATCH)
+        return n_events / (time.perf_counter() - start)
+
+    configs = {
+        "off": lambda: (None, None),
+        "disabled": lambda: (Tracer(enabled=False), None),
+        "enabled": lambda: (Tracer(), MetricsRegistry()),
+    }
+    for make in configs.values():
+        one_run(*make())  # warmup, discarded
+    for _ in range(repeats):
+        round_eps = {}
+        for name, make in configs.items():
+            round_eps[name] = one_run(*make())
+            registry.summary("bench.obs_eps", config=name).observe(
+                round_eps[name])
+        for name in ("disabled", "enabled"):
+            registry.summary("bench.obs_ratio", config=name).observe(
+                round_eps[name] / round_eps["off"])
+
+    snap = registry.snapshot()
+    rates = {name: snap[f"bench.obs_eps{{config={name}}}.p50"]
+             for name in configs}
+    ratios = {name: snap[f"bench.obs_ratio{{config={name}}}.p50"]
+              for name in ("disabled", "enabled")}
+    return {
+        "off_eps": rates["off"],
+        "disabled_eps": rates["disabled"],
+        "enabled_eps": rates["enabled"],
+        "disabled_overhead": 1.0 - ratios["disabled"],
+        "enabled_overhead": 1.0 - ratios["enabled"],
     }
 
 
@@ -163,12 +222,17 @@ def bench_sketches(n_keys: int = 30_000) -> dict:
 
 
 def run_experiment(n_events: int = N_EVENTS) -> dict:
+    # `config` and `throughput` are read by tools/check_perf.py against
+    # the committed baseline — extend results with new keys only.
+    registry = MetricsRegistry()
     return {
         "config": {"n_events": n_events, "n_keys": N_KEYS,
                    "source_batch": SOURCE_BATCH, "window_s": WINDOW_S},
-        "throughput": bench_pipeline(n_events),
+        "throughput": bench_pipeline(n_events, registry),
+        "obs_overhead": bench_obs_overhead(n_events, registry),
         "summary_metrics": bench_summary_metrics(),
         "sketch": bench_sketches(),
+        "metrics": registry.snapshot(),
     }
 
 
@@ -182,6 +246,14 @@ def report(results: dict) -> None:
          ["batched", t["batched_eps"], t["speedup_batched"]],
          ["chained", t["chained_eps"], t["speedup_chained"]]],
         note="identical sink contents across all modes (asserted)")
+    o = results["obs_overhead"]
+    print_table(
+        "P1  observability overhead (chained mode)",
+        ["config", "elements/s", "overhead vs off"],
+        [["off", o["off_eps"], 0.0],
+         ["tracer disabled", o["disabled_eps"], o["disabled_overhead"]],
+         ["tracer + metrics", o["enabled_eps"], o["enabled_overhead"]]],
+        note="budget: <5% enabled, ~0% disabled (gated by tools/check_obs.py)")
     s, k = results["summary_metrics"], results["sketch"]
     print_table(
         "P1  satellite kernels",

@@ -53,7 +53,9 @@ class RecoveryReport:
 def run_with_recovery(job: JobGraph, injector: FaultInjector | None = None,
                       *, batch_mode: bool = True, chaining: bool = True,
                       source_batch: int = 64, checkpoint_every: int = 1,
-                      max_failures: int = 1000) -> RecoveryReport:
+                      max_failures: int = 1000, tracer: Any = None,
+                      metrics: Any = None,
+                      profiler: Any = None) -> RecoveryReport:
     """Run ``job`` to completion, checkpointing and restoring on faults.
 
     Catches :class:`OperatorCrash` (injected or organic operator death)
@@ -62,16 +64,32 @@ def run_with_recovery(job: JobGraph, injector: FaultInjector | None = None,
     latest checkpoint.  ``max_failures`` bounds pathological plans —
     the deterministic schedule cannot re-fire a passed fault, so any
     finite plan terminates well below it.
+
+    ``tracer``/``metrics``/``profiler`` (duck-typed, see
+    :mod:`repro.obs`) thread straight through to the executor; the
+    harness adds a ``supervised`` span around the whole run with one
+    event per crash/broker fault, so a chaos trace shows recovery
+    structure, and reuses the profiler's registry for ``chaos.*``
+    counters.
     """
     executor = Executor(job, batch_mode=batch_mode, chaining=chaining,
-                        injector=injector)
+                        injector=injector, tracer=tracer, metrics=metrics,
+                        profiler=profiler)
     report = RecoveryReport(sink_values={})
+    supervised = (tracer.start_span(f"supervised:{job.name}")
+                  if tracer is not None else None)
 
     def _check_budget() -> None:
         if report.failures > max_failures:
             raise ChaosError(
                 f"gave up after {report.failures} failures; the fault "
                 "plan appears to re-fire indefinitely")
+
+    def _fault(kind: str) -> None:
+        if supervised is not None:
+            supervised.add_event("fault", kind=kind)
+        if metrics is not None:
+            metrics.counter("chaos.faults", kind=kind).inc()
 
     def _restore(checkpoint: Checkpoint) -> None:
         # Restoring a log-backed source re-reads the log, so the restore
@@ -82,35 +100,51 @@ def run_with_recovery(job: JobGraph, injector: FaultInjector | None = None,
                 executor.restore(checkpoint)
             except BrokerDown:
                 report.broker_faults += 1
+                _fault("broker")
                 _check_budget()
                 continue
             report.restores += 1
             return
 
-    # Checkpoint zero: the initial state is always a valid restore point,
-    # so a crash before the first aligned snapshot restarts from scratch.
-    last: Checkpoint = executor.checkpoint()
-    report.checkpoints += 1
-    while True:
-        try:
-            executor.run(source_batch=source_batch,
-                         max_cycles=checkpoint_every)
-        except OperatorCrash:
-            report.crashes += 1
-            _check_budget()
-            _restore(last)
-            continue
-        except BrokerDown:
-            report.broker_faults += 1
-            _check_budget()
-            # The source fetch hit a fault window; restoring resets
-            # in-flight state, then the retry re-reads the log.
-            _restore(last)
-            continue
-        if executor.done:
-            break
-        last = executor.checkpoint()
+    def _supervise() -> None:
+        # Checkpoint zero: the initial state is always a valid restore
+        # point, so a crash before the first aligned snapshot restarts
+        # from scratch.
+        last: Checkpoint = executor.checkpoint()
         report.checkpoints += 1
+        while True:
+            try:
+                executor.run(source_batch=source_batch,
+                             max_cycles=checkpoint_every)
+            except OperatorCrash:
+                report.crashes += 1
+                _fault("crash")
+                _check_budget()
+                _restore(last)
+                continue
+            except BrokerDown:
+                report.broker_faults += 1
+                _fault("broker")
+                _check_budget()
+                # The source fetch hit a fault window; restoring resets
+                # in-flight state, then the retry re-reads the log.
+                _restore(last)
+                continue
+            if executor.done:
+                break
+            last = executor.checkpoint()
+            report.checkpoints += 1
+
+    if supervised is not None:
+        with tracer.activate(supervised):
+            _supervise()
+        supervised.set_attr("crashes", report.crashes)
+        supervised.set_attr("broker_faults", report.broker_faults)
+        supervised.set_attr("checkpoints", report.checkpoints)
+        supervised.set_attr("restores", report.restores)
+        supervised.end()
+    else:
+        _supervise()
     report.sink_values = {name: list(buf.values)
                           for name, buf in executor.sinks.items()}
     if injector is not None:

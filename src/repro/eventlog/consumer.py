@@ -8,7 +8,7 @@ the mechanism behind the horizontal-scaling ablation (exp A2).
 
 from __future__ import annotations
 
-from typing import Iterator
+from typing import Any, Iterator
 
 from ..util.clock import SimClock
 from ..util.errors import BrokerDown, LogError, OffsetOutOfRange
@@ -31,9 +31,15 @@ class Consumer:
 
     def __init__(self, cluster: LogCluster, topic: str,
                  partitions: list[int] | None = None,
-                 start: str = "earliest", dedup: bool = False) -> None:
+                 start: str = "earliest", dedup: bool = False,
+                 tracer: Any = None) -> None:
         self.cluster = cluster
         self.topic = topic
+        #: optional :class:`repro.obs.trace.Tracer` (duck-typed).  When
+        #: set, each delivered record gets a "consume" span parented on
+        #: the producer's span via the record's ``traceparent`` header —
+        #: the cross-broker-hop causal link.
+        self.tracer = tracer
         if partitions is None:
             partitions = list(range(cluster.partition_count(topic)))
         self.partitions = sorted(partitions)
@@ -128,11 +134,23 @@ class Consumer:
             if rows:
                 fetched_any = True
             delivered = self._delivered.get(p, position)
+            tracer = self.tracer
             for offset, record in rows:
                 if self.dedup and offset < delivered:
                     self.duplicates_dropped += 1
                     continue
                 out.append(ConsumedRecord(self.topic, p, offset, record))
+                if tracer is not None:
+                    # Parent on the producer's span when the record
+                    # carries a traceparent header; otherwise fall back
+                    # to the active span (an untraced producer).
+                    span = tracer.start_span(
+                        "consume",
+                        parent=tracer.parse_traceparent(
+                            record.headers.get("traceparent")),
+                        attrs={"topic": self.topic, "partition": p,
+                               "offset": offset})
+                    span.end()
             if rows:
                 # Positions only move forward: a fetch that re-delivered
                 # older offsets (duplicate delivery) must not rewind us.
@@ -152,11 +170,18 @@ class Consumer:
         callers that treat an empty poll as end-of-partition don't stop
         early with live data still ahead.
         """
+        span = None
+        if self.tracer is not None:
+            span = self.tracer.start_span(
+                "consume:poll", attrs={"topic": self.topic})
         out, fetched_any = self._poll_once(max_records)
         guard = 0
         while self.dedup and not out and fetched_any and guard < 64:
             guard += 1
             out, fetched_any = self._poll_once(max_records)
+        if span is not None:
+            span.set_attr("records", len(out))
+            span.end()
         return out
 
     def poll_with_retry(self, max_records: int = 512,

@@ -40,10 +40,16 @@ class Producer:
     _next_producer_id = 0
 
     def __init__(self, cluster: LogCluster, clock: SimClock | None = None,
-                 idempotent: bool = False) -> None:
+                 idempotent: bool = False, tracer: Any = None) -> None:
         self.cluster = cluster
         self.clock = clock
         self.idempotent = idempotent
+        #: optional :class:`repro.obs.trace.Tracer` (duck-typed, like the
+        #: executor's hooks).  When set, every ``send`` opens a "produce"
+        #: span and stamps its context into the record's ``traceparent``
+        #: header so consumers can parent their spans across the broker
+        #: hop (W3C trace-context in miniature).
+        self.tracer = tracer
         self.producer_id = Producer._next_producer_id
         Producer._next_producer_id += 1
         self.epoch = 0
@@ -83,6 +89,11 @@ class Producer:
         if partition is None:
             partition = self._choose_partition(topic, key)
         all_headers = dict(headers or {})
+        span = None
+        if self.tracer is not None:
+            span = self.tracer.start_span(
+                "produce", attrs={"topic": topic, "partition": partition})
+            all_headers["traceparent"] = span.traceparent
         sequence = None
         if self.idempotent:
             sequence = self._sequences.get((topic, partition), -1) + 1
@@ -92,17 +103,26 @@ class Producer:
             all_headers["seq"] = str(sequence)
         record = Record(value=value, key=key, timestamp=timestamp,
                         headers=all_headers)
-        if self.idempotent:
-            # Remember the attempt *before* the append: an ambiguous
-            # failure (applied but the ack was lost) must be retryable
-            # via resend_last with the same sequence.
-            self._last_record = (topic, partition, record, sequence,
-                                 self.epoch)
-            offset = self.cluster.append_idempotent(
-                topic, partition, record, self.producer_id, sequence,
-                epoch=self.epoch)
-        else:
-            offset = self.cluster.append(topic, partition, record)
+        try:
+            if self.idempotent:
+                # Remember the attempt *before* the append: an ambiguous
+                # failure (applied but the ack was lost) must be retryable
+                # via resend_last with the same sequence.
+                self._last_record = (topic, partition, record, sequence,
+                                     self.epoch)
+                offset = self.cluster.append_idempotent(
+                    topic, partition, record, self.producer_id, sequence,
+                    epoch=self.epoch)
+            else:
+                offset = self.cluster.append(topic, partition, record)
+        except Exception as exc:
+            if span is not None:
+                span.set_attr("error", type(exc).__name__)
+                span.end()
+            raise
+        if span is not None:
+            span.set_attr("offset", offset)
+            span.end()
         self.sent += 1
         self.bytes_sent += record.size_bytes
         return partition, offset
@@ -116,9 +136,27 @@ class Producer:
         if last is None:
             raise ValueError("nothing sent yet")
         topic, partition, record, sequence, epoch = last
-        offset = self.cluster.append_idempotent(
-            topic, partition, record, self.producer_id, sequence,
-            epoch=epoch)
+        span = None
+        if self.tracer is not None:
+            # The record keeps its original traceparent: a retry is the
+            # same logical produce, so consumers still parent on the
+            # first attempt's span.
+            span = self.tracer.start_span(
+                "produce:retry",
+                attrs={"topic": topic, "partition": partition,
+                       "seq": sequence})
+        try:
+            offset = self.cluster.append_idempotent(
+                topic, partition, record, self.producer_id, sequence,
+                epoch=epoch)
+        except Exception as exc:
+            if span is not None:
+                span.set_attr("error", type(exc).__name__)
+                span.end()
+            raise
+        if span is not None:
+            span.set_attr("offset", offset)
+            span.end()
         self.duplicates_rejected += 1
         return partition, offset
 

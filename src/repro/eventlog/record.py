@@ -82,3 +82,7 @@ class ConsumedRecord:
     @property
     def timestamp(self) -> float:
         return self.record.timestamp
+
+    @property
+    def headers(self) -> Mapping[str, str]:
+        return self.record.headers

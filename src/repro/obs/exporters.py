@@ -1,0 +1,175 @@
+"""Exporters: spans and metric snapshots out of the process.
+
+Three sinks cover the repo's needs:
+
+- :class:`InMemoryExporter` — collects everything in lists (tests).
+- :class:`JsonLinesExporter` — one JSON object per line, NaN-safe
+  (``json.dumps`` with ``allow_nan=False`` would otherwise crash on a
+  never-set gauge or an empty summary; we scrub non-finite floats to
+  ``None`` first so files always re-parse).
+- :class:`ConsoleExporter` — aligned human-readable tables.
+
+``span_to_dict``/``span_from_dict`` define the canonical wire form, and
+``read_jsonl`` is the inverse of :class:`JsonLinesExporter` — the
+round-trip (emit → parse → same span tree) is asserted by the exporter
+tests.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import sys
+from pathlib import Path
+from typing import Any, Iterable, Sequence, TextIO
+
+from .trace import Span, SpanEvent
+
+__all__ = [
+    "span_to_dict",
+    "span_from_dict",
+    "json_safe",
+    "InMemoryExporter",
+    "JsonLinesExporter",
+    "ConsoleExporter",
+    "read_jsonl",
+]
+
+
+def json_safe(value: Any) -> Any:
+    """Recursively replace non-finite floats with ``None`` (and coerce
+    numpy scalars) so the result survives ``json.dumps(allow_nan=False)``."""
+    if isinstance(value, dict):
+        return {str(k): json_safe(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [json_safe(v) for v in value]
+    if isinstance(value, bool) or value is None or isinstance(value, (str, int)):
+        return value
+    if isinstance(value, float):
+        return value if math.isfinite(value) else None
+    # numpy scalars and other number-likes
+    try:
+        as_float = float(value)
+    except (TypeError, ValueError):
+        return str(value)
+    return as_float if math.isfinite(as_float) else None
+
+
+def span_to_dict(span: Span) -> dict[str, Any]:
+    """Canonical serialized form of one span."""
+    return {
+        "trace_id": span.trace_id,
+        "span_id": span.span_id,
+        "parent_id": span.parent_id,
+        "name": span.name,
+        "start": span.start_time,
+        "end": span.end_time,
+        "attrs": dict(span.attrs),
+        "events": [{"name": e.name, "ts": e.timestamp, "attrs": dict(e.attrs)}
+                   for e in span.events],
+    }
+
+
+def span_from_dict(data: dict[str, Any]) -> Span:
+    """Rebuild a detached :class:`Span` from its serialized form."""
+    span = Span(trace_id=data["trace_id"], span_id=data["span_id"],
+                parent_id=data.get("parent_id"), name=data["name"],
+                start_time=float(data["start"]),
+                attrs=data.get("attrs") or {})
+    end = data.get("end")
+    if end is not None:
+        span.end(at=float(end))
+    for event in data.get("events", []):
+        span.events.append(SpanEvent(event["name"], float(event["ts"]),
+                                     dict(event.get("attrs") or {})))
+    return span
+
+
+class InMemoryExporter:
+    """Collects spans and metric snapshots for assertions."""
+
+    def __init__(self) -> None:
+        self.spans: list[dict[str, Any]] = []
+        self.metrics: list[dict[str, Any]] = []
+
+    def export_spans(self, spans: Iterable[Span]) -> int:
+        batch = [span_to_dict(s) for s in spans]
+        self.spans.extend(batch)
+        return len(batch)
+
+    def export_metrics(self, snapshot: dict[str, float]) -> None:
+        self.metrics.append(dict(snapshot))
+
+
+class JsonLinesExporter:
+    """Appends ``{"type": "span"|"metrics", ...}`` lines to a file."""
+
+    def __init__(self, path: str | Path) -> None:
+        self.path = Path(path)
+
+    def _write(self, payload: dict[str, Any]) -> None:
+        line = json.dumps(json_safe(payload), allow_nan=False,
+                          sort_keys=True)
+        with self.path.open("a", encoding="utf-8") as fh:
+            fh.write(line + "\n")
+
+    def export_spans(self, spans: Iterable[Span]) -> int:
+        count = 0
+        for span in spans:
+            self._write({"type": "span", **span_to_dict(span)})
+            count += 1
+        return count
+
+    def export_metrics(self, snapshot: dict[str, float]) -> None:
+        self._write({"type": "metrics", "values": dict(snapshot)})
+
+
+def read_jsonl(path: str | Path) -> tuple[list[dict[str, Any]],
+                                          list[dict[str, Any]]]:
+    """Parse a :class:`JsonLinesExporter` file back into
+    (span dicts, metric snapshots)."""
+    spans: list[dict[str, Any]] = []
+    metrics: list[dict[str, Any]] = []
+    for line in Path(path).read_text(encoding="utf-8").splitlines():
+        if not line.strip():
+            continue
+        payload = json.loads(line)
+        if payload.get("type") == "span":
+            payload.pop("type")
+            spans.append(payload)
+        elif payload.get("type") == "metrics":
+            metrics.append(payload.get("values", {}))
+    return spans, metrics
+
+
+class ConsoleExporter:
+    """Prints spans and metrics as aligned text tables."""
+
+    def __init__(self, stream: TextIO | None = None) -> None:
+        self.stream = stream if stream is not None else sys.stdout
+
+    def export_spans(self, spans: Sequence[Span]) -> int:
+        rows = [("span", "name", "parent", "start", "duration")]
+        for s in spans:
+            rows.append((s.span_id, s.name, s.parent_id or "-",
+                         f"{s.start_time:.6f}",
+                         "open" if s.end_time is None
+                         else f"{s.duration:.6f}"))
+        self._table(rows)
+        return len(spans)
+
+    def export_metrics(self, snapshot: dict[str, float]) -> None:
+        rows = [("metric", "value")]
+        for key in sorted(snapshot):
+            rows.append((key, f"{snapshot[key]:.6g}"))
+        self._table(rows)
+
+    def _table(self, rows: list[tuple[str, ...]]) -> None:
+        widths = [max(len(str(row[i])) for row in rows)
+                  for i in range(len(rows[0]))]
+        for i, row in enumerate(rows):
+            line = "  ".join(str(cell).ljust(w)
+                             for cell, w in zip(row, widths))
+            print(line.rstrip(), file=self.stream)
+            if i == 0:
+                print("  ".join("-" * w for w in widths), file=self.stream)

@@ -1,0 +1,34 @@
+"""Lightweight profiling hooks: per-operator wall time into the registry.
+
+The streaming executor (and anything else with a hot loop) accepts an
+optional :class:`Profiler`; when present it brackets each node's batch
+with ``timer()`` reads and records the elapsed time as a labelled
+summary (``op.wall_s{op=<name>}``).  The timer is injected — pass
+``clock.now`` to stay deterministic, or ``time.perf_counter`` when you
+genuinely want wall time (benchmarks only; library code must stay
+reproducible, see CONTRIBUTING.md ground rule 1).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from ..util.metrics import MetricsRegistry
+
+__all__ = ["Profiler"]
+
+
+class Profiler:
+    """Records elapsed-time observations into a metrics registry."""
+
+    def __init__(self, registry: MetricsRegistry,
+                 timer: Callable[[], float]) -> None:
+        self.registry = registry
+        self.timer = timer
+
+    def record(self, name: str, started: float, **labels: Any) -> float:
+        """Observe ``timer() - started`` under ``name{labels}``; returns
+        the elapsed value so call sites can reuse it."""
+        elapsed = self.timer() - started
+        self.registry.summary(name, **labels).observe(elapsed)
+        return elapsed

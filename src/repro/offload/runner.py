@@ -70,7 +70,8 @@ class OffloadRunner:
                  clock: SimClock | None = None,
                  max_attempts_per_tier: int = 2,
                  failure_threshold: int = 3,
-                 reset_timeout_s: float = 30.0) -> None:
+                 reset_timeout_s: float = 30.0,
+                 tracer=None, metrics=None) -> None:
         if deadline_s is not None and deadline_s <= 0:
             raise OffloadError("deadline must be positive")
         if max_attempts_per_tier < 1:
@@ -78,6 +79,10 @@ class OffloadRunner:
         self.planner = planner
         self.policy = policy if policy is not None else GreedyLatency()
         self.injector = injector
+        # Duck-typed observability hooks, same convention as the
+        # streaming executor: None keeps every path hook-free.
+        self.tracer = tracer
+        self.metrics = metrics
         self.deadline_s = deadline_s
         self.clock = clock if clock is not None else SimClock()
         self.max_attempts_per_tier = max_attempts_per_tier
@@ -122,8 +127,57 @@ class OffloadRunner:
         return self.planner.price(pipeline, max(pipeline.valid_cuts()),
                                   self.planner.device.name)
 
+    def _start_attempt(self, attempt: OffloadAttempt):
+        if self.tracer is None:
+            return None
+        attrs = {"tier": attempt.tier, "cut": attempt.cut, "ok": attempt.ok}
+        if attempt.error is not None:
+            attrs["error"] = attempt.error
+        return self.tracer.start_span("offload:attempt", attrs=attrs)
+
+    def _end_attempt(self, span, attempt: OffloadAttempt) -> None:
+        """Close the attempt span (started before the clock advance, so
+        its duration is the modelled attempt latency) and record it."""
+        if span is not None:
+            span.end()
+        if self.metrics is not None:
+            self.metrics.summary("offload.attempt_latency_s",
+                                 tier=attempt.tier).observe(
+                                     attempt.latency_s)
+
     def execute(self, pipeline: Pipeline) -> OffloadResult:
         """Run one frame to completion, degrading to local if needed."""
+        span = None
+        if self.tracer is not None:
+            span = self.tracer.start_span(
+                "offload:frame", attrs={"pipeline": pipeline.name})
+        try:
+            if span is not None:
+                with self.tracer.activate(span):
+                    result = self._execute(pipeline)
+            else:
+                result = self._execute(pipeline)
+        except Exception as exc:
+            if span is not None:
+                span.set_attr("error", type(exc).__name__)
+                span.end()
+            raise
+        if span is not None:
+            span.set_attr("tier", result.tier)
+            span.set_attr("degraded", result.degraded)
+            span.end()
+        if self.metrics is not None:
+            m = self.metrics
+            m.counter("offload.frames").inc()
+            m.counter("offload.timeouts").inc(result.timeouts)
+            m.counter("offload.dropouts").inc(result.dropouts)
+            if result.degraded:
+                m.counter("offload.degraded").inc()
+            m.summary("offload.frame_latency_s").observe(
+                sum(a.latency_s for a in result.attempts))
+        return result
+
+    def _execute(self, pipeline: Pipeline) -> OffloadResult:
         self.frames += 1
         result = OffloadResult(outcome=self._local(pipeline))
         excluded: set[str] = set()
@@ -143,10 +197,13 @@ class OffloadRunner:
                     result.degraded = True
                     self.degraded_frames += 1
                 result.outcome = outcome
-                result.attempts.append(OffloadAttempt(
+                attempt = OffloadAttempt(
                     tier=outcome.tier_node, cut=outcome.cut, ok=True,
-                    latency_s=outcome.latency_s))
+                    latency_s=outcome.latency_s)
+                result.attempts.append(attempt)
+                span = self._start_attempt(attempt)
                 self.clock.advance(outcome.latency_s)
+                self._end_attempt(span, attempt)
                 return result
             tier = outcome.tier_node
             tier_attempts[tier] = tier_attempts.get(tier, 0) + 1
@@ -161,29 +218,38 @@ class OffloadRunner:
                         f"{self.deadline_s * 1000:.0f}ms deadline")
             except TaskTimeout as exc:
                 result.timeouts += 1
-                result.attempts.append(OffloadAttempt(
+                attempt = OffloadAttempt(
                     tier=tier, cut=outcome.cut, ok=False, error=str(exc),
-                    latency_s=self.deadline_s or outcome.latency_s))
+                    latency_s=self.deadline_s or outcome.latency_s)
+                result.attempts.append(attempt)
                 self.breaker(tier).record_failure()
+                span = self._start_attempt(attempt)
                 # The caller ate the full timeout budget waiting.
                 self.clock.advance(self.deadline_s or outcome.latency_s)
+                self._end_attempt(span, attempt)
                 if tier_attempts[tier] >= self.max_attempts_per_tier:
                     excluded.add(tier)
                 continue
             except TierDropout as exc:
                 result.dropouts += 1
-                result.attempts.append(OffloadAttempt(
+                attempt = OffloadAttempt(
                     tier=tier, cut=outcome.cut, ok=False, error=str(exc),
-                    latency_s=outcome.latency_s / 2.0))
+                    latency_s=outcome.latency_s / 2.0)
+                result.attempts.append(attempt)
                 self.breaker(tier).record_failure()
+                span = self._start_attempt(attempt)
                 # The connection died partway through the task.
                 self.clock.advance(outcome.latency_s / 2.0)
+                self._end_attempt(span, attempt)
                 excluded.add(tier)
                 continue
             self.breaker(tier).record_success()
             result.outcome = outcome
-            result.attempts.append(OffloadAttempt(
+            attempt = OffloadAttempt(
                 tier=tier, cut=outcome.cut, ok=True,
-                latency_s=outcome.latency_s))
+                latency_s=outcome.latency_s)
+            result.attempts.append(attempt)
+            span = self._start_attempt(attempt)
             self.clock.advance(outcome.latency_s)
+            self._end_attempt(span, attempt)
             return result

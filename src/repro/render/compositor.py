@@ -79,7 +79,8 @@ class Compositor:
                  occlusion: OcclusionWorld | None = None,
                  occlusion_policy: str = "xray",
                  declutter: bool = True,
-                 budget: FrameBudget | None = None) -> None:
+                 budget: FrameBudget | None = None,
+                 tracer=None, metrics=None) -> None:
         if occlusion_policy not in ("hide", "xray", "ignore"):
             raise RenderError(
                 f"unknown occlusion policy {occlusion_policy!r}")
@@ -88,9 +89,26 @@ class Compositor:
         self.occlusion_policy = occlusion_policy
         self.declutter = declutter
         self.budget = budget
+        # Duck-typed observability hooks, same convention as the
+        # streaming executor; None keeps compose() hook-free.
+        self.tracer = tracer
+        self.metrics = metrics
         self.frames_composited = 0
 
     def compose(self, scene: SceneGraph, pose: Pose) -> OverlayFrame:
+        if self.tracer is None:
+            return self._compose(scene, pose)
+        span = self.tracer.start_span("render:compose")
+        with self.tracer.activate(span):
+            frame = self._compose(scene, pose)
+        span.set_attr("drawn", frame.drawn)
+        span.set_attr("culled_offscreen", frame.culled_offscreen)
+        span.set_attr("culled_occluded", frame.culled_occluded)
+        span.set_attr("shed_by_budget", frame.shed_by_budget)
+        span.end()
+        return frame
+
+    def _compose(self, scene: SceneGraph, pose: Pose) -> OverlayFrame:
         self.frames_composited += 1
         screen = Rect(0, 0, self.intrinsics.width, self.intrinsics.height)
         annotations = scene.all_world_annotations()
@@ -163,10 +181,18 @@ class Compositor:
                 xray=occluded and self.occlusion_policy == "xray",
                 payload=annotation.payload,
             ))
-        return OverlayFrame(
+        frame = OverlayFrame(
             items=items,
             culled_offscreen=culled_offscreen,
             culled_occluded=culled_occluded,
             shed_by_budget=shed,
             layout=clutter_metrics(placed, screen),
         )
+        if self.metrics is not None:
+            m = self.metrics
+            m.counter("render.frames").inc()
+            m.counter("render.culled_offscreen").inc(culled_offscreen)
+            m.counter("render.culled_occluded").inc(culled_occluded)
+            m.counter("render.shed_by_budget").inc(shed)
+            m.summary("render.drawn_per_frame").observe(frame.drawn)
+        return frame

@@ -41,6 +41,10 @@ class ChainedOperator(Operator):
     """
 
     chainable = False  # chains are built once; never re-fused
+    #: optional :class:`repro.obs.profile.Profiler` (duck-typed) set by
+    #: the executor — the chain times each member so per-operator wall
+    #: time survives fusion.
+    profiler: Any = None
 
     def __init__(self, operators: Sequence[Operator]) -> None:
         if len(operators) < 2:
@@ -66,9 +70,15 @@ class ChainedOperator(Operator):
         )
 
     def process_batch(self, items: Iterable[StreamItem]) -> list[StreamItem]:
+        profiler = self.profiler
         pending: list[StreamItem] | Iterable[StreamItem] = items
         for op in self.operators:
-            pending = op.process_batch(pending)
+            if profiler is None:
+                pending = op.process_batch(pending)
+            else:
+                started = profiler.timer()
+                pending = op.process_batch(pending)
+                profiler.record("op.wall_s", started, op=op.name)
             if not pending:
                 return []
         return list(pending)

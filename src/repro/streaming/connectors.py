@@ -9,7 +9,7 @@ for multi-stage pipelines (raw -> analytics -> AR content topics).
 
 from __future__ import annotations
 
-from typing import Callable, Iterable
+from typing import Any, Callable, Iterable
 
 from ..eventlog.broker import LogCluster
 from ..eventlog.consumer import Consumer
@@ -21,7 +21,7 @@ __all__ = ["log_source", "log_sink"]
 
 def log_source(cluster: LogCluster, topic: str,
                partitions: list[int] | None = None,
-               time_ordered: bool = True,
+               time_ordered: bool = True, tracer: Any = None,
                ) -> Callable[[], Iterable[Element]]:
     """A re-runnable source reading everything retained in ``topic``.
 
@@ -39,20 +39,31 @@ def log_source(cluster: LogCluster, topic: str,
 
     def iterate() -> Iterable[Element]:
         consumer = Consumer(cluster, topic, partitions, start="earliest",
-                            dedup=True)
-        if not time_ordered:
-            for batch in consumer.iter_batches(max_records=1024):
-                for row in batch:
+                            dedup=True, tracer=tracer)
+        span = (tracer.start_span(f"log_source:{topic}",
+                                  attrs={"topic": topic})
+                if tracer is not None else None)
+        records = 0
+        try:
+            if not time_ordered:
+                for batch in consumer.iter_batches(max_records=1024):
+                    records += len(batch)
+                    for row in batch:
+                        yield Element(value=row.value,
+                                      timestamp=row.timestamp, key=row.key)
+            else:
+                rows = []
+                for batch in consumer.iter_batches(max_records=4096):
+                    rows.extend(batch)
+                rows.sort(key=lambda r: (r.timestamp, r.partition, r.offset))
+                records = len(rows)
+                for row in rows:
                     yield Element(value=row.value, timestamp=row.timestamp,
                                   key=row.key)
-            return
-        rows = []
-        for batch in consumer.iter_batches(max_records=4096):
-            rows.extend(batch)
-        rows.sort(key=lambda r: (r.timestamp, r.partition, r.offset))
-        for row in rows:
-            yield Element(value=row.value, timestamp=row.timestamp,
-                          key=row.key)
+        finally:
+            if span is not None:
+                span.set_attr("records", records)
+                span.end()
 
     return iterate
 

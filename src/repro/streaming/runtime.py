@@ -113,7 +113,9 @@ class Executor:
 
     def __init__(self, job: JobGraph, channel_capacity: int = 10_000,
                  drop_on_overflow: bool = False, batch_mode: bool = True,
-                 chaining: bool = True, injector: Any = None) -> None:
+                 chaining: bool = True, injector: Any = None,
+                 tracer: Any = None, metrics: Any = None,
+                 profiler: Any = None) -> None:
         job.validate()
         self.job = job
         self.channel_capacity = channel_capacity
@@ -125,9 +127,24 @@ class Executor:
         #: ``intercept_batch(op, items, process)`` and ``before_item(op)``
         #: works.  ``None`` keeps the hot paths hook-free.
         self.injector = injector
+        #: optional observability hooks (see :mod:`repro.obs`) — all
+        #: duck-typed for the same layering reason as ``injector``:
+        #: ``tracer`` needs ``start_span``/``activate``, ``metrics`` a
+        #: :class:`~repro.util.metrics.MetricsRegistry` surface, and
+        #: ``profiler`` ``timer()``/``record()``.  ``None`` (the
+        #: default) keeps every hot path branch-predictable and free.
+        self.tracer = tracer
+        self.metrics = metrics
+        self.profiler = profiler
         self.sinks: dict[str, SinkBuffer] = {
             s: SinkBuffer(s) for s in job.sinks
         }
+        self._job_span: Any = None
+        self._obs_spans: dict[str, Any] = {}
+        self._max_event_ts = float("-inf")
+        # Registry lookups render labelled keys; hot paths go through
+        # this handle cache instead of re-rendering per item.
+        self._metric_handles: dict[tuple[str, str], Any] = {}
         self._build_plan()
         self._source_iters: dict[str, Any] = {}
         self._source_positions: dict[str, int] = {}
@@ -156,6 +173,9 @@ class Executor:
         for head, members in chains.items():
             chained = ChainedOperator([self.job.operators[m]
                                        for m in members])
+            # Per-member wall time is measured inside the chain (the
+            # executor only sees the fused node).
+            chained.profiler = self.profiler
             self._exec_ops[chained.name] = chained
             for m in members:
                 in_chain[m] = chained.name
@@ -227,11 +247,15 @@ class Executor:
         if len(channel) >= self.channel_capacity:
             if self.drop_on_overflow:
                 self.dropped_overflow += 1
+                if self.metrics is not None:
+                    self.metrics.counter("channel.dropped", node=node).inc()
                 return
             # Backpressure: in the single-threaded model the producer
             # stalls, which we account for and then proceed (the channel
             # grows — the counter is the signal the benchmarks read).
             self.backpressure_events += 1
+            if self.metrics is not None:
+                self.metrics.counter("channel.backpressure", node=node).inc()
             if len(channel) >= self.channel_capacity * 10:
                 raise BackpressureOverflow(
                     f"channel into {node!r} exceeded 10x capacity; "
@@ -255,14 +279,35 @@ class Executor:
             if room:
                 channel.extend(items[:room])
             self.dropped_overflow += n - room
+            if self.metrics is not None:
+                self.metrics.counter("channel.dropped",
+                                     node=node).inc(n - room)
             return
-        # Every append observed at >= capacity is one backpressure event.
-        self.backpressure_events += n - max(0, min(n, capacity - occupancy))
         if occupancy + n > capacity * 10:
+            # Mirror per-item semantics exactly: ``_offer`` appends until
+            # the channel reaches 10x capacity and raises on the item
+            # that finds it full, so ``i0`` items land and ``i0 + 1``
+            # appends observed a channel at or over capacity.  (The
+            # previous batch path counted all ``n`` items as
+            # backpressure and extended nothing — diverging from
+            # per-item execution in both the counter and the channel.)
+            i0 = capacity * 10 - occupancy
+            channel.extend(items[:i0])
+            events = (i0 + 1) - max(0, min(i0 + 1, capacity - occupancy))
+            self.backpressure_events += events
+            if self.metrics is not None:
+                self.metrics.counter("channel.backpressure",
+                                     node=node).inc(events)
             raise BackpressureOverflow(
                 f"channel into {node!r} exceeded 10x capacity; "
                 "the job cannot keep up and dropping is disabled"
             )
+        # Every append observed at >= capacity is one backpressure event.
+        events = n - max(0, min(n, capacity - occupancy))
+        self.backpressure_events += events
+        if self.metrics is not None and events:
+            self.metrics.counter("channel.backpressure",
+                                 node=node).inc(events)
         channel.extend(items)
 
     def _route(self, node: str, items: Iterable[StreamItem]) -> None:
@@ -274,6 +319,8 @@ class Executor:
                 if sink is not None:
                     if isinstance(item, Element):
                         sink.elements.append(item)
+                        if self.metrics is not None:
+                            self._observe_sink(down, item)
                 else:
                     self._offer(down, side, item)
 
@@ -284,10 +331,41 @@ class Executor:
         for down, side in self._down.get(node, ()):
             sink = self.sinks.get(down)
             if sink is not None:
-                sink.elements.extend(
-                    item for item in items if isinstance(item, Element))
+                if self.metrics is None:
+                    sink.elements.extend(
+                        item for item in items if isinstance(item, Element))
+                else:
+                    delivered = [i for i in items if isinstance(i, Element)]
+                    sink.elements.extend(delivered)
+                    for item in delivered:
+                        self._observe_sink(down, item)
             else:
                 self._offer_batch(down, side, items)
+
+    def _observe_sink(self, sink: str, element: Element) -> None:
+        """Watermark-lag proxy per delivery: distance between this
+        element's event time and the newest event time any sink has seen.
+        Zero for in-order delivery; grows with out-of-orderness and
+        windowing delay."""
+        ts = element.timestamp
+        if ts > self._max_event_ts:
+            self._max_event_ts = ts
+        handles = self._metric_handles.get(("sink", sink))
+        if handles is None:
+            handles = (self.metrics.counter("sink.delivered", sink=sink),
+                       self.metrics.summary("sink.watermark_lag_s",
+                                            sink=sink))
+            self._metric_handles[("sink", sink)] = handles
+        delivered, lag = handles
+        delivered.inc()
+        lag.observe(self._max_event_ts - ts)
+
+    def _batch_size_summary(self, node: str) -> Any:
+        summary = self._metric_handles.get(("batch", node))
+        if summary is None:
+            summary = self.metrics.summary("op.batch_size", op=node)
+            self._metric_handles[("batch", node)] = summary
+        return summary
 
     # -- drain cycles --------------------------------------------------------
 
@@ -310,14 +388,21 @@ class Executor:
     def _drain_cycle_batched(self) -> int:
         moved = 0
         injector = self.injector
+        metrics = self.metrics
+        profiler = self.profiler
         for name in self._topo:
             op = self._exec_ops[name]
+            chained = isinstance(op, ChainedOperator)
+            started = (profiler.timer()
+                       if profiler is not None and not chained else 0.0)
+            drained = 0
             if isinstance(op, IntervalJoinOperator):
                 for side in ("left", "right"):
                     pending = self._take_channel(name, side)
                     if pending is None:
                         continue
                     moved += len(pending)
+                    drained += len(pending)
                     if injector is None:
                         out = op.process_side_batch(side, pending)
                     else:
@@ -331,17 +416,26 @@ class Executor:
                 if pending is None:
                     continue
                 moved += len(pending)
+                drained = len(pending)
                 if injector is None:
                     out = op.process_batch(pending)
                 else:
                     out = injector.intercept_batch(op, pending,
                                                    op.process_batch)
                 self._route_batch(name, out)
+            if drained:
+                if metrics is not None:
+                    self._batch_size_summary(name).observe(drained)
+                # Chain members time themselves (see ChainedOperator).
+                if profiler is not None and not chained:
+                    profiler.record("op.wall_s", started, op=name)
         return moved
 
     def _drain_cycle_per_item(self) -> int:
         moved = 0
         injector = self.injector
+        metrics = self.metrics
+        profiler = self.profiler
         for name in self._topo:
             op = self._exec_ops[name]
             for side in ([None] if not isinstance(op, IntervalJoinOperator)
@@ -349,6 +443,7 @@ class Executor:
                 pending = self._take_channel(name, side)
                 if pending is None:
                     continue
+                started = profiler.timer() if profiler is not None else 0.0
                 for item in pending:
                     moved += 1
                     if injector is not None:
@@ -361,12 +456,86 @@ class Executor:
                     else:
                         out = op.handle(item)
                     self._route(name, out)
+                if metrics is not None:
+                    self._batch_size_summary(name).observe(len(pending))
+                if profiler is not None:
+                    profiler.record("op.wall_s", started, op=name)
         return moved
+
+    # -- observability -------------------------------------------------------
+
+    def _mode_name(self) -> str:
+        if not self.batch_mode:
+            return "per_item"
+        return "chained" if self.chaining else "batched"
+
+    def _ensure_spans(self) -> None:
+        """Create (once) the job span plus one child span per *logical*
+        source/operator/sink.  Spans follow the logical graph rather than
+        the execution plan, so the span tree — names, parentage, count —
+        is identical across per-item, batched and chained modes."""
+        if self.tracer is None or self._job_span is not None:
+            return
+        self._job_span = self.tracer.start_span(
+            f"job:{self.job.name}", attrs={"mode": self._mode_name()})
+        for name in sorted(self.job.sources):
+            self._obs_spans[f"source:{name}"] = self.tracer.start_span(
+                f"source:{name}", parent=self._job_span)
+        for name in self.job.topological_operators():
+            self._obs_spans[f"op:{name}"] = self.tracer.start_span(
+                f"op:{name}", parent=self._job_span)
+        for name in sorted(self.job.sinks):
+            self._obs_spans[f"sink:{name}"] = self.tracer.start_span(
+                f"sink:{name}", parent=self._job_span)
+
+    def _close_spans(self) -> None:
+        if self._job_span is None:
+            return
+        for name in self.job.sources:
+            span = self._obs_spans[f"source:{name}"]
+            span.set_attr("records",
+                          len(self._source_buffers.get(name, ())))
+            span.end()
+        for name, op in self.job.operators.items():
+            span = self._obs_spans[f"op:{name}"]
+            span.set_attr("processed", op.processed)
+            span.set_attr("emitted", op.emitted)
+            span.end()
+        for name, buf in self.sinks.items():
+            span = self._obs_spans[f"sink:{name}"]
+            span.set_attr("delivered", len(buf))
+            span.end()
+        self._job_span.set_attr("backpressure_events",
+                                self.backpressure_events)
+        self._job_span.set_attr("dropped_overflow", self.dropped_overflow)
+        self._job_span.end()
+
+    def _publish_metrics(self) -> None:
+        """Final gauge values, published once at end-of-run."""
+        if self.metrics is None:
+            return
+        self.metrics.gauge("executor.backpressure_events").set(
+            self.backpressure_events)
+        self.metrics.gauge("executor.dropped_overflow").set(
+            self.dropped_overflow)
+        for name, op in self.job.operators.items():
+            self.metrics.gauge("op.processed", op=name).set(op.processed)
+            self.metrics.gauge("op.emitted", op=name).set(op.emitted)
+        for name, buf in self.sinks.items():
+            self.metrics.gauge("sink.size", sink=name).set(len(buf))
 
     # -- run loop --------------------------------------------------------------------
 
     def run(self, source_batch: int = 256, max_cycles: int | None = None) -> dict[str, SinkBuffer]:
         """Run until sources are exhausted and channels drained."""
+        if self.tracer is not None:
+            self._ensure_spans()
+            with self.tracer.activate(self._job_span):
+                return self._run_loop(source_batch, max_cycles)
+        return self._run_loop(source_batch, max_cycles)
+
+    def _run_loop(self, source_batch: int,
+                  max_cycles: int | None) -> dict[str, SinkBuffer]:
         cycles = 0
         route = self._route_batch if self.batch_mode else self._route
         while True:
@@ -385,6 +554,8 @@ class Executor:
                 break
         if len(self._finished_sources) == len(self.job.sources):
             self._flush()
+            self._close_spans()
+            self._publish_metrics()
         return self.sinks
 
     def _flush(self) -> None:
@@ -419,7 +590,9 @@ class Executor:
             raise CheckpointError("cannot checkpoint with items in flight; "
                                   "call run() or drain first")
         self._checkpoint_seq += 1
-        return Checkpoint(
+        started = (self.profiler.timer()
+                   if self.profiler is not None else 0.0)
+        snapshot = Checkpoint(
             checkpoint_id=self._checkpoint_seq,
             # Unmaterialized sources snapshot at position 0, so a
             # checkpoint taken before the first pull is a valid
@@ -430,6 +603,14 @@ class Executor:
                             for name, op in self.job.operators.items()},
             emitted_to_sinks={s: len(buf) for s, buf in self.sinks.items()},
         )
+        if self.profiler is not None:
+            self.profiler.record("checkpoint.duration_s", started)
+        if self.metrics is not None:
+            self.metrics.counter("executor.checkpoints").inc()
+        if self._job_span is not None:
+            self._job_span.add_event(
+                "checkpoint", checkpoint_id=snapshot.checkpoint_id)
+        return snapshot
 
     def restore(self, checkpoint: Checkpoint) -> None:
         """Rewind the job to a snapshot (sources, state, sink truncation)."""
@@ -451,3 +632,8 @@ class Executor:
         for channel in self._channels.values():
             channel.clear()
         self._flushed = False
+        if self.metrics is not None:
+            self.metrics.counter("executor.restores").inc()
+        if self._job_span is not None:
+            self._job_span.add_event(
+                "restore", checkpoint_id=checkpoint.checkpoint_id)

@@ -17,6 +17,10 @@ class ConfigError(ReproError):
     """Invalid configuration value or inconsistent parameter combination."""
 
 
+class MetricsError(ReproError):
+    """Metric misuse: e.g. one name registered as two different kinds."""
+
+
 class ClockError(ReproError):
     """Attempt to move simulated time backwards or misuse the clock."""
 

@@ -8,7 +8,13 @@ Three primitives cover everything the experiments need:
   (stores samples; our runs are bounded so this is simpler and exact).
 
 A :class:`MetricsRegistry` namespaces them so one object threads through
-a pipeline.
+a pipeline.  The registry is *typed*: a metric family name belongs to
+exactly one kind for the registry's lifetime — re-using ``"x"`` as both
+a counter and a gauge raises :class:`~repro.util.errors.MetricsError`
+instead of letting ``snapshot()`` silently overwrite one with the other.
+Families take optional labels (``registry.counter("op.processed",
+op="double")``), rendered Prometheus-style as
+``op.processed{op=double}`` in snapshots.
 """
 
 from __future__ import annotations
@@ -16,6 +22,8 @@ from __future__ import annotations
 import math
 
 import numpy as np
+
+from .errors import MetricsError
 
 __all__ = ["Counter", "Gauge", "Summary", "MetricsRegistry"]
 
@@ -33,13 +41,26 @@ class Counter:
 
 
 class Gauge:
-    """Last observed value."""
+    """Last observed value.
+
+    A gauge that was never ``set()`` reads as NaN but is *skipped* by
+    :meth:`MetricsRegistry.snapshot` — a registered-but-unset gauge used
+    to leak ``nan`` into snapshots, which ``json.dumps`` serializes as
+    an invalid bare ``NaN`` token.
+    """
 
     def __init__(self) -> None:
         self.value: float = math.nan
+        self.updated = False
 
     def set(self, value: float) -> None:
         self.value = float(value)
+        self.updated = True
+
+    def inc(self, amount: float = 1.0) -> None:
+        """Adjust the gauge relative to its current value (0 if unset)."""
+        base = self.value if self.updated else 0.0
+        self.set(base + amount)
 
 
 class Summary:
@@ -79,11 +100,14 @@ class Summary:
 
     @property
     def minimum(self) -> float:
-        return min(self._samples) if self._samples else math.nan
+        # Through the cached array: min()/max() on the Python list would
+        # rescan all samples on every read, turning hot-loop metric
+        # reads back into O(n) work the cache exists to avoid.
+        return float(self._as_array().min()) if self._samples else math.nan
 
     @property
     def maximum(self) -> float:
-        return max(self._samples) if self._samples else math.nan
+        return float(self._as_array().max()) if self._samples else math.nan
 
     @property
     def total(self) -> float:
@@ -99,27 +123,59 @@ class Summary:
         return list(self._samples)
 
 
+def _render_key(name: str, labels: dict[str, object]) -> str:
+    if not labels:
+        return name
+    inner = ",".join(f"{k}={labels[k]}" for k in sorted(labels))
+    return f"{name}{{{inner}}}"
+
+
 class MetricsRegistry:
-    """Namespace of counters/gauges/summaries, created on first use."""
+    """Typed namespace of counters/gauges/summaries, created on first use."""
 
     def __init__(self) -> None:
         self._counters: dict[str, Counter] = {}
         self._gauges: dict[str, Gauge] = {}
         self._summaries: dict[str, Summary] = {}
+        # family name -> kind; one kind per name for the registry's life
+        self._kinds: dict[str, str] = {}
 
-    def counter(self, name: str) -> Counter:
-        return self._counters.setdefault(name, Counter())
+    def _key(self, kind: str, name: str, labels: dict[str, object]) -> str:
+        registered = self._kinds.setdefault(name, kind)
+        if registered != kind:
+            raise MetricsError(
+                f"metric {name!r} is already registered as a {registered}; "
+                f"cannot re-use the name as a {kind}")
+        return _render_key(name, labels)
 
-    def gauge(self, name: str) -> Gauge:
-        return self._gauges.setdefault(name, Gauge())
+    def counter(self, name: str, **labels: object) -> Counter:
+        key = self._key("counter", name, labels)
+        return self._counters.setdefault(key, Counter())
 
-    def summary(self, name: str) -> Summary:
-        return self._summaries.setdefault(name, Summary())
+    def gauge(self, name: str, **labels: object) -> Gauge:
+        key = self._key("gauge", name, labels)
+        return self._gauges.setdefault(key, Gauge())
+
+    def summary(self, name: str, **labels: object) -> Summary:
+        key = self._key("summary", name, labels)
+        return self._summaries.setdefault(key, Summary())
 
     def snapshot(self) -> dict[str, float]:
-        """Flat name->value view (summaries report their mean)."""
+        """Flat name->value view.
+
+        Counters always appear; gauges only once ``set()`` (a never-set
+        gauge would inject NaN and break JSON export); summaries report
+        ``.count`` always and ``.mean``/``.p50``/``.p99`` once they hold
+        at least one sample.
+        """
         out: dict[str, float] = {}
         out.update({k: float(c.value) for k, c in self._counters.items()})
-        out.update({k: g.value for k, g in self._gauges.items()})
-        out.update({f"{k}.mean": s.mean for k, s in self._summaries.items()})
+        out.update({k: g.value for k, g in self._gauges.items()
+                    if g.updated})
+        for key, s in self._summaries.items():
+            out[f"{key}.count"] = float(s.count)
+            if s.count:
+                out[f"{key}.mean"] = s.mean
+                out[f"{key}.p50"] = s.percentile(50.0)
+                out[f"{key}.p99"] = s.percentile(99.0)
         return out

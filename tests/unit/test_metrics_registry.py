@@ -1,0 +1,141 @@
+"""Regression tests for the metrics-registry bugfix sweep.
+
+Each class pins one fixed defect:
+
+- cross-type name re-use used to let ``snapshot()`` silently overwrite
+  one family with another — it now raises ``MetricsError``;
+- a registered-but-never-set gauge used to leak ``NaN`` into snapshots
+  (invalid JSON downstream) — it is now skipped until first ``set()``;
+- ``Summary.minimum``/``maximum`` used to rescan the raw Python list on
+  every read instead of the cached array;
+- summary snapshots now expose ``.count``/``.p50``/``.p99``.
+"""
+
+import json
+import math
+
+import numpy as np
+import pytest
+
+from repro.util.errors import MetricsError
+from repro.util.metrics import MetricsRegistry, Summary
+
+
+class TestTypedRegistry:
+    def test_cross_type_reuse_raises(self):
+        registry = MetricsRegistry()
+        registry.counter("x")
+        with pytest.raises(MetricsError, match="already registered as a "
+                                               "counter"):
+            registry.gauge("x")
+        with pytest.raises(MetricsError):
+            registry.summary("x")
+
+    def test_error_names_both_kinds(self):
+        registry = MetricsRegistry()
+        registry.summary("lat")
+        with pytest.raises(MetricsError, match=r"'lat'.*summary.*counter"):
+            registry.counter("lat")
+
+    def test_labels_do_not_split_the_family_type(self):
+        """The kind is per family name, not per labelled key."""
+        registry = MetricsRegistry()
+        registry.counter("ops", node="a")
+        with pytest.raises(MetricsError):
+            registry.gauge("ops", node="b")
+
+    def test_same_kind_reuse_is_fine(self):
+        registry = MetricsRegistry()
+        registry.counter("ops").inc()
+        registry.counter("ops").inc()
+        assert registry.snapshot()["ops"] == 2.0
+
+
+class TestLabels:
+    def test_labels_render_sorted_prometheus_style(self):
+        registry = MetricsRegistry()
+        registry.counter("op.processed", op="double", stage=1).inc(7)
+        assert registry.snapshot()[
+            "op.processed{op=double,stage=1}"] == 7.0
+
+    def test_distinct_labels_are_distinct_series(self):
+        registry = MetricsRegistry()
+        registry.counter("n", k="a").inc(1)
+        registry.counter("n", k="b").inc(2)
+        snap = registry.snapshot()
+        assert snap["n{k=a}"] == 1.0
+        assert snap["n{k=b}"] == 2.0
+
+
+class TestGaugeNaN:
+    def test_unset_gauge_skipped_by_snapshot(self):
+        registry = MetricsRegistry()
+        registry.gauge("depth")  # registered, never set
+        registry.counter("ok").inc()
+        snap = registry.snapshot()
+        assert "depth" not in snap
+        json.dumps(snap, allow_nan=False)  # the regression: used to raise
+
+    def test_set_gauge_appears(self):
+        registry = MetricsRegistry()
+        registry.gauge("depth").set(4.0)
+        assert registry.snapshot()["depth"] == 4.0
+
+    def test_gauge_inc_from_unset_starts_at_zero(self):
+        registry = MetricsRegistry()
+        gauge = registry.gauge("depth")
+        gauge.inc(2.0)
+        gauge.inc(-0.5)
+        assert registry.snapshot()["depth"] == 1.5
+
+
+class TestSummarySnapshot:
+    def test_count_p50_p99_keys(self):
+        registry = MetricsRegistry()
+        summary = registry.summary("lat", op="map")
+        for v in range(1, 101):
+            summary.observe(float(v))
+        snap = registry.snapshot()
+        assert snap["lat{op=map}.count"] == 100.0
+        assert snap["lat{op=map}.p50"] == pytest.approx(50.5)
+        assert snap["lat{op=map}.p99"] == pytest.approx(99.01)
+        assert snap["lat{op=map}.mean"] == pytest.approx(50.5)
+
+    def test_empty_summary_reports_count_only(self):
+        registry = MetricsRegistry()
+        registry.summary("lat")
+        snap = registry.snapshot()
+        assert snap == {"lat.count": 0.0}
+        json.dumps(snap, allow_nan=False)
+
+
+class TestSummaryMinMaxCache:
+    def test_min_max_values(self):
+        summary = Summary()
+        for v in [3.0, -1.0, 7.0, 2.0]:
+            summary.observe(v)
+        assert summary.minimum == -1.0
+        assert summary.maximum == 7.0
+
+    def test_min_max_go_through_the_cached_array(self):
+        """Regression: min/max used to rescan the raw list per read."""
+        summary = Summary()
+        summary.observe(1.0)
+        summary.observe(5.0)
+        array = summary._as_array()
+        assert summary._array is not None
+        assert summary.minimum == 1.0 and summary.maximum == 5.0
+        assert summary._array is array  # reads did not drop the cache
+
+    def test_observe_invalidates_cache(self):
+        summary = Summary()
+        summary.observe(1.0)
+        assert summary.maximum == 1.0
+        summary.observe(9.0)
+        assert summary.maximum == 9.0
+        assert isinstance(summary._as_array(), np.ndarray)
+
+    def test_empty_min_max_are_nan(self):
+        summary = Summary()
+        assert math.isnan(summary.minimum)
+        assert math.isnan(summary.maximum)

@@ -1,0 +1,144 @@
+"""Unit tests: repro.obs.trace — spans, tracer, propagation."""
+
+import pytest
+
+from repro.obs import NOOP_SPAN, Tracer
+from repro.util import SimClock
+
+
+class TestIds:
+    def test_ids_are_deterministic_counters(self):
+        tracer = Tracer()
+        a = tracer.start_span("a")
+        b = tracer.start_span("b", parent=a)
+        assert a.trace_id == "t-0000"
+        assert (a.span_id, b.span_id) == ("s-00000", "s-00001")
+
+    def test_two_tracers_produce_identical_ids(self):
+        ids = []
+        for _ in range(2):
+            tracer = Tracer()
+            root = tracer.start_span("root")
+            with tracer.activate(root):
+                tracer.start_span("child")
+            ids.append([(s.trace_id, s.span_id, s.parent_id)
+                        for s in tracer.spans])
+        assert ids[0] == ids[1]
+
+    def test_independent_roots_get_fresh_traces(self):
+        tracer = Tracer()
+        assert tracer.start_span("a").trace_id == "t-0000"
+        assert tracer.start_span("b").trace_id == "t-0001"
+
+
+class TestParenting:
+    def test_explicit_parent(self):
+        tracer = Tracer()
+        parent = tracer.start_span("parent")
+        child = tracer.start_span("child", parent=parent)
+        assert child.parent_id == parent.span_id
+        assert child.trace_id == parent.trace_id
+
+    def test_stack_parenting_via_span_context_manager(self):
+        tracer = Tracer()
+        with tracer.span("outer") as outer:
+            with tracer.span("inner") as inner:
+                leaf = tracer.start_span("leaf")
+        assert inner.parent_id == outer.span_id
+        assert leaf.parent_id == inner.span_id
+        assert tracer.active is None
+
+    def test_activate_scopes_without_ending(self):
+        tracer = Tracer()
+        root = tracer.start_span("root")
+        with tracer.activate(root):
+            child = tracer.start_span("child")
+        assert child.parent_id == root.span_id
+        assert root.end_time is None  # activate never ends the span
+        assert child in tracer.open_spans()
+
+    def test_remote_context_round_trip(self):
+        """traceparent header -> parse -> parent across a 'broker hop'."""
+        producer_side = Tracer()
+        produce = producer_side.start_span("produce")
+        header = produce.traceparent
+
+        consumer_side = Tracer()
+        ctx = Tracer.parse_traceparent(header)
+        consume = consumer_side.start_span("consume", parent=ctx)
+        assert consume.trace_id == produce.trace_id
+        assert consume.parent_id == produce.span_id
+
+    @pytest.mark.parametrize("garbage", [None, "", "no-separator", "/",
+                                         "t-0000/", "/s-00000"])
+    def test_parse_traceparent_rejects_garbage(self, garbage):
+        assert Tracer.parse_traceparent(garbage) is None
+
+
+class TestTiming:
+    def test_timestamps_come_from_the_clock(self):
+        clock = SimClock()
+        tracer = Tracer(clock)
+        span = tracer.start_span("work")
+        clock.advance(1.5)
+        span.add_event("midpoint")
+        clock.advance(0.5)
+        span.end()
+        assert span.start_time == 0.0
+        assert span.events[0].timestamp == 1.5
+        assert span.end_time == 2.0
+        assert span.duration == 2.0
+
+    def test_end_is_idempotent(self):
+        clock = SimClock()
+        tracer = Tracer(clock)
+        span = tracer.start_span("work")
+        clock.advance(1.0)
+        span.end()
+        clock.advance(1.0)
+        span.end()
+        assert span.end_time == 1.0
+
+    def test_open_span_has_zero_duration(self):
+        assert Tracer().start_span("open").duration == 0.0
+
+    def test_finished_and_open_partition_the_spans(self):
+        tracer = Tracer()
+        done = tracer.start_span("done").end()
+        still_open = tracer.start_span("open")
+        assert tracer.finished() == [done]
+        assert tracer.open_spans() == [still_open]
+
+
+class TestDisabled:
+    def test_disabled_tracer_returns_the_shared_noop_span(self):
+        tracer = Tracer(enabled=False)
+        span = tracer.start_span("anything", attrs={"k": 1})
+        assert span is NOOP_SPAN
+        assert not span.is_recording
+        assert tracer.spans == []
+
+    def test_noop_span_absorbs_the_full_api(self):
+        span = Tracer(enabled=False).start_span("x")
+        with span:
+            span.set_attr("a", 1).add_event("e", detail=2).end()
+        assert span.attrs == {}
+        assert span.events == []
+
+    def test_disabled_span_context_manager_does_not_stack(self):
+        tracer = Tracer(enabled=False)
+        with tracer.span("outer"):
+            assert tracer.active is None
+
+
+class TestAttrsAndEvents:
+    def test_attrs_at_start_and_via_set_attr(self):
+        span = Tracer().start_span("s", attrs={"a": 1})
+        span.set_attr("b", 2)
+        assert span.attrs == {"a": 1, "b": 2}
+
+    def test_event_attrs(self):
+        span = Tracer().start_span("s")
+        span.add_event("fault", kind="crash")
+        assert span.events[0].name == "fault"
+        assert span.events[0].attrs == {"kind": "crash"}
