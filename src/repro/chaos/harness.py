@@ -23,7 +23,7 @@ from typing import Any, Callable
 
 from ..streaming.element import Element
 from ..streaming.graph import JobBuilder, JobGraph
-from ..streaming.runtime import Checkpoint, Executor
+from ..streaming.runtime import Executor
 from ..streaming.windows import TumblingWindows
 from ..util.errors import BrokerDown, ChaosError, OperatorCrash
 from ..util.rng import make_rng
@@ -52,6 +52,7 @@ class RecoveryReport:
 
 def run_with_recovery(job: JobGraph, injector: FaultInjector | None = None,
                       *, batch_mode: bool = True, chaining: bool = True,
+                      parallelism: int | dict[str, int] | None = None,
                       source_batch: int = 64, checkpoint_every: int = 1,
                       max_failures: int = 1000, tracer: Any = None,
                       metrics: Any = None,
@@ -65,6 +66,12 @@ def run_with_recovery(job: JobGraph, injector: FaultInjector | None = None,
     the deterministic schedule cannot re-fire a passed fault, so any
     finite plan terminates well below it.
 
+    ``parallelism`` (``None`` = the classic single-instance executor)
+    supervises a :class:`~repro.streaming.execution.ParallelExecutor`
+    instead: same loop, same recovery invariant, but crash sites are
+    per subtask (target ``"window_sum[1]"`` to kill one clone,
+    ``"window_sum"`` to match any of them).
+
     ``tracer``/``metrics``/``profiler`` (duck-typed, see
     :mod:`repro.obs`) thread straight through to the executor; the
     harness adds a ``supervised`` span around the whole run with one
@@ -72,9 +79,18 @@ def run_with_recovery(job: JobGraph, injector: FaultInjector | None = None,
     structure, and reuses the profiler's registry for ``chaos.*``
     counters.
     """
-    executor = Executor(job, batch_mode=batch_mode, chaining=chaining,
-                        injector=injector, tracer=tracer, metrics=metrics,
-                        profiler=profiler)
+    if parallelism is None:
+        executor: Any = Executor(job, batch_mode=batch_mode,
+                                 chaining=chaining, injector=injector,
+                                 tracer=tracer, metrics=metrics,
+                                 profiler=profiler)
+    else:
+        from ..streaming.execution import ParallelExecutor
+        executor = ParallelExecutor(job, parallelism,
+                                    batch_mode=batch_mode,
+                                    chaining=chaining, injector=injector,
+                                    tracer=tracer, metrics=metrics,
+                                    profiler=profiler)
     report = RecoveryReport(sink_values={})
     supervised = (tracer.start_span(f"supervised:{job.name}")
                   if tracer is not None else None)
@@ -91,7 +107,7 @@ def run_with_recovery(job: JobGraph, injector: FaultInjector | None = None,
         if metrics is not None:
             metrics.counter("chaos.faults", kind=kind).inc()
 
-    def _restore(checkpoint: Checkpoint) -> None:
+    def _restore(checkpoint: Any) -> None:
         # Restoring a log-backed source re-reads the log, so the restore
         # itself can land in an unavailability window; the counters only
         # move forward, so retrying walks out of any finite window.
@@ -110,7 +126,7 @@ def run_with_recovery(job: JobGraph, injector: FaultInjector | None = None,
         # Checkpoint zero: the initial state is always a valid restore
         # point, so a crash before the first aligned snapshot restarts
         # from scratch.
-        last: Checkpoint = executor.checkpoint()
+        last: Any = executor.checkpoint()
         report.checkpoints += 1
         while True:
             try:
@@ -197,8 +213,16 @@ def reference_operator_names() -> tuple[str, ...]:
 def fault_free_sinks(build: Callable[[], JobGraph], *,
                      batch_mode: bool = True,
                      chaining: bool = True,
+                     parallelism: int | dict[str, int] | None = None,
                      source_batch: int = 64) -> dict[str, list[Any]]:
     """The golden run: same job, no injector, straight execution."""
-    sinks = Executor(build(), batch_mode=batch_mode,
-                     chaining=chaining).run(source_batch=source_batch)
+    if parallelism is None:
+        executor: Any = Executor(build(), batch_mode=batch_mode,
+                                 chaining=chaining)
+    else:
+        from ..streaming.execution import ParallelExecutor
+        executor = ParallelExecutor(build(), parallelism,
+                                    batch_mode=batch_mode,
+                                    chaining=chaining)
+    sinks = executor.run(source_batch=source_batch)
     return {name: list(buf.values) for name, buf in sinks.items()}

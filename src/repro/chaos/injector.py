@@ -109,10 +109,30 @@ class FaultInjector:
     # -- streaming operator site --------------------------------------------
 
     @staticmethod
-    def _member_names(op: Operator) -> set[str]:
+    def _base_name(name: str) -> str:
+        """Strip a parallel subtask suffix: ``window[1]`` -> ``window``.
+        Physical operator clones in a parallel plan carry the subtask
+        index in brackets (see ParallelExecutor); the logical name is
+        everything before it."""
+        if name.endswith("]"):
+            base, bracket, idx = name.rpartition("[")
+            if bracket and idx[:-1].isdigit():
+                return base
+        return name
+
+    @classmethod
+    def _member_names(cls, op: Operator) -> set[str]:
         names = {op.name}
         if isinstance(op, ChainedOperator):
             names.update(member.name for member in op.operators)
+        # A spec targeting a logical operator name matches any of its
+        # subtask clones; targeting "name[i]" pins one subtask (the
+        # occurrence counters stay per clone either way — they key on
+        # the physical op.name).
+        for name in list(names):
+            base = cls._base_name(name)
+            if base != name:
+                names.add(base)
         return names
 
     def _crash_candidates(self, idents: set[str],

@@ -12,6 +12,7 @@ from typing import Any, Iterator
 
 from ..util.clock import SimClock
 from ..util.errors import BrokerDown, LogError, OffsetOutOfRange
+from ..util.ids import split_ranges
 from ..util.retry import Retrier, RetryPolicy
 from .broker import LogCluster
 from .record import ConsumedRecord
@@ -234,17 +235,20 @@ class ConsumerGroup:
             self._rebalance()
 
     def _rebalance(self) -> None:
-        """Range assignment: contiguous partition slices per member."""
+        """Range assignment: contiguous partition slices per member.
+
+        Uses the same ceil-division range formula as streaming key
+        groups and source splits (:func:`repro.util.ids.split_ranges`),
+        so partition->member, split->subtask and key-group->subtask
+        assignment all agree — a parallel source subtask reading via a
+        consumer group owns exactly the partitions its split range says.
+        """
         self.rebalances += 1
         members = sorted(self._members)
         n_parts = self.cluster.partition_count(self.topic)
-        per = n_parts // len(members)
-        extra = n_parts % len(members)
-        start = 0
-        for i, member_id in enumerate(members):
-            count = per + (1 if i < extra else 0)
-            assigned = list(range(start, start + count))
-            start += count
+        ranges = split_ranges(n_parts, len(members))
+        for member_id, assigned_range in zip(members, ranges):
+            assigned = list(assigned_range)
             consumer = Consumer(self.cluster, self.topic, assigned,
                                 start="earliest")
             for p in assigned:

@@ -11,20 +11,16 @@ from typing import Any, Mapping
 
 from ..util.clock import SimClock
 from ..util.errors import BrokerDown
+from ..util.ids import stable_hash
 from ..util.retry import Retrier, RetryPolicy
 from .broker import LogCluster
 from .record import Record
 
+# Re-exported: stable_hash historically lived here and callers import it
+# from this module; the implementation moved to util.ids so the
+# streaming layer's key groups hash identically without a cross-layer
+# import.
 __all__ = ["Producer", "stable_hash"]
-
-
-def stable_hash(key: str) -> int:
-    """FNV-1a 64-bit — stable across processes, unlike built-in hash()."""
-    h = 1469598103934665603
-    for byte in key.encode("utf-8"):
-        h ^= byte
-        h = (h * 1099511628211) % (1 << 64)
-    return h
 
 
 class Producer:

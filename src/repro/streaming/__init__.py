@@ -2,8 +2,16 @@
 
 from .cep import PatternMatch, PatternOperator, PatternStep
 from .chain import ChainedOperator
-from .connectors import log_sink, log_source
+from .connectors import log_sink, log_source, parallel_log_source
 from .element import Element, StreamItem, Watermark
+from .execution import (
+    ExecutionGraph,
+    ParallelCheckpoint,
+    ParallelExecutor,
+    PhysicalEdge,
+    PhysicalNode,
+    compile_execution_graph,
+)
 from .graph import JobBuilder, JobGraph, SourceSpec
 from .join import IntervalJoinOperator, Joined
 from .operators import (
@@ -16,7 +24,14 @@ from .operators import (
     TimestampAssigner,
     WatermarkGenerator,
 )
-from .runtime import Checkpoint, Executor, SinkBuffer
+from .runtime import Checkpoint, Executor, SinkBuffer, build_chains
+from .shuffle import (
+    DEFAULT_KEY_GROUPS,
+    key_group_for,
+    key_group_range,
+    subtask_for_key,
+    subtask_for_key_group,
+)
 from .state import KeyedState
 from .window_operator import (
     LateRecord,
@@ -45,6 +60,18 @@ __all__ = [
     "Executor",
     "Checkpoint",
     "SinkBuffer",
+    "build_chains",
+    "ExecutionGraph",
+    "PhysicalNode",
+    "PhysicalEdge",
+    "ParallelCheckpoint",
+    "ParallelExecutor",
+    "compile_execution_graph",
+    "DEFAULT_KEY_GROUPS",
+    "key_group_for",
+    "key_group_range",
+    "subtask_for_key",
+    "subtask_for_key_group",
     "Operator",
     "ChainedOperator",
     "MapOperator",
@@ -67,5 +94,6 @@ __all__ = [
     "Joined",
     "KeyedState",
     "log_source",
+    "parallel_log_source",
     "log_sink",
 ]

@@ -54,6 +54,8 @@ class _Partial:
 class PatternOperator(Operator):
     """Keyed sequence matching within a time window."""
 
+    requires_shuffle = True
+
     def __init__(self, name: str, steps: Sequence[PatternStep],
                  within_s: float) -> None:
         super().__init__(name)
@@ -121,3 +123,22 @@ class PatternOperator(Operator):
             partial.events = list(events)
             partial.timestamps = list(timestamps)
             self._partials[key] = partial
+
+    # -- key-grouped checkpoints (parallel plans) ----------------------------
+
+    def snapshot_key_groups(self, num_key_groups: int) -> dict[int, Any]:
+        from .shuffle import group_by_key_group
+        return group_by_key_group(self.snapshot(), num_key_groups)
+
+    def scalar_snapshot(self) -> Any:
+        return {"matches": self.matches}
+
+    def restore_parallel(self, groups: dict[int, Any], scalars: list[Any],
+                         primary: bool = True) -> None:
+        from .shuffle import merge_key_groups
+        self.restore(merge_key_groups(groups.values()))
+        if len(scalars) == 1:
+            self.matches = scalars[0]["matches"]
+        else:
+            self.matches = sum(s["matches"] for s in scalars) \
+                if primary else 0

@@ -41,6 +41,7 @@ class ChainedOperator(Operator):
     """
 
     chainable = False  # chains are built once; never re-fused
+    requires_shuffle = False  # only non-keyed operators ever fuse
     #: optional :class:`repro.obs.profile.Profiler` (duck-typed) set by
     #: the executor — the chain times each member so per-operator wall
     #: time survives fusion.
@@ -52,6 +53,13 @@ class ChainedOperator(Operator):
         super().__init__("chain(" + "+".join(op.name for op in operators)
                          + ")")
         self.operators = list(operators)
+
+    @property
+    def member_names(self) -> list[str]:
+        """Member operator names in chain order (used by the parallel
+        executor's per-subtask bookkeeping and the chaos injector's
+        crash-site targeting)."""
+        return [op.name for op in self.operators]
 
     def handle(self, item: StreamItem) -> list[StreamItem]:
         pending: list[StreamItem] = [item]

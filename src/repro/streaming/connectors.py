@@ -12,11 +12,11 @@ from __future__ import annotations
 from typing import Any, Callable, Iterable
 
 from ..eventlog.broker import LogCluster
-from ..eventlog.consumer import Consumer
+from ..eventlog.consumer import Consumer, ConsumerGroup
 from ..eventlog.producer import Producer
 from .element import Element
 
-__all__ = ["log_source", "log_sink"]
+__all__ = ["log_source", "parallel_log_source", "log_sink"]
 
 
 def log_source(cluster: LogCluster, topic: str,
@@ -66,6 +66,72 @@ def log_source(cluster: LogCluster, topic: str,
                 span.end()
 
     return iterate
+
+
+def parallel_log_source(cluster: LogCluster, topic: str,
+                        *, splits: int | None = None,
+                        group_id: str | None = None,
+                        time_ordered: bool = True, tracer: Any = None,
+                        ) -> tuple[Callable[[int, int], Iterable[Element]],
+                                   int]:
+    """A split-aware source over ``topic``, fanned out via a consumer
+    group: returns ``(split_factory, num_splits)`` for
+    :meth:`~repro.streaming.graph.JobBuilder.source`::
+
+        factory, n = parallel_log_source(cluster, "gps")
+        builder.source("gps", splits=n, split_factory=factory)
+
+    Each split is a consumer-group member; range assignment hands it a
+    contiguous partition slice (the same ceil-division formula as
+    streaming key groups, see :meth:`ConsumerGroup._rebalance`), so
+    split -> partition ownership is deterministic and, because the
+    producer routes a key to a fixed partition, **key-aligned**: a key's
+    records always land in the same split, preserving per-key order in
+    parallel plans.  Splits default to the topic's partition count — one
+    partition per split — and checkpoints store positions per split, so
+    a job over this source rescales freely.
+
+    With ``time_ordered`` each split's replay is merged by event
+    timestamp *within the split* (cross-split order is the parallel
+    plan's business — watermark alignment absorbs the skew).
+    """
+    num_splits = (splits if splits is not None
+                  else cluster.partition_count(topic))
+    gid = group_id if group_id is not None else f"source-{topic}"
+    groups: dict[int, ConsumerGroup] = {}
+
+    def _member(split: int, n: int) -> Consumer:
+        group = groups.get(n)
+        if group is None:
+            group = ConsumerGroup(cluster, topic, f"{gid}-{n}")
+            for i in range(n):
+                group.join(f"split-{i:05d}")
+            groups[n] = group
+        return group.member(f"split-{split:05d}")
+
+    def split_factory(split: int, n: int) -> Iterable[Element]:
+        member = _member(split, n)
+        span = (tracer.start_span(f"log_source:{topic}[{split}]",
+                                  attrs={"topic": topic, "split": split})
+                if tracer is not None else None)
+        # Rewind so the factory is re-runnable (restores re-read splits).
+        for p in member.partitions:
+            member.seek(p, cluster.base_offset(topic, p))
+        rows = []
+        while True:
+            batch = member.poll(max_records=4096)
+            if not batch:
+                break
+            rows.extend(batch)
+        if time_ordered:
+            rows.sort(key=lambda r: (r.timestamp, r.partition, r.offset))
+        if span is not None:
+            span.set_attr("records", len(rows))
+            span.end()
+        return [Element(value=row.value, timestamp=row.timestamp,
+                        key=row.key) for row in rows]
+
+    return split_factory, num_splits
 
 
 def log_sink(cluster: LogCluster, topic: str) -> Callable[[Element], None]:

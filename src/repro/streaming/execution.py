@@ -1,0 +1,999 @@
+"""Logical/physical plan split: the JobGraph -> ExecutionGraph compiler
+and the parallel executor.
+
+A :class:`~repro.streaming.graph.JobGraph` is *logical*: it names
+operators and edges, not instances.  :func:`compile_execution_graph`
+lowers it to a physical :class:`ExecutionGraph` with **per-operator
+parallelism**: every logical operator becomes N subtasks, and every
+logical edge becomes one of
+
+- a **forward** channel (subtask i -> subtask i, equal parallelism),
+- a **hash shuffle** into a keyed operator (stable key -> key group ->
+  subtask, see :mod:`repro.streaming.shuffle`) with watermarks
+  broadcast to all receiving subtasks,
+- a **rebalance** (deterministic round-robin) where parallelism changes
+  on a non-keyed edge, or
+- a **merge** into a sink (sinks are single buffers).
+
+Sources are read as **splits** (the rescaling unit, analogous to topic
+partitions) range-assigned to source subtasks — eventlog-backed sources
+map partitions to splits through consumer groups
+(:func:`~repro.streaming.connectors.parallel_log_source`).
+
+Execution stays single-threaded and deterministic, like
+:class:`~repro.streaming.runtime.Executor`: subtasks are *modelled*
+concurrency.  Each subtask index is a worker lane; per-cycle lane busy
+time is measured and the **modelled makespan** (sum over cycles of the
+slowest lane) is what the parallel benchmarks report as speedup, while
+semantics remain bit-reproducible.
+
+Multi-input subtasks align watermarks per input channel (the minimum
+across channels is forwarded — Flink's watermark valve), so a keyed
+subtask never advances event time past its slowest upstream.
+
+Checkpoints are aligned snapshots taken when quiescent.  Keyed state is
+stored **by key group**, source progress **by split**, so a checkpoint
+taken at parallelism N restores at parallelism M (*rescaling*): key
+groups and splits are reassigned wholesale, scalar operator state
+merges conservatively (watermarks regress to the minimum).  At
+unchanged parallelism a restore is exact — the chaos suite's
+recovered-sinks-equal-fault-free invariant holds bit-for-bit.
+
+Parallelism 1 compiles to the same plan shape as the single-instance
+executor (same chains, all-forward edges) and produces identical sinks.
+
+Equivalence contract (property-tested): for key-aligned sources (same
+key, same split — the default partitioner) and allowed lateness
+covering the watermark skew between subtasks (no late drops), sinks at
+any parallelism are identical to the single-instance plan *modulo
+cross-key interleaving*; per-key subsequences are bit-identical.
+"""
+
+from __future__ import annotations
+
+import copy
+import heapq
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Iterable
+
+from ..util.errors import (
+    BackpressureOverflow,
+    CheckpointError,
+    JobGraphError,
+)
+from ..util.ids import split_ranges
+from .chain import ChainedOperator
+from .element import Element, StreamItem, Watermark
+from .graph import JobGraph
+from .join import IntervalJoinOperator
+from .operators import Operator
+from .runtime import SinkBuffer, build_chains
+from .shuffle import (
+    DEFAULT_KEY_GROUPS,
+    key_group_for,
+    key_group_range,
+    subtask_for_key_group,
+)
+
+__all__ = [
+    "PhysicalNode",
+    "PhysicalEdge",
+    "ExecutionGraph",
+    "ParallelCheckpoint",
+    "ParallelExecutor",
+    "compile_execution_graph",
+]
+
+FORWARD = "forward"
+HASH = "hash"
+REBALANCE = "rebalance"
+MERGE = "merge"  # into a sink
+
+
+@dataclass(frozen=True)
+class PhysicalEdge:
+    """One physical channel group between execution nodes."""
+
+    up: str
+    down: str
+    side: str | None
+    mode: str  # forward | hash | rebalance | merge
+
+
+@dataclass
+class PhysicalNode:
+    """A logical execution node (operator or fused chain) times N."""
+
+    name: str
+    members: list[str]  # logical operator names (len > 1 for chains)
+    parallelism: int
+    keyed: bool
+
+
+@dataclass
+class ExecutionGraph:
+    """The physical plan: nodes with parallelism, typed edges, splits."""
+
+    job: JobGraph
+    num_key_groups: int
+    nodes: dict[str, PhysicalNode]
+    edges: list[PhysicalEdge]
+    topo: list[str]  # execution-node order (operators only)
+    source_parallelism: dict[str, int]
+    source_splits: dict[str, int]
+    rename: dict[str, str]  # logical node -> execution node
+
+    def max_parallelism(self) -> int:
+        widths = [n.parallelism for n in self.nodes.values()]
+        widths += list(self.source_parallelism.values())
+        return max(widths, default=1)
+
+    def describe(self) -> str:
+        """Human-readable plan, one line per node/edge (debug aid)."""
+        lines = [f"plan for job {self.job.name!r} "
+                 f"(key groups: {self.num_key_groups})"]
+        for name, p in sorted(self.source_parallelism.items()):
+            lines.append(f"  source {name} x{p} "
+                         f"({self.source_splits[name]} splits)")
+        for name in self.topo:
+            node = self.nodes[name]
+            kind = "keyed" if node.keyed else "stateless"
+            lines.append(f"  op {name} x{node.parallelism} ({kind})")
+        for e in self.edges:
+            tag = f" [{e.side}]" if e.side else ""
+            lines.append(f"  edge {e.up} -> {e.down}{tag}: {e.mode}")
+        return "\n".join(lines)
+
+
+def _parallelism_of(parallelism: int | dict[str, int], node: str) -> int:
+    if isinstance(parallelism, int):
+        return parallelism
+    return int(parallelism.get(node, parallelism.get("default", 1)))
+
+
+def compile_execution_graph(job: JobGraph,
+                            parallelism: int | dict[str, int] = 1,
+                            *, num_key_groups: int = DEFAULT_KEY_GROUPS,
+                            chaining: bool = True) -> ExecutionGraph:
+    """Lower a logical job graph to a physical execution graph.
+
+    ``parallelism`` is either one width for every node or a per-node
+    dict (``{"default": 2, "window_sum": 4}``); sources take their
+    width from the same mapping.  Chains only fuse operators of equal
+    parallelism (the extra gate threaded into
+    :func:`~repro.streaming.runtime.build_chains`), so a parallelism
+    change is always a channel — exactly like a shuffle.
+    """
+    job.validate()
+    p_of = lambda n: _parallelism_of(parallelism, n)  # noqa: E731
+    for name in list(job.operators) + list(job.sources):
+        if p_of(name) < 1:
+            raise JobGraphError(f"node {name!r} has parallelism "
+                                f"{p_of(name)} < 1")
+    for name, op in job.operators.items():
+        if op.requires_shuffle and p_of(name) > num_key_groups:
+            raise JobGraphError(
+                f"keyed operator {name!r} parallelism {p_of(name)} exceeds "
+                f"num_key_groups {num_key_groups}")
+
+    chains = build_chains(
+        job, compatible=lambda u, d: p_of(u) == p_of(d)) if chaining else {}
+    rename: dict[str, str] = {}
+    nodes: dict[str, PhysicalNode] = {}
+    in_chain: set[str] = set()
+    for head, members in chains.items():
+        name = "chain(" + "+".join(members) + ")"
+        nodes[name] = PhysicalNode(name=name, members=list(members),
+                                   parallelism=p_of(head), keyed=False)
+        for m in members:
+            rename[m] = name
+            in_chain.add(m)
+    for name, op in job.operators.items():
+        if name not in in_chain:
+            nodes[name] = PhysicalNode(
+                name=name, members=[name], parallelism=p_of(name),
+                keyed=bool(op.requires_shuffle))
+            rename[name] = name
+
+    source_parallelism: dict[str, int] = {}
+    source_splits: dict[str, int] = {}
+    for name, spec in job.sources.items():
+        p = p_of(name)
+        n_splits = spec.splits if spec.splits is not None else p
+        if p > n_splits:
+            raise JobGraphError(
+                f"source {name!r} parallelism {p} exceeds its "
+                f"{n_splits} splits")
+        source_parallelism[name] = p
+        source_splits[name] = n_splits
+        rename[name] = name
+
+    def _up_parallelism(up: str) -> int:
+        if up in source_parallelism:
+            return source_parallelism[up]
+        return nodes[rename[up]].parallelism
+
+    edges: list[PhysicalEdge] = []
+    seen_edges: set[tuple[str, str, str | None]] = set()
+    for up, down, side in job.edges:
+        new_up = rename.get(up, up)
+        new_down = rename.get(down, down)
+        if new_up == new_down:  # edge internal to a chain
+            continue
+        if (new_up, new_down, side) in seen_edges:
+            continue
+        seen_edges.add((new_up, new_down, side))
+        if down in job.sinks:
+            mode = MERGE
+        elif nodes[new_down].keyed:
+            mode = HASH
+        elif _up_parallelism(up) == nodes[new_down].parallelism:
+            mode = FORWARD
+        else:
+            mode = REBALANCE
+        edges.append(PhysicalEdge(up=new_up, down=new_down, side=side,
+                                  mode=mode))
+
+    seen: set[str] = set()
+    topo: list[str] = []
+    for name in job.topological_operators():
+        exec_name = rename[name]
+        if exec_name not in seen:
+            seen.add(exec_name)
+            topo.append(exec_name)
+    return ExecutionGraph(job=job, num_key_groups=num_key_groups,
+                          nodes=nodes, edges=edges, topo=topo,
+                          source_parallelism=source_parallelism,
+                          source_splits=source_splits, rename=rename)
+
+
+@dataclass
+class ParallelCheckpoint:
+    """A consistent snapshot of a parallel job, portable across
+    parallelism changes (keyed state by key group, sources by split)."""
+
+    checkpoint_id: int
+    num_key_groups: int
+    parallelism: dict[str, int]  # logical operator/source -> width
+    num_splits: dict[str, int]  # source -> split count
+    source_positions: dict[str, dict[int, int]]  # source -> split -> pos
+    keyed_state: dict[str, dict[int, Any]]  # op -> key group -> blob
+    scalar_state: dict[str, list[Any]]  # op -> per-subtask snapshot
+    sink_elements: dict[str, list[Element]]
+    #: transient routing state (channel watermarks, aligned watermarks,
+    #: round-robin cursors); applied on restore only when the plan shape
+    #: matches (same parallelism everywhere), dropped on a rescale.
+    routing_state: dict[str, Any] = field(default_factory=dict)
+
+
+class ParallelExecutor:
+    """Runs a physical plan: N subtasks per operator, keyed shuffles,
+    per-subtask checkpoints, deterministic single-threaded execution.
+
+    API mirrors :class:`~repro.streaming.runtime.Executor` (``run``,
+    ``checkpoint``, ``restore``, ``sinks``, ``done``), so the chaos
+    harness supervises either executor unchanged.  ``restore`` accepts
+    checkpoints taken at a *different* parallelism (rescaling).
+    """
+
+    def __init__(self, job: JobGraph,
+                 parallelism: int | dict[str, int] = 1,
+                 *, num_key_groups: int = DEFAULT_KEY_GROUPS,
+                 channel_capacity: int = 10_000,
+                 drop_on_overflow: bool = False, batch_mode: bool = True,
+                 chaining: bool = True, injector: Any = None,
+                 tracer: Any = None, metrics: Any = None,
+                 profiler: Any = None) -> None:
+        self.graph = compile_execution_graph(
+            job, parallelism, num_key_groups=num_key_groups,
+            chaining=chaining and batch_mode)
+        self.job = job
+        self.num_key_groups = num_key_groups
+        self.channel_capacity = channel_capacity
+        self.drop_on_overflow = drop_on_overflow
+        self.batch_mode = batch_mode
+        self.injector = injector
+        self.tracer = tracer
+        self.metrics = metrics
+        self.profiler = profiler
+        self.sinks: dict[str, SinkBuffer] = {
+            s: SinkBuffer(s) for s in job.sinks
+        }
+        self.backpressure_events = 0
+        self.dropped_overflow = 0
+        self._checkpoint_seq = 0
+        self._flushed = False
+        self._job_span: Any = None
+        self._obs_spans: dict[str, Any] = {}
+        self._build_physical_ops()
+        self._build_channels()
+        # -- sources: split buffers + positions ---------------------------
+        self._split_buffers: dict[str, dict[int, list[Element]]] = {}
+        self._split_positions: dict[str, dict[int, int]] = {}
+        self._finished_splits: dict[str, set[int]] = {
+            name: set() for name in job.sources
+        }
+        self._source_assignment: dict[str, list[range]] = {
+            name: split_ranges(self.graph.source_splits[name],
+                               self.graph.source_parallelism[name])
+            for name in job.sources
+        }
+        # -- modelled concurrency: one worker lane per subtask index ------
+        lanes = self.graph.max_parallelism()
+        self.lane_busy_s = [0.0] * lanes
+        self._lane_cycle = [0.0] * lanes
+        self.modeled_makespan_s = 0.0
+
+    # -- plan materialization ------------------------------------------------
+
+    def _build_physical_ops(self) -> None:
+        """Clone each logical operator once per subtask.
+
+        Clones are independent instances (state deep-copied, functions
+        shared) named ``op[i]`` so injector crash sites, metrics and
+        spans are subtask-scoped; the logical name is recoverable by
+        stripping the suffix.
+        """
+        self._ops: dict[str, list[Operator]] = {}
+        self._clones: dict[str, list[Operator]] = {
+            m: [] for m in self.job.operators
+        }
+        for name in self.graph.topo:
+            node = self.graph.nodes[name]
+            subtasks: list[Operator] = []
+            for i in range(node.parallelism):
+                member_clones: list[Operator] = []
+                for m in node.members:
+                    clone = copy.deepcopy(self.job.operators[m])
+                    clone.name = f"{m}[{i}]"
+                    self._clones[m].append(clone)
+                    member_clones.append(clone)
+                if len(member_clones) == 1:
+                    op: Operator = member_clones[0]
+                else:
+                    op = ChainedOperator(member_clones)
+                    op.profiler = self.profiler
+                subtasks.append(op)
+            self._ops[name] = subtasks
+
+    def _build_channels(self) -> None:
+        """One bounded FIFO per (receiver subtask, side, sender subtask),
+        plus per-channel watermark tracking for alignment."""
+        #: (down, idx, side) -> {(up, up_idx): deque}
+        self._channels: dict[tuple[str, int, str | None],
+                             dict[tuple[str, int], deque]] = {}
+        #: (down, idx, side) -> {(up, up_idx): watermark}
+        self._channel_wm: dict[tuple[str, int, str | None],
+                               dict[tuple[str, int], float]] = {}
+        #: (down, idx, side) -> last aligned watermark delivered
+        self._aligned_wm: dict[tuple[str, int, str | None], float] = {}
+        #: round-robin cursors for rebalance edges: (edge_idx, up_idx)
+        self._rr: dict[tuple[int, int], int] = {}
+        self._down: dict[str, list[tuple[int, PhysicalEdge]]] = {}
+        for edge_idx, edge in enumerate(self.graph.edges):
+            self._down.setdefault(edge.up, []).append((edge_idx, edge))
+            if edge.mode == MERGE:
+                continue
+            p_up = self._node_parallelism(edge.up)
+            p_down = self.graph.nodes[edge.down].parallelism
+            for j in range(p_down):
+                key = (edge.down, j, edge.side)
+                chans = self._channels.setdefault(key, {})
+                wms = self._channel_wm.setdefault(key, {})
+                self._aligned_wm.setdefault(key, float("-inf"))
+                if edge.mode == FORWARD:
+                    senders = [j]
+                else:  # hash / rebalance: every upstream subtask connects
+                    senders = list(range(p_up))
+                for i in senders:
+                    chans[(edge.up, i)] = deque()
+                    wms[(edge.up, i)] = float("-inf")
+
+    def _node_parallelism(self, name: str) -> int:
+        if name in self.graph.source_parallelism:
+            return self.graph.source_parallelism[name]
+        return self.graph.nodes[name].parallelism
+
+    # -- sources -------------------------------------------------------------
+
+    def _materialize_source(self, name: str) -> dict[int, list[Element]]:
+        if name in self._split_buffers:
+            return self._split_buffers[name]
+        spec = self.job.sources[name]
+        n_splits = self.graph.source_splits[name]
+        buffers: dict[int, list[Element]] = {s: [] for s in range(n_splits)}
+        if spec.split_factory is not None:
+            for s in range(n_splits):
+                buffers[s] = list(spec.split_factory(s, n_splits))
+        else:
+            for i, item in enumerate(spec.iterate()):
+                if isinstance(item, Watermark):
+                    # A watermark in a source stream asserts event-time
+                    # progress for the whole source: broadcast.
+                    for s in range(n_splits):
+                        buffers[s].append(item)
+                elif spec.partitioner is not None:
+                    buffers[spec.partitioner(item, n_splits)].append(item)
+                elif item.key is not None:
+                    # Key-aligned split: same key, same split — the
+                    # precondition for per-key order preservation.
+                    buffers[key_group_for(item.key, n_splits)].append(item)
+                else:
+                    buffers[i % n_splits].append(item)
+        self._split_buffers[name] = buffers
+        positions = self._split_positions.setdefault(name, {})
+        for s in range(n_splits):
+            positions.setdefault(s, 0)
+        return buffers
+
+    def _pull_sources(self, batch: int) -> int:
+        pulled = 0
+        for name in sorted(self.job.sources):
+            buffers = self._materialize_source(name)
+            positions = self._split_positions[name]
+            finished = self._finished_splits[name]
+            for idx, splits in enumerate(self._source_assignment[name]):
+                started = time.perf_counter()
+                taken = self._take_merged(buffers, positions, finished,
+                                          splits, batch)
+                if taken:
+                    pulled += len(taken)
+                    self._emit(name, idx, taken)
+                self._lane_cycle[idx] += time.perf_counter() - started
+        return pulled
+
+    @staticmethod
+    def _take_merged(buffers: dict[int, list[Element]],
+                     positions: dict[int, int], finished: set[int],
+                     splits: range, batch: int) -> list[StreamItem]:
+        """Pull up to ``batch`` items from one subtask's splits, merged
+        by event timestamp — per-split order is preserved and the merged
+        stream is as time-ordered as the splits are, so a subtask owning
+        several splits does not manufacture out-of-orderness beyond what
+        the data carries (the per-partition-watermark analogue; without
+        the merge, chunked round-robin over skewed splits makes a single
+        watermark generator drop everything from the lagging split)."""
+        heap: list[tuple[float, int]] = []
+        for s in splits:
+            if s in finished:
+                continue
+            if positions[s] >= len(buffers[s]):  # empty or fully consumed
+                finished.add(s)
+                continue
+            item = buffers[s][positions[s]]
+            heapq.heappush(heap, (item.timestamp, s))
+        taken: list[StreamItem] = []
+        while heap and len(taken) < batch:
+            _ts, s = heapq.heappop(heap)
+            pos = positions[s]
+            taken.append(buffers[s][pos])
+            positions[s] = pos + 1
+            if pos + 1 < len(buffers[s]):
+                heapq.heappush(heap, (buffers[s][pos + 1].timestamp, s))
+            else:
+                finished.add(s)
+        return taken
+
+    def _sources_done(self) -> bool:
+        for name in self.job.sources:
+            if name not in self._split_buffers:
+                return False
+            if len(self._finished_splits[name]) \
+                    < self.graph.source_splits[name]:
+                return False
+        return True
+
+    # -- channel plumbing ----------------------------------------------------
+
+    def _offer(self, key: tuple[str, int, str | None],
+               sender: tuple[str, int], items: list[StreamItem]) -> None:
+        """Batch offer with per-item backpressure/drop accounting —
+        the same arithmetic as the single-instance executor's
+        ``_offer_batch``, per physical channel."""
+        channel = self._channels[key][sender]
+        occupancy = len(channel)
+        n = len(items)
+        capacity = self.channel_capacity
+        node = key[0]
+        if occupancy + n <= capacity:
+            channel.extend(items)
+            return
+        if self.drop_on_overflow:
+            room = max(0, capacity - occupancy)
+            if room:
+                channel.extend(items[:room])
+            self.dropped_overflow += n - room
+            if self.metrics is not None:
+                self.metrics.counter("channel.dropped",
+                                     node=node).inc(n - room)
+            return
+        if occupancy + n > capacity * 10:
+            i0 = capacity * 10 - occupancy
+            channel.extend(items[:i0])
+            events = (i0 + 1) - max(0, min(i0 + 1, capacity - occupancy))
+            self.backpressure_events += events
+            if self.metrics is not None:
+                self.metrics.counter("channel.backpressure",
+                                     node=node).inc(events)
+            raise BackpressureOverflow(
+                f"channel into {node!r} exceeded 10x capacity; "
+                "the job cannot keep up and dropping is disabled"
+            )
+        events = n - max(0, min(n, capacity - occupancy))
+        self.backpressure_events += events
+        if self.metrics is not None and events:
+            self.metrics.counter("channel.backpressure",
+                                 node=node).inc(events)
+        channel.extend(items)
+
+    def _emit(self, up: str, up_idx: int, items: list[StreamItem]) -> None:
+        """Route one subtask's output batch down every out-edge."""
+        if not items:
+            return
+        for edge_idx, edge in self._down.get(up, ()):
+            if edge.mode == MERGE:
+                sink = self.sinks[edge.down]
+                delivered = [i for i in items if isinstance(i, Element)]
+                sink.elements.extend(delivered)
+                if self.metrics is not None and delivered:
+                    self.metrics.counter("sink.delivered",
+                                         sink=edge.down).inc(len(delivered))
+                continue
+            if edge.mode == FORWARD:
+                self._offer((edge.down, up_idx, edge.side), (up, up_idx),
+                            items)
+                continue
+            p_down = self.graph.nodes[edge.down].parallelism
+            buckets: list[list[StreamItem]] = [[] for _ in range(p_down)]
+            if edge.mode == HASH:
+                g = self.num_key_groups
+                for item in items:
+                    if isinstance(item, Watermark):
+                        for bucket in buckets:
+                            bucket.append(item)
+                    else:
+                        kg = key_group_for(item.key, g)
+                        buckets[subtask_for_key_group(kg, g, p_down)].append(
+                            item)
+            else:  # REBALANCE
+                rr_key = (edge_idx, up_idx)
+                cursor = self._rr.get(rr_key, 0)
+                for item in items:
+                    if isinstance(item, Watermark):
+                        for bucket in buckets:
+                            bucket.append(item)
+                    else:
+                        buckets[cursor % p_down].append(item)
+                        cursor += 1
+                self._rr[rr_key] = cursor
+            for j, bucket in enumerate(buckets):
+                if bucket:
+                    self._offer((edge.down, j, edge.side), (up, up_idx),
+                                bucket)
+
+    # -- watermark alignment -------------------------------------------------
+
+    def _align(self, key: tuple[str, int, str | None],
+               sender: tuple[str, int],
+               pending: Iterable[StreamItem]) -> list[StreamItem]:
+        """Replace raw channel watermarks with aligned ones: a subtask's
+        event time is the minimum over all its input channels, and an
+        aligned watermark is delivered only when that minimum advances."""
+        wms = self._channel_wm[key]
+        out: list[StreamItem] = []
+        for item in pending:
+            if isinstance(item, Watermark):
+                if item.timestamp > wms[sender]:
+                    wms[sender] = item.timestamp
+                    aligned = min(wms.values())
+                    if aligned > self._aligned_wm[key]:
+                        self._aligned_wm[key] = aligned
+                        out.append(Watermark(aligned))
+            else:
+                out.append(item)
+        return out
+
+    # -- drain cycles --------------------------------------------------------
+
+    def _process(self, name: str, idx: int, side: str | None,
+                 items: list[StreamItem]) -> None:
+        op = self._ops[name][idx]
+        injector = self.injector
+        join = isinstance(op, IntervalJoinOperator)
+        if self.batch_mode:
+            if join:
+                if injector is None:
+                    out = op.process_side_batch(side, items)
+                else:
+                    out = injector.intercept_batch(
+                        op, items,
+                        lambda batch, _s=side: op.process_side_batch(_s,
+                                                                     batch))
+            else:
+                if injector is None:
+                    out = op.process_batch(items)
+                else:
+                    out = injector.intercept_batch(op, items,
+                                                   op.process_batch)
+            self._emit(name, idx, out)
+            return
+        for item in items:
+            if injector is not None:
+                injector.before_item(op)
+            if join:
+                if isinstance(item, Watermark):
+                    out = op.on_watermark_side(side, item)
+                else:
+                    out = op.process_side(side, item)
+            else:
+                out = op.handle(item)
+            self._emit(name, idx, out)
+
+    def _drain_cycle(self) -> int:
+        moved = 0
+        profiler = self.profiler
+        metrics = self.metrics
+        for name in self.graph.topo:
+            node = self.graph.nodes[name]
+            join = isinstance(self._ops[name][0], IntervalJoinOperator)
+            sides = ("left", "right") if join else (None,)
+            for idx in range(node.parallelism):
+                started = time.perf_counter()
+                drained = 0
+                for side in sides:
+                    chans = self._channels.get((name, idx, side))
+                    if not chans:
+                        continue
+                    for sender in sorted(chans):
+                        pending = chans[sender]
+                        if not pending:
+                            continue
+                        chans[sender] = deque()
+                        moved += len(pending)
+                        drained += len(pending)
+                        items = self._align((name, idx, side), sender,
+                                            pending)
+                        if items:
+                            self._process(name, idx, side, items)
+                if drained:
+                    elapsed = time.perf_counter() - started
+                    self._lane_cycle[idx] += elapsed
+                    if metrics is not None:
+                        self.metrics.summary(
+                            "op.batch_size", op=f"{name}[{idx}]").observe(
+                                drained)
+                    if profiler is not None and not isinstance(
+                            self._ops[name][idx], ChainedOperator):
+                        profiler.record(
+                            "op.wall_s", started,
+                            op=self._ops[name][idx].name)
+        return moved
+
+    # -- run loop ------------------------------------------------------------
+
+    def run(self, source_batch: int = 256,
+            max_cycles: int | None = None) -> dict[str, SinkBuffer]:
+        """Run until sources are exhausted and channels drained."""
+        if self.tracer is not None:
+            self._ensure_spans()
+            with self.tracer.activate(self._job_span):
+                return self._run_loop(source_batch, max_cycles)
+        return self._run_loop(source_batch, max_cycles)
+
+    def _end_cycle(self) -> None:
+        """Fold this cycle's lane times into the modelled makespan: the
+        cycle takes as long as its busiest lane (subtasks overlap)."""
+        busiest = max(self._lane_cycle, default=0.0)
+        if busiest > 0.0:
+            self.modeled_makespan_s += busiest
+            for lane, busy in enumerate(self._lane_cycle):
+                self.lane_busy_s[lane] += busy
+                self._lane_cycle[lane] = 0.0
+
+    def _run_loop(self, source_batch: int,
+                  max_cycles: int | None) -> dict[str, SinkBuffer]:
+        cycles = 0
+        while True:
+            pulled = self._pull_sources(source_batch)
+            moved = self._drain_cycle()
+            while self._drain_cycle():
+                pass
+            self._end_cycle()
+            cycles += 1
+            if self._sources_done() and not pulled and moved == 0:
+                break
+            if max_cycles is not None and cycles >= max_cycles:
+                break
+        if self._sources_done():
+            self._flush()
+            self._close_spans()
+            self._publish_metrics()
+        return self.sinks
+
+    def _flush(self) -> None:
+        if self._flushed:
+            return
+        self._flushed = True
+        for name in self.graph.topo:
+            node = self.graph.nodes[name]
+            for idx in range(node.parallelism):
+                started = time.perf_counter()
+                out = self._ops[name][idx].flush()
+                if out:
+                    self._emit(name, idx, out)
+                self._lane_cycle[idx] += time.perf_counter() - started
+                if out:
+                    while self._drain_cycle():
+                        pass
+        self._end_cycle()
+
+    @property
+    def done(self) -> bool:
+        return self._flushed
+
+    # -- modelled speedup ------------------------------------------------------
+
+    @property
+    def serial_busy_s(self) -> float:
+        """Total subtask busy time — what one lane would have paid."""
+        return sum(self.lane_busy_s)
+
+    @property
+    def modeled_speedup(self) -> float:
+        """Serial work over modelled makespan: the concurrency the plan
+        actually exposed (≤ max parallelism; 1.0 when single-lane)."""
+        if self.modeled_makespan_s <= 0.0:
+            return 1.0
+        return self.serial_busy_s / self.modeled_makespan_s
+
+    # -- counters / introspection ---------------------------------------------
+
+    def logical_counters(self, operator: str) -> tuple[int, int]:
+        """(processed, emitted) summed across an operator's subtasks."""
+        clones = self._clones[operator]
+        return (sum(c.processed for c in clones),
+                sum(c.emitted for c in clones))
+
+    def subtask_operators(self, operator: str) -> list[Operator]:
+        """The per-subtask clones of one logical operator."""
+        return list(self._clones[operator])
+
+    # -- checkpoints -----------------------------------------------------------
+
+    def checkpoint(self) -> ParallelCheckpoint:
+        """Aligned snapshot: keyed state by key group, sources by split,
+        sink contents in full (so a restore into a *fresh* executor —
+        the rescaling path — reproduces the run exactly)."""
+        if any(chan for chans in self._channels.values()
+               for chan in chans.values()):
+            raise CheckpointError("cannot checkpoint with items in flight; "
+                                  "call run() or drain first")
+        self._checkpoint_seq += 1
+        started = (self.profiler.timer()
+                   if self.profiler is not None else 0.0)
+        parallelism: dict[str, int] = {}
+        keyed_state: dict[str, dict[int, Any]] = {}
+        scalar_state: dict[str, list[Any]] = {}
+        for m, op in self.job.operators.items():
+            clones = self._clones[m]
+            parallelism[m] = len(clones)
+            if op.requires_shuffle:
+                groups: dict[int, Any] = {}
+                for clone in clones:
+                    groups.update(
+                        clone.snapshot_key_groups(self.num_key_groups))
+                keyed_state[m] = groups
+                scalar_state[m] = [c.scalar_snapshot() for c in clones]
+            else:
+                scalar_state[m] = [c.snapshot() for c in clones]
+        source_positions: dict[str, dict[int, int]] = {}
+        for name in self.job.sources:
+            self._materialize_source(name)
+            source_positions[name] = dict(self._split_positions[name])
+            parallelism[name] = self.graph.source_parallelism[name]
+        snapshot = ParallelCheckpoint(
+            checkpoint_id=self._checkpoint_seq,
+            num_key_groups=self.num_key_groups,
+            parallelism=parallelism,
+            num_splits=dict(self.graph.source_splits),
+            source_positions=source_positions,
+            keyed_state=keyed_state,
+            scalar_state=scalar_state,
+            sink_elements={s: list(buf.elements)
+                           for s, buf in self.sinks.items()},
+            routing_state={
+                "channel_wm": {k: dict(v)
+                               for k, v in self._channel_wm.items()},
+                "aligned_wm": dict(self._aligned_wm),
+                "rr": dict(self._rr),
+            },
+        )
+        if self.profiler is not None:
+            self.profiler.record("checkpoint.duration_s", started)
+        if self.metrics is not None:
+            self.metrics.counter("executor.checkpoints").inc()
+        if self._job_span is not None:
+            self._job_span.add_event("checkpoint",
+                                     checkpoint_id=snapshot.checkpoint_id)
+        return snapshot
+
+    def restore(self, checkpoint: ParallelCheckpoint) -> None:
+        """Rewind to a snapshot — possibly taken at another parallelism.
+
+        At unchanged parallelism the restore is exact (routing state
+        included).  On a rescale, key groups and splits are reassigned
+        to the new subtask ranges and scalar state merges conservatively
+        (see ``restore_parallel`` / ``restore_rescaled`` on operators).
+        """
+        if checkpoint.num_key_groups != self.num_key_groups:
+            raise CheckpointError(
+                f"snapshot has {checkpoint.num_key_groups} key groups, "
+                f"this plan {self.num_key_groups}; key-group counts are "
+                "fixed for a job's lifetime")
+        for name, positions in checkpoint.source_positions.items():
+            if name not in self.job.sources:
+                raise CheckpointError(
+                    f"snapshot references unknown source {name!r}")
+            if checkpoint.num_splits[name] \
+                    != self.graph.source_splits[name]:
+                raise CheckpointError(
+                    f"source {name!r}: snapshot has "
+                    f"{checkpoint.num_splits[name]} splits, this plan "
+                    f"{self.graph.source_splits[name]}; pin "
+                    "SourceSpec.splits to rescale")
+            buffers = self._materialize_source(name)
+            finished = self._finished_splits[name]
+            finished.clear()
+            for s, pos in positions.items():
+                self._split_positions[name][s] = pos
+                if pos >= len(buffers[s]):
+                    finished.add(s)
+        for m in self.job.operators:
+            if m not in checkpoint.scalar_state:
+                raise CheckpointError(
+                    f"snapshot missing operator {m!r}")
+            clones = self._clones[m]
+            old_p = checkpoint.parallelism[m]
+            exact = old_p == len(clones)
+            if m in checkpoint.keyed_state:
+                groups = checkpoint.keyed_state[m]
+                for i, clone in enumerate(clones):
+                    mine = {kg: groups[kg]
+                            for kg in key_group_range(self.num_key_groups,
+                                                      len(clones), i)
+                            if kg in groups}
+                    scalars = ([checkpoint.scalar_state[m][i]] if exact
+                               else list(checkpoint.scalar_state[m]))
+                    clone.restore_parallel(mine, scalars, primary=(i == 0))
+            else:
+                for i, clone in enumerate(clones):
+                    if exact:
+                        clone.restore(checkpoint.scalar_state[m][i])
+                    else:
+                        clone.restore_rescaled(
+                            list(checkpoint.scalar_state[m]))
+        for name, buf in self.sinks.items():
+            buf.elements[:] = list(checkpoint.sink_elements.get(name, ()))
+        for chans in self._channels.values():
+            for sender in chans:
+                chans[sender].clear()
+        routing = checkpoint.routing_state
+        same_shape = (routing
+                      and routing["channel_wm"].keys()
+                      == self._channel_wm.keys()
+                      and all(routing["channel_wm"][k].keys()
+                              == self._channel_wm[k].keys()
+                              for k in self._channel_wm))
+        if same_shape:
+            for k in self._channel_wm:
+                self._channel_wm[k] = dict(routing["channel_wm"][k])
+            self._aligned_wm = dict(routing["aligned_wm"])
+            self._rr = dict(routing["rr"])
+        else:
+            for k, wms in self._channel_wm.items():
+                for sender in wms:
+                    wms[sender] = float("-inf")
+                self._aligned_wm[k] = float("-inf")
+            self._rr = {}
+        self._flushed = False
+        if self.metrics is not None:
+            self.metrics.counter("executor.restores").inc()
+        if self._job_span is not None:
+            self._job_span.add_event("restore",
+                                     checkpoint_id=checkpoint.checkpoint_id)
+
+    # -- observability ---------------------------------------------------------
+
+    def _mode_name(self) -> str:
+        if not self.batch_mode:
+            return "per_item"
+        return "chained" if any(len(n.members) > 1
+                                for n in self.graph.nodes.values()) \
+            else "batched"
+
+    def _ensure_spans(self) -> None:
+        """Job span -> logical operator spans -> per-subtask child spans
+        (only when parallelism > 1), so a parallel trace nests physical
+        structure under the logical graph the other suites assert on."""
+        if self.tracer is None or self._job_span is not None:
+            return
+        self._job_span = self.tracer.start_span(
+            f"job:{self.job.name}",
+            attrs={"mode": self._mode_name(),
+                   "max_parallelism": self.graph.max_parallelism()})
+        for name in sorted(self.job.sources):
+            span = self.tracer.start_span(
+                f"source:{name}", parent=self._job_span,
+                attrs={"parallelism":
+                       self.graph.source_parallelism[name]})
+            self._obs_spans[f"source:{name}"] = span
+        for name in self.job.topological_operators():
+            width = len(self._clones[name])
+            span = self.tracer.start_span(
+                f"op:{name}", parent=self._job_span,
+                attrs={"parallelism": width})
+            self._obs_spans[f"op:{name}"] = span
+            if width > 1:
+                for i in range(width):
+                    self._obs_spans[f"op:{name}[{i}]"] = \
+                        self.tracer.start_span(f"op:{name}[{i}]",
+                                               parent=span,
+                                               attrs={"subtask": i})
+        for name in sorted(self.job.sinks):
+            self._obs_spans[f"sink:{name}"] = self.tracer.start_span(
+                f"sink:{name}", parent=self._job_span)
+
+    def _close_spans(self) -> None:
+        if self._job_span is None:
+            return
+        for name in self.job.sources:
+            span = self._obs_spans[f"source:{name}"]
+            buffers = self._split_buffers.get(name, {})
+            span.set_attr("records",
+                          sum(len(b) for b in buffers.values()))
+            span.end()
+        for name in self.job.operators:
+            width = len(self._clones[name])
+            if width > 1:
+                for i, clone in enumerate(self._clones[name]):
+                    sub = self._obs_spans[f"op:{name}[{i}]"]
+                    sub.set_attr("processed", clone.processed)
+                    sub.set_attr("emitted", clone.emitted)
+                    sub.end()
+            processed, emitted = self.logical_counters(name)
+            span = self._obs_spans[f"op:{name}"]
+            span.set_attr("processed", processed)
+            span.set_attr("emitted", emitted)
+            span.end()
+        for name, buf in self.sinks.items():
+            span = self._obs_spans[f"sink:{name}"]
+            span.set_attr("delivered", len(buf))
+            span.end()
+        self._job_span.set_attr("backpressure_events",
+                                self.backpressure_events)
+        self._job_span.set_attr("dropped_overflow", self.dropped_overflow)
+        self._job_span.set_attr("modeled_makespan_s",
+                                self.modeled_makespan_s)
+        self._job_span.end()
+
+    def _publish_metrics(self) -> None:
+        if self.metrics is None:
+            return
+        self.metrics.gauge("executor.backpressure_events").set(
+            self.backpressure_events)
+        self.metrics.gauge("executor.dropped_overflow").set(
+            self.dropped_overflow)
+        self.metrics.gauge("executor.modeled_makespan_s").set(
+            self.modeled_makespan_s)
+        self.metrics.gauge("executor.serial_busy_s").set(self.serial_busy_s)
+        for name in self.job.operators:
+            processed, emitted = self.logical_counters(name)
+            self.metrics.gauge("op.processed", op=name).set(processed)
+            self.metrics.gauge("op.emitted", op=name).set(emitted)
+            for clone in self._clones[name]:
+                self.metrics.gauge("subtask.processed",
+                                   op=clone.name).set(clone.processed)
+        for name, buf in self.sinks.items():
+            self.metrics.gauge("sink.size", sink=name).set(len(buf))

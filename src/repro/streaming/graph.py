@@ -47,13 +47,42 @@ class SourceSpec:
 
     ``elements`` is any iterable of :class:`Element`; it may also be a
     zero-arg callable returning one, so jobs can be re-run.
+
+    Parallel plans read a source as a set of **splits** (the rescaling
+    unit — analogous to topic partitions; see
+    :mod:`repro.streaming.execution`):
+
+    - ``splits`` pins the split count independently of parallelism, so
+      a checkpoint taken at parallelism N restores at parallelism M
+      (both must divide the same split set).  Defaults to the compiled
+      source parallelism.
+    - ``split_factory(split, num_splits)`` produces one split's
+      elements directly — how eventlog-backed sources map partitions to
+      splits (see :func:`~repro.streaming.connectors.parallel_log_source`).
+    - ``partitioner(element, num_splits)`` assigns a materialized
+      element to a split.  Default: key-aligned hashing for keyed
+      elements (same key, same split — preserving per-key order, the
+      parallel-equivalence contract), round-robin for unkeyed ones.
     """
 
     name: str
-    elements: Iterable[Element] | Callable[[], Iterable[Element]]
+    elements: Iterable[Element] | Callable[[], Iterable[Element]] | None
+    splits: int | None = None
+    split_factory: Callable[[int, int], Iterable[Element]] | None = None
+    partitioner: Callable[[Element, int], int] | None = None
 
     def iterate(self) -> Iterable[Element]:
         src = self.elements
+        if src is None:
+            if self.split_factory is None:
+                raise JobGraphError(
+                    f"source {self.name!r} has neither elements nor a "
+                    "split_factory")
+            n = self.splits or 1
+            out: list[Element] = []
+            for s in range(n):
+                out.extend(self.split_factory(s, n))
+            return out
         return src() if callable(src) else src
 
 
@@ -83,6 +112,18 @@ class JobGraph:
             raise JobGraphError(f"job {self.name!r} contains a cycle")
         if not self.sources:
             raise JobGraphError(f"job {self.name!r} has no sources")
+        for up, down, _side in self.edges:
+            if up in self.sinks:
+                raise JobGraphError(
+                    f"sink {up!r} has an outgoing edge to {down!r}; sinks "
+                    "are terminal"
+                )
+        for sink in self.sinks:
+            if sink in self.sources or sink in self.operators:
+                raise JobGraphError(
+                    f"sink {sink!r} collides with an existing "
+                    f"{'source' if sink in self.sources else 'operator'}"
+                )
         for name, op in self.operators.items():
             in_edges = [(u, s) for u, d, s in self.edges if d == name]
             if not in_edges:
@@ -219,11 +260,21 @@ class JobBuilder:
         return f"{kind}_{i}"
 
     def source(self, name: str,
-               elements: Iterable[Element] | Callable[[], Iterable[Element]],
+               elements: Iterable[Element] | Callable[[], Iterable[Element]]
+               | None = None,
+               *, splits: int | None = None,
+               split_factory: Callable[[int, int], Iterable[Element]]
+               | None = None,
+               partitioner: Callable[[Element, int], int] | None = None,
                ) -> _StreamHandle:
         if name in self._sources:
             raise JobGraphError(f"duplicate source {name!r}")
-        self._sources[name] = SourceSpec(name, elements)
+        if elements is None and split_factory is None:
+            raise JobGraphError(
+                f"source {name!r} needs elements or a split_factory")
+        self._sources[name] = SourceSpec(name, elements, splits=splits,
+                                         split_factory=split_factory,
+                                         partitioner=partitioner)
         return _StreamHandle(self, name)
 
     def _add_operator(self, operator: Operator) -> None:
@@ -232,9 +283,21 @@ class JobBuilder:
         self._operators[operator.name] = operator
 
     def _add_edge(self, up: str, down: str, side: str | None) -> None:
+        if (up, down, side) in self._edges:
+            # A duplicate identical edge would double-deliver every
+            # element on it — always a wiring bug, never intentional.
+            raise JobGraphError(
+                f"duplicate edge {up!r} -> {down!r}"
+                + (f" (side {side!r})" if side else "")
+            )
         self._edges.append((up, down, side))
 
     def _add_sink(self, name: str) -> None:
+        if name in self._sources or name in self._operators:
+            raise JobGraphError(
+                f"sink name {name!r} collides with an existing "
+                f"{'source' if name in self._sources else 'operator'}"
+            )
         self._sinks.add(name)
 
     def build(self) -> JobGraph:

@@ -39,6 +39,7 @@ class IntervalJoinOperator(Operator):
     """
 
     SIDES = ("left", "right")
+    requires_shuffle = True
 
     def __init__(self, name: str, lower: float, upper: float,
                  project: Callable[[Any, Any], Any] | None = None) -> None:
@@ -155,3 +156,41 @@ class IntervalJoinOperator(Operator):
         self._wm = dict(snapshot.get(
             "wm", {"left": float("-inf"), "right": float("-inf")}))
         self.matches = snapshot.get("matches", 0)
+
+    # -- key-grouped checkpoints (parallel plans) ----------------------------
+
+    def snapshot_key_groups(self, num_key_groups: int) -> dict[int, Any]:
+        import copy
+        from .shuffle import key_group_for
+        groups: dict[int, Any] = {}
+        for side, per_key in self._buffers.items():
+            for key, rows in per_key.items():
+                blob = groups.setdefault(
+                    key_group_for(key, num_key_groups),
+                    {"left": {}, "right": {}})
+                blob[side][key] = copy.deepcopy(rows)
+        return groups
+
+    def scalar_snapshot(self) -> Any:
+        return {"wm": dict(self._wm), "matches": self.matches}
+
+    def restore_parallel(self, groups: dict[int, Any], scalars: list[Any],
+                         primary: bool = True) -> None:
+        import copy
+        self._buffers = {"left": {}, "right": {}}
+        for blob in groups.values():
+            for side in self.SIDES:
+                self._buffers[side].update(copy.deepcopy(blob[side]))
+        if len(scalars) == 1:
+            self._wm = dict(scalars[0]["wm"])
+            self.matches = scalars[0]["matches"]
+        else:
+            # Rescale: per-side watermarks regress to the minimum (prune
+            # later, never earlier); the match total rides the primary.
+            self._wm = {
+                side: min((s["wm"][side] for s in scalars),
+                          default=float("-inf"))
+                for side in self.SIDES
+            }
+            self.matches = sum(s["matches"] for s in scalars) \
+                if primary else 0

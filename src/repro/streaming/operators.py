@@ -74,6 +74,15 @@ class Operator:
     #: stay unfused (see docs/ARCHITECTURE.md, "Batched execution").
     chainable = False
 
+    #: Whether this operator's input edges must be hash-partitioned by
+    #: key in a parallel plan.  True for every operator with *keyed*
+    #: state (reduce, window, join, CEP): correctness requires all
+    #: elements of one key to reach the same subtask.  Operators that
+    #: declare ``requires_shuffle = True`` must also implement the
+    #: key-grouped snapshot protocol below (see docs/ARCHITECTURE.md,
+    #: "Parallel execution", and CONTRIBUTING.md).
+    requires_shuffle = False
+
     def __init__(self, name: str) -> None:
         self.name = name
         self.processed = 0
@@ -129,6 +138,57 @@ class Operator:
             raise StreamError(
                 f"operator {self.name!r} is stateless but got a snapshot"
             )
+
+    # -- parallel checkpointing (key-grouped state) --------------------------
+    #
+    # Keyed operators (``requires_shuffle = True``) snapshot their keyed
+    # state by key group so a parallel checkpoint can be restored at a
+    # different parallelism (key-group ranges are reassigned, never
+    # split).  Non-keyed scalar remainders (watermarks, counters) travel
+    # via ``scalar_snapshot``.  Non-keyed *stateful* operators instead
+    # implement ``restore_rescaled`` with a conservative merge.
+
+    def snapshot_key_groups(self, num_key_groups: int) -> dict[int, Any]:
+        """Keyed state grouped by key group (keyed operators only)."""
+        raise StreamError(
+            f"operator {self.name!r} has no keyed state to snapshot by "
+            "key group"
+        )
+
+    def scalar_snapshot(self) -> Any:
+        """Non-keyed remainder of a keyed operator's state."""
+        raise StreamError(
+            f"operator {self.name!r} has no keyed-state scalar snapshot"
+        )
+
+    def restore_parallel(self, groups: dict[int, Any], scalars: list[Any],
+                         primary: bool = True) -> None:
+        """Restore one subtask from key-group blobs plus scalar parts.
+
+        ``groups`` holds exactly this subtask's key-group range.  At
+        unchanged parallelism ``scalars`` is the single snapshot this
+        subtask wrote; on a rescale it is the *full* list from all old
+        subtasks and the operator merges conservatively (monotonic
+        quantities regress to the safe bound, counters land on the
+        ``primary`` subtask so totals are preserved).
+        """
+        raise StreamError(
+            f"operator {self.name!r} does not support key-grouped restore"
+        )
+
+    def restore_rescaled(self, snapshots: list[Any]) -> None:
+        """Restore one subtask of a *non-keyed* operator from the old
+        subtasks' snapshots after a parallelism change.  Stateless
+        operators accept trivially; stateful non-keyed operators must
+        override with an explicit merge rule (see WatermarkGenerator).
+        """
+        live = [s for s in snapshots if s is not None]
+        if live:
+            raise StreamError(
+                f"operator {self.name!r} is stateful but non-keyed and "
+                "defines no rescale merge; override restore_rescaled"
+            )
+        self.restore(None)
 
 
 class MapOperator(Operator):
@@ -285,6 +345,8 @@ class ReduceOperator(Operator):
     bit-identical to the per-item fold.
     """
 
+    requires_shuffle = True
+
     def __init__(self, name: str,
                  reduce_fn: Callable[[Any, Any], Any],
                  vectorized: bool = False) -> None:
@@ -363,6 +425,16 @@ class ReduceOperator(Operator):
 
     def restore(self, snapshot: Any) -> None:
         self._state.restore(snapshot or {})
+
+    def snapshot_key_groups(self, num_key_groups: int) -> dict[int, Any]:
+        return self._state.snapshot_by_group(num_key_groups)
+
+    def scalar_snapshot(self) -> Any:
+        return None  # all reduce state is keyed
+
+    def restore_parallel(self, groups: dict[int, Any], scalars: list[Any],
+                         primary: bool = True) -> None:
+        self._state.restore_groups(groups.values())
 
 
 class TimestampAssigner(Operator):
@@ -474,3 +546,19 @@ class WatermarkGenerator(Operator):
         self._max_ts = snapshot.get("max_ts", float("-inf"))
         self._last_wm = snapshot.get("last_wm", float("-inf"))
         self._since_emit = snapshot.get("since", 0)
+
+    def restore_rescaled(self, snapshots: list[Any]) -> None:
+        """Conservative rescale merge: watermark progress regresses to
+        the *minimum* over the old subtasks, so the restored run can
+        only emit lower-or-equal watermarks than any old subtask would
+        have — it may fire windows later, never drop more data.  (The
+        equivalence contract in docs/ARCHITECTURE.md therefore requires
+        allowed lateness to cover the regression for bit-identical
+        rescaled runs.)"""
+        live = [s for s in snapshots if s]
+        if not live:
+            self.restore(None)
+            return
+        self._max_ts = min(s.get("max_ts", float("-inf")) for s in live)
+        self._last_wm = min(s.get("last_wm", float("-inf")) for s in live)
+        self._since_emit = 0

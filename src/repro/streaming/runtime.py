@@ -47,7 +47,7 @@ from .graph import JobGraph
 from .join import IntervalJoinOperator
 from .operators import Operator
 
-__all__ = ["Executor", "Checkpoint", "SinkBuffer"]
+__all__ = ["Executor", "Checkpoint", "SinkBuffer", "build_chains"]
 
 
 @dataclass
@@ -75,10 +75,16 @@ class SinkBuffer:
         return len(self.elements)
 
 
-def _build_chains(job: JobGraph) -> dict[str, list[str]]:
+def build_chains(job: JobGraph,
+                 compatible: Any = None) -> dict[str, list[str]]:
     """Find maximal fusible runs: consecutive chainable operators linked
     by a untagged edge where the upstream has exactly one downstream and
     the downstream exactly one upstream.  Returns head -> member names.
+
+    ``compatible(up, down) -> bool``, when given, adds an extra fusion
+    gate — the parallel compiler (:mod:`repro.streaming.execution`) uses
+    it to keep a chain from spanning a parallelism change, so both
+    executors share one fusion rule set.
     """
     out_degree: dict[str, int] = {}
     in_degree: dict[str, int] = {}
@@ -94,6 +100,8 @@ def _build_chains(job: JobGraph) -> dict[str, list[str]]:
         if not (job.operators[up].chainable and job.operators[down].chainable):
             continue
         if out_degree[up] != 1 or in_degree[down] != 1:
+            continue
+        if compatible is not None and not compatible(up, down):
             continue
         links[up] = down
     linked_to = set(links.values())
@@ -168,7 +176,7 @@ class Executor:
         """
         rename: dict[str, str] = {}
         self._exec_ops: dict[str, Operator] = {}
-        chains = _build_chains(self.job) if self.chaining else {}
+        chains = build_chains(self.job) if self.chaining else {}
         in_chain: dict[str, str] = {}
         for head, members in chains.items():
             chained = ChainedOperator([self.job.operators[m]

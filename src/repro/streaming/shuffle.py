@@ -1,0 +1,98 @@
+"""Keyed shuffles: stable key -> key-group -> subtask mapping.
+
+The physical plan (see :mod:`repro.streaming.execution`) splits every
+keyed operator into N subtasks.  Elements are routed to subtasks not by
+hashing the key modulo N — which would make checkpoints unportable
+across parallelism changes — but through a fixed intermediate space of
+**key groups** (Flink's design): a key hashes to one of
+``num_key_groups`` groups for the lifetime of the job, and each subtask
+owns a contiguous *range* of groups that depends on the current
+parallelism.  Keyed state is snapshotted *per key group*, so a
+checkpoint taken at parallelism N can be restored at parallelism M by
+reassigning group ranges — no state is ever split or rehashed.
+
+Hashing uses FNV-1a over ``repr(key)`` (:func:`repro.util.ids.stable_hash`),
+the same process-stable hash the eventlog producer partitions by, so a
+topic keyed the same way and an operator at equal parallelism line up.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable
+
+from ..util.errors import StreamError
+from ..util.ids import split_ranges, stable_hash
+
+__all__ = [
+    "DEFAULT_KEY_GROUPS",
+    "key_group_for",
+    "key_group_range",
+    "subtask_for_key_group",
+    "subtask_for_key",
+    "group_by_key_group",
+    "merge_key_groups",
+]
+
+#: Default size of the key-group space — the *maximum parallelism* a
+#: keyed operator can ever be rescaled to.  128 keeps snapshots small
+#: while leaving generous headroom over realistic subtask counts.
+DEFAULT_KEY_GROUPS = 128
+
+
+def key_group_for(key: Any, num_key_groups: int) -> int:
+    """The key group a key belongs to — fixed for the job's lifetime.
+
+    Keys may be any value with a deterministic ``repr`` (strings, ints,
+    floats, tuples of those); ``repr`` keeps distinct types distinct
+    (``1`` vs ``"1"``) where ``str`` would collide them.
+    """
+    if key is None:
+        raise StreamError("cannot hash-partition an unkeyed element; "
+                          "add key_by() upstream of the shuffle")
+    return stable_hash(repr(key)) % num_key_groups
+
+
+def key_group_range(num_key_groups: int, parallelism: int,
+                    subtask: int) -> range:
+    """The contiguous key-group range owned by one subtask."""
+    if not 0 <= subtask < parallelism:
+        raise StreamError(f"subtask {subtask} outside parallelism "
+                          f"{parallelism}")
+    return split_ranges(num_key_groups, parallelism)[subtask]
+
+
+def subtask_for_key_group(key_group: int, num_key_groups: int,
+                          parallelism: int) -> int:
+    """Which subtask owns a key group at the given parallelism.
+
+    Closed form of the inverse of :func:`key_group_range`:
+    ``subtask = key_group * parallelism // num_key_groups``.
+    """
+    if not 0 <= key_group < num_key_groups:
+        raise StreamError(f"key group {key_group} outside "
+                          f"[0, {num_key_groups})")
+    return key_group * parallelism // num_key_groups
+
+
+def subtask_for_key(key: Any, num_key_groups: int, parallelism: int) -> int:
+    """Route a key straight to its subtask (hash -> group -> range)."""
+    return subtask_for_key_group(key_group_for(key, num_key_groups),
+                                 num_key_groups, parallelism)
+
+
+def group_by_key_group(data: dict[Any, Any],
+                       num_key_groups: int) -> dict[int, dict[Any, Any]]:
+    """Regroup a per-key state dict by key group (snapshot helper)."""
+    out: dict[int, dict[Any, Any]] = {}
+    for key, value in data.items():
+        out.setdefault(key_group_for(key, num_key_groups), {})[key] = value
+    return out
+
+
+def merge_key_groups(groups: Iterable[dict[Any, Any]]) -> dict[Any, Any]:
+    """Flatten key-group blobs back into one per-key dict (restore
+    helper).  Groups are disjoint by construction, so plain update."""
+    out: dict[Any, Any] = {}
+    for blob in groups:
+        out.update(blob)
+    return out

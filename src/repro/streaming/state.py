@@ -4,12 +4,18 @@ Operators keep their mutable state in a :class:`KeyedState` so the
 checkpoint coordinator can snapshot and restore the whole job.  Values
 must be copyable via :func:`copy.deepcopy`; our state values are plain
 dicts/lists/numbers so this is exact.
+
+For parallel plans the state can also be snapshotted *by key group*
+(:meth:`KeyedState.snapshot_by_group`) — the unit of redistribution
+when a job is rescaled; see :mod:`repro.streaming.shuffle`.
 """
 
 from __future__ import annotations
 
 import copy
-from typing import Any, Callable
+from typing import Any, Callable, Iterable
+
+from .shuffle import group_by_key_group, merge_key_groups
 
 __all__ = ["KeyedState"]
 
@@ -22,6 +28,21 @@ class KeyedState:
         self._default_factory = default_factory
 
     def get(self, key: Any) -> Any:
+        """Read-only lookup: a missing key returns the factory's default
+        (or ``None``) **without** materializing an entry, so probing
+        never changes ``snapshot()``/``len()``.  Use
+        :meth:`get_or_create` when the entry should persist.
+        """
+        try:
+            return self._data[key]
+        except KeyError:
+            if self._default_factory is not None:
+                return self._default_factory()
+            return None
+
+    def get_or_create(self, key: Any) -> Any:
+        """Lookup that materializes (and returns) the factory default for
+        a missing key — the explicitly-mutating twin of :meth:`get`."""
         if key not in self._data and self._default_factory is not None:
             self._data[key] = self._default_factory()
         return self._data.get(key)
@@ -50,3 +71,15 @@ class KeyedState:
 
     def clear(self) -> None:
         self._data.clear()
+
+    # -- key-group snapshots (parallel plans) ---------------------------------
+
+    def snapshot_by_group(self, num_key_groups: int) -> dict[int, dict]:
+        """Deep-copied state regrouped by key group — the redistribution
+        unit for rescaling."""
+        return group_by_key_group(copy.deepcopy(self._data), num_key_groups)
+
+    def restore_groups(self, groups: Iterable[dict[Any, Any]]) -> None:
+        """Replace state with the union of key-group blobs (disjoint by
+        construction)."""
+        self._data = copy.deepcopy(merge_key_groups(groups))

@@ -94,6 +94,8 @@ aggregators: dict[str, _Agg] = {
 class WindowAggregateOperator(Operator):
     """Keyed event-time windowing with incremental aggregation."""
 
+    requires_shuffle = True
+
     def __init__(self, name: str, assigner: WindowAssigner,
                  aggregate: str | _Agg = "count",
                  allowed_lateness: float = 0.0,
@@ -282,7 +284,43 @@ class WindowAggregateOperator(Operator):
         self._current_wm = snapshot.get("wm", float("-inf"))
         self.dropped_late = snapshot.get("dropped", 0)
         self.fired = snapshot.get("fired", 0)
+        self._recompute_min_deadline()
+
+    def _recompute_min_deadline(self) -> None:
         self._min_deadline = min(
             (w.end + self.allowed_lateness
              for per_key in self._windows.values() for w in per_key),
             default=float("inf"))
+
+    # -- key-grouped checkpoints (parallel plans) ----------------------------
+
+    def snapshot_key_groups(self, num_key_groups: int) -> dict[int, Any]:
+        import copy
+        from .shuffle import group_by_key_group
+        return group_by_key_group(copy.deepcopy(self._windows),
+                                  num_key_groups)
+
+    def scalar_snapshot(self) -> Any:
+        return {"wm": self._current_wm, "dropped": self.dropped_late,
+                "fired": self.fired}
+
+    def restore_parallel(self, groups: dict[int, Any], scalars: list[Any],
+                         primary: bool = True) -> None:
+        import copy
+        from .shuffle import merge_key_groups
+        self._windows = copy.deepcopy(merge_key_groups(groups.values()))
+        if len(scalars) == 1:
+            self._current_wm = scalars[0]["wm"]
+            self.dropped_late = scalars[0]["dropped"]
+            self.fired = scalars[0]["fired"]
+        else:
+            # Rescale: the watermark regresses to the conservative
+            # minimum (can only admit *more* data, never drop extra);
+            # counters are job-wide totals, carried by the primary
+            # subtask so aggregation across subtasks stays exact.
+            self._current_wm = min(
+                (s["wm"] for s in scalars), default=float("-inf"))
+            self.dropped_late = sum(s["dropped"] for s in scalars) \
+                if primary else 0
+            self.fired = sum(s["fired"] for s in scalars) if primary else 0
+        self._recompute_min_deadline()

@@ -1,0 +1,106 @@
+"""Chaos recovery on parallel plans: subtask-scoped crashes.
+
+Same invariant as :mod:`test_chaos_recovery`, at parallelism > 1: any
+crash schedule — whether it targets a logical operator (any of its
+subtasks may fire it) or one pinned subtask like ``window_sum[1]`` —
+must recover to sinks identical to the fault-free parallel run.  At
+unchanged parallelism the restore is exact (routing state included),
+so raw sink order is compared, not a canonicalization.
+
+One fixed-schedule smoke stays unmarked for tier 1; the seeded sweeps
+are marked ``chaos``.
+"""
+
+import pytest
+
+from repro.chaos import (
+    SITE_OPERATOR,
+    FaultInjector,
+    FaultPlan,
+    FaultSpec,
+    fault_free_sinks,
+    reference_events,
+    reference_job,
+    reference_operator_names,
+    run_with_recovery,
+)
+
+PARALLELISM = 4
+
+
+def _assert_recovers(build, plan, parallelism=PARALLELISM,
+                     source_batch=32, **flags):
+    golden = fault_free_sinks(build, parallelism=parallelism,
+                              source_batch=source_batch, **flags)
+    injector = FaultInjector(plan)
+    report = run_with_recovery(build(), injector, parallelism=parallelism,
+                               source_batch=source_batch, **flags)
+    assert report.failures > 0, "the schedule never fired"
+    assert report.sink_values == golden, (
+        f"parallel recovery diverged (plan={plan.name}, "
+        f"parallelism={parallelism})")
+
+
+class TestParallelCrashSmoke:
+    """Unmarked: parallel recovery machinery stays inside tier 1."""
+
+    def test_logical_target_crashes_any_subtask(self):
+        events = reference_events(seed=5)
+        plan = FaultPlan(specs=(
+            FaultSpec("operator_crash", SITE_OPERATOR, at=41,
+                      target="double"),
+            FaultSpec("operator_crash", SITE_OPERATOR, at=160,
+                      target="window_sum"),
+        ), name="parallel-smoke")
+        _assert_recovers(lambda: reference_job(events), plan)
+
+    def test_pinned_subtask_target(self):
+        # "window_sum[1]" names one physical clone; only that subtask
+        # can trip the fault.
+        events = reference_events(seed=5)
+        plan = FaultPlan(specs=(
+            FaultSpec("operator_crash", SITE_OPERATOR, at=23,
+                      target="window_sum[1]"),
+        ), name="pinned-subtask")
+        _assert_recovers(lambda: reference_job(events), plan)
+
+
+@pytest.mark.chaos
+class TestParallelCrashSweeps:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_random_schedules_recover(self, seed):
+        events = reference_events(seed=seed % 4)
+        # Each subtask sees ~1/parallelism of the stream, so fault
+        # offsets must sit well inside a single subtask's progress.
+        plan = FaultPlan.random(
+            seed + 300, horizon=80,
+            operators=reference_operator_names(), crashes=3,
+            torn_appends=0, unavailable_windows=0,
+            duplicate_deliveries=0, task_timeouts=0,
+            name=f"parallel-{seed}")
+        _assert_recovers(lambda: reference_job(events), plan)
+
+    @pytest.mark.parametrize("parallelism", [2, 3, 4])
+    def test_all_parallelisms_and_modes(self, parallelism):
+        events = reference_events(seed=7)
+        plan = FaultPlan(specs=(
+            FaultSpec("operator_crash", SITE_OPERATOR, at=77,
+                      target="window_sum"),
+            FaultSpec("operator_crash", SITE_OPERATOR, at=150,
+                      target="watermarks"),
+        ), name=f"modes-p{parallelism}")
+        for batch_mode, chaining in ((False, False), (True, False),
+                                     (True, True)):
+            _assert_recovers(lambda: reference_job(events), plan,
+                             parallelism=parallelism,
+                             batch_mode=batch_mode, chaining=chaining)
+
+    @pytest.mark.parametrize("target",
+                             ["double[0]", "window_sum[3]", "watermarks[2]"])
+    def test_every_pinned_subtask_recovers(self, target):
+        events = reference_events(seed=2)
+        plan = FaultPlan(specs=(
+            FaultSpec("operator_crash", SITE_OPERATOR, at=19,
+                      target=target),
+        ), name=f"pin-{target}")
+        _assert_recovers(lambda: reference_job(events), plan)

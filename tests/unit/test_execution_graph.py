@@ -1,0 +1,190 @@
+"""Unit tests: logical -> physical compilation and the parallel executor."""
+
+import pytest
+
+from repro.streaming import (
+    Element,
+    Executor,
+    JobBuilder,
+    ParallelExecutor,
+    TumblingWindows,
+    compile_execution_graph,
+)
+from repro.streaming.execution import FORWARD, HASH, MERGE, REBALANCE
+from repro.streaming.graph import JobGraph
+from repro.util.errors import CheckpointError, JobGraphError
+
+
+def _els(n, key_mod=4):
+    return [Element(value=float(i), timestamp=float(i), key=i % key_mod)
+            for i in range(n)]
+
+
+def _windowed_job(n=40, splits=None):
+    builder = JobBuilder("j")
+    (builder.source("s", _els(n), splits=splits)
+            .with_watermarks(0.0)
+            .map(lambda v: v * 2.0, name="scale")
+            .filter(lambda v: v >= 0.0, name="keep")
+            .window(TumblingWindows(10.0), "sum", name="window_sum")
+            .sink("out"))
+    return builder.build()
+
+
+class TestCompile:
+    def test_p1_fuses_same_chains_as_executor(self):
+        job = _windowed_job()
+        graph = compile_execution_graph(job, 1)
+        executor = Executor(_windowed_job())
+        # The p=1 physical plan has the same fusion structure as the
+        # single-instance runtime: stateless ops fuse, the keyed window
+        # stays a chain break.
+        chain_members = {tuple(n.members) for n in graph.nodes.values()
+                         if len(n.members) > 1}
+        runtime_chains = {tuple(c.member_names)
+                          for c in executor._exec_ops.values()
+                          if hasattr(c, "member_names")}
+        assert chain_members == runtime_chains
+        assert all(n.parallelism == 1 for n in graph.nodes.values())
+
+    def test_edge_modes(self):
+        graph = compile_execution_graph(_windowed_job(), 2)
+        modes = {(e.up, e.down): e.mode for e in graph.edges}
+        chain = next(n for n in graph.nodes.values() if len(n.members) > 1)
+        assert modes[("s", chain.name)] == FORWARD
+        assert modes[(chain.name, "window_sum")] == HASH
+        assert modes[("window_sum", "out")] == MERGE
+
+    def test_parallelism_mismatch_is_rebalance(self):
+        builder = JobBuilder("j")
+        (builder.source("s", _els(8))
+                .map(lambda v: v, name="a")
+                .map(lambda v: v, name="b")
+                .sink("out"))
+        graph = compile_execution_graph(
+            builder.build(), {"default": 1, "s": 1, "a": 1, "b": 3})
+        modes = {(e.up, e.down): e.mode for e in graph.edges}
+        # Unequal parallelism blocks fusion and forces a rebalance edge.
+        assert modes[("a", "b")] == REBALANCE
+        assert all(len(n.members) == 1 for n in graph.nodes.values())
+
+    def test_parallelism_dict_with_default(self):
+        graph = compile_execution_graph(
+            _windowed_job(), {"default": 2, "window_sum": 4})
+        assert graph.nodes["window_sum"].parallelism == 4
+        assert graph.source_parallelism["s"] == 2
+        assert graph.max_parallelism() == 4
+
+    def test_rejects_nonpositive_parallelism(self):
+        with pytest.raises(JobGraphError, match="parallelism"):
+            compile_execution_graph(_windowed_job(), 0)
+
+    def test_rejects_keyed_parallelism_over_key_groups(self):
+        with pytest.raises(JobGraphError, match="num_key_groups"):
+            compile_execution_graph(_windowed_job(), {"default": 1,
+                                                      "window_sum": 16},
+                                    num_key_groups=8)
+
+    def test_rejects_source_parallelism_over_splits(self):
+        with pytest.raises(JobGraphError, match="splits"):
+            compile_execution_graph(_windowed_job(splits=2),
+                                    {"default": 1, "s": 4})
+
+    def test_describe_smoke(self):
+        text = compile_execution_graph(_windowed_job(), 2).describe()
+        assert "window_sum x2 (keyed)" in text
+        assert "hash" in text
+
+
+class TestGraphValidation:
+    """JobGraph.validate / JobBuilder guards (direct construction where
+    the builder cannot produce the malformed shape)."""
+
+    def test_edge_out_of_sink_rejected(self):
+        builder = JobBuilder("j")
+        handle = builder.source("s", _els(2)).map(lambda v: v, name="m")
+        handle.map(lambda v: v, name="m2").sink("out2")
+        handle.sink("out")
+        job = builder.build()
+        # "out" -> "m2" keeps the graph acyclic, so the terminal-sink
+        # check is what fires.
+        bad = JobGraph(name="j", sources=job.sources,
+                       operators=job.operators,
+                       edges=job.edges + [("out", "m2", None)],
+                       sinks=job.sinks)
+        with pytest.raises(JobGraphError, match="terminal"):
+            bad.validate()
+
+    def test_sink_colliding_with_operator_rejected(self):
+        builder = JobBuilder("j")
+        builder.source("s", _els(2)).map(lambda v: v, name="m").sink("out")
+        job = builder.build()
+        # Declare the terminal operator itself as a sink name: no
+        # outgoing edges, so only the collision check can reject it.
+        bad = JobGraph(name="j", sources=job.sources,
+                       operators=job.operators,
+                       edges=[("s", "m", None)], sinks={"m"})
+        with pytest.raises(JobGraphError, match="collides"):
+            bad.validate()
+
+    def test_sink_name_collision_in_builder(self):
+        builder = JobBuilder("j")
+        handle = builder.source("s", _els(2)).map(lambda v: v, name="m")
+        with pytest.raises(JobGraphError):
+            handle.sink("m")
+
+    def test_duplicate_edge_rejected(self):
+        builder = JobBuilder("j")
+        builder.source("s", _els(2)).map(lambda v: v, name="m").sink("out")
+        with pytest.raises(JobGraphError, match="duplicate"):
+            builder._add_edge("s", "m", None)
+
+
+class TestParallelExecutor:
+    def test_p1_matches_single_instance(self):
+        expected = Executor(_windowed_job()).run()["out"]
+        executor = ParallelExecutor(_windowed_job(), 1)
+        executor.run()
+        got = executor.sinks["out"]
+        assert [repr(v) for v in got.values] \
+            == [repr(v) for v in expected.values]
+
+    def test_logical_counters_sum_subtasks(self):
+        executor = ParallelExecutor(_windowed_job(), 4)
+        executor.run()
+        processed, emitted = executor.logical_counters("window_sum")
+        assert processed == sum(
+            op.processed for op in executor.subtask_operators("window_sum"))
+        assert len(executor.subtask_operators("window_sum")) == 4
+        assert processed > 0 and emitted > 0
+
+    def test_checkpoint_with_inflight_rejected(self):
+        executor = ParallelExecutor(_windowed_job(), 2)
+        executor.run(max_cycles=1, source_batch=8)
+        key = next(iter(executor._channels))
+        next(iter(executor._channels[key].values())).append(
+            Element(value=1.0, timestamp=0.0))
+        with pytest.raises(CheckpointError, match="in flight"):
+            executor.checkpoint()
+
+    def test_restore_rejects_key_group_mismatch(self):
+        executor = ParallelExecutor(_windowed_job(), 2, num_key_groups=64)
+        executor.run(max_cycles=1, source_batch=8)
+        snapshot = executor.checkpoint()
+        other = ParallelExecutor(_windowed_job(), 2, num_key_groups=32)
+        with pytest.raises(CheckpointError, match="key group"):
+            other.restore(snapshot)
+
+    def test_restore_rejects_split_count_mismatch(self):
+        executor = ParallelExecutor(_windowed_job(splits=2), 2)
+        executor.run(max_cycles=1, source_batch=8)
+        snapshot = executor.checkpoint()
+        other = ParallelExecutor(_windowed_job(splits=4), 2)
+        with pytest.raises(CheckpointError, match="splits"):
+            other.restore(snapshot)
+
+    def test_modeled_speedup_reported(self):
+        executor = ParallelExecutor(_windowed_job(200, splits=4), 4)
+        executor.run(source_batch=16)
+        assert executor.serial_busy_s > 0.0
+        assert executor.modeled_speedup >= 1.0

@@ -13,23 +13,43 @@ from repro.util.rng import make_rng
 
 
 class TestKeyedState:
-    def test_default_factory(self):
+    def test_get_is_non_mutating(self):
+        # A read-only probe of a missing key must not materialize an
+        # entry — that would change snapshot()/len() on a *read*.
         state = KeyedState(default_factory=list)
-        state.get("a").append(1)
+        assert state.get("a") == []
+        assert len(state) == 0
+        assert state.snapshot() == {}
+        assert "a" not in state
+
+    def test_get_or_create_materializes(self):
+        state = KeyedState(default_factory=list)
+        state.get_or_create("a").append(1)
         assert state.get("a") == [1]
         assert len(state) == 1
 
     def test_no_factory_returns_none(self):
         state = KeyedState()
         assert state.get("missing") is None
+        assert state.get_or_create("missing") is None
         assert "missing" not in state
 
     def test_snapshot_is_deep(self):
         state = KeyedState(default_factory=list)
-        state.get("a").append(1)
+        state.get_or_create("a").append(1)
         snapshot = state.snapshot()
-        state.get("a").append(2)
+        state.get_or_create("a").append(2)
         assert snapshot["a"] == [1]
+
+    def test_snapshot_by_group_round_trip(self):
+        state = KeyedState()
+        for i in range(40):
+            state.put(f"k{i}", i)
+        groups = state.snapshot_by_group(8)
+        assert sum(len(g) for g in groups.values()) == 40
+        restored = KeyedState()
+        restored.restore_groups(groups.values())
+        assert restored.snapshot() == state.snapshot()
 
     def test_restore_replaces_content(self):
         state = KeyedState()

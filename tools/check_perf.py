@@ -8,6 +8,13 @@ Fails (exit 1) if either regresses more than ``--tolerance`` (default
 20%) — the guard that keeps future PRs from quietly giving back the
 batched-execution win.
 
+Also runs ``benchmarks/bench_p4_parallel.py`` and gates the *modelled*
+parallel scaling: the keyed-window workload at parallelism 4 must model
+at least ``--min-parallel-speedup`` (default 1.5x) over parallelism 1.
+The gate is absolute, not baseline-relative — a modelled ratio is
+machine-speed-robust, so any plan that stops overlapping subtask work
+fails regardless of where it runs.
+
 Usage:  python tools/check_perf.py [--events N] [--tolerance 0.2]
         python tools/check_perf.py --skip-tests   # bench gate only
 """
@@ -53,6 +60,29 @@ def run_bench_smoke(events: int) -> dict | None:
         if proc.returncode != 0:
             return None
         return json.loads(out.read_text())
+
+
+def run_parallel_smoke(events: int) -> dict | None:
+    print(f"\n== parallel scaling smoke ({events} events) ==", flush=True)
+    with tempfile.TemporaryDirectory() as tmp:
+        out = Path(tmp) / "bench.json"
+        proc = subprocess.run(
+            [sys.executable,
+             str(REPO / "benchmarks" / "bench_p4_parallel.py"),
+             "--events", str(events), "--out", str(out)],
+            cwd=REPO, env=_env())
+        if proc.returncode != 0:
+            return None
+        return json.loads(out.read_text())
+
+
+def check_parallel_speedup(current: dict, minimum: float) -> bool:
+    speedup = current["parallel"]["speedup_p4"]
+    status = "ok" if speedup >= minimum else "TOO SLOW"
+    print(f"\n== parallel scaling gate (minimum {minimum:.2f}x) ==")
+    print(f"     speedup_p4: {speedup:10.2f}x  (absolute floor "
+          f"{minimum:.2f}x)  {status}")
+    return speedup >= minimum
 
 
 def check_regression(current: dict, tolerance: float) -> bool:
@@ -101,6 +131,7 @@ def main() -> int:
                         help="smoke-run stream size (default keeps the "
                              "bench near 5 seconds)")
     parser.add_argument("--tolerance", type=float, default=0.20)
+    parser.add_argument("--min-parallel-speedup", type=float, default=1.5)
     parser.add_argument("--skip-tests", action="store_true")
     args = parser.parse_args()
 
@@ -113,6 +144,13 @@ def main() -> int:
         return 1
     if not check_regression(current, args.tolerance):
         print("\ncheck_perf: FAIL (throughput regression)")
+        return 1
+    parallel = run_parallel_smoke(args.events)
+    if parallel is None:
+        print("\ncheck_perf: FAIL (parallel benchmark crashed)")
+        return 1
+    if not check_parallel_speedup(parallel, args.min_parallel_speedup):
+        print("\ncheck_perf: FAIL (parallel scaling below floor)")
         return 1
     print("\ncheck_perf: OK")
     return 0
