@@ -4,7 +4,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test chaos perf robustness obs verify
+.PHONY: test chaos chaos-parallel perf robustness obs verify
 
 test:  ## tier-1: fast unit/integration/property tests
 	$(PYTHON) -m pytest -x -q
@@ -15,11 +15,16 @@ obs:  ## observability gate: span-tree completeness + overhead budget
 chaos:  ## fault-injection recovery suites (chaos + slow markers)
 	$(PYTHON) -m pytest -q -m "chaos or slow"
 
+chaos-parallel:  ## coordinated checkpoints: barriers, 2PC sinks, regional recovery
+	$(PYTHON) -m pytest -q -m "chaos or not chaos" \
+		tests/property/test_coordinated_chaos.py \
+		tests/property/test_coordinated_checkpoint.py
+
 perf:  ## throughput regression gate vs committed baseline
 	$(PYTHON) tools/check_perf.py --skip-tests
 
-robustness:  ## fixed-schedule crash-recovery smoke
+robustness:  ## fixed-schedule crash-recovery smoke + recovery-MTTR gate
 	$(PYTHON) tools/check_robustness.py --skip-tests
 
-verify: test perf obs chaos robustness
+verify: test perf obs chaos chaos-parallel robustness
 	@echo "verify: all gates passed"

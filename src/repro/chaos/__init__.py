@@ -10,19 +10,27 @@ run, for any seeded schedule.
 """
 
 from .harness import (
+    CoordinatedReport,
     RecoveryReport,
+    canonical_sinks,
     fault_free_sinks,
     reference_events,
     reference_job,
     reference_operator_names,
+    run_coordinated,
     run_with_recovery,
+    two_region_job,
 )
 from .injector import ChaosLogCluster, FaultInjector
 from .plan import (
     SITE_APPEND,
+    SITE_BARRIER,
+    SITE_CHANNEL,
+    SITE_COORDINATOR,
     SITE_FETCH,
     SITE_OFFLOAD,
     SITE_OPERATOR,
+    SITE_STALL,
     FaultEvent,
     FaultPlan,
     FaultSpec,
@@ -36,12 +44,20 @@ __all__ = [
     "ChaosLogCluster",
     "RecoveryReport",
     "run_with_recovery",
+    "CoordinatedReport",
+    "run_coordinated",
     "reference_events",
     "reference_job",
     "reference_operator_names",
     "fault_free_sinks",
+    "two_region_job",
+    "canonical_sinks",
     "SITE_OPERATOR",
     "SITE_APPEND",
     "SITE_FETCH",
     "SITE_OFFLOAD",
+    "SITE_CHANNEL",
+    "SITE_BARRIER",
+    "SITE_COORDINATOR",
+    "SITE_STALL",
 ]

@@ -25,13 +25,21 @@ from ..streaming.element import Element
 from ..streaming.graph import JobBuilder, JobGraph
 from ..streaming.runtime import Executor
 from ..streaming.windows import TumblingWindows
-from ..util.errors import BrokerDown, ChaosError, OperatorCrash
+from ..util.errors import (
+    BrokerDown,
+    ChaosError,
+    CheckpointError,
+    CoordinatorDown,
+    OperatorCrash,
+)
 from ..util.rng import make_rng
 from .injector import FaultInjector
 from .plan import FaultPlan
 
 __all__ = ["RecoveryReport", "run_with_recovery", "reference_events",
-           "reference_job", "reference_operator_names", "fault_free_sinks"]
+           "reference_job", "reference_operator_names", "fault_free_sinks",
+           "CoordinatedReport", "run_coordinated", "two_region_job",
+           "canonical_sinks"]
 
 
 @dataclass
@@ -168,6 +176,245 @@ def run_with_recovery(job: JobGraph, injector: FaultInjector | None = None,
     return report
 
 
+# -- coordinated checkpoints -------------------------------------------------
+
+
+@dataclass
+class CoordinatedReport:
+    """What happened during a coordinator-supervised run."""
+
+    sink_values: dict[str, list[Any]]
+    crashes: int = 0
+    coordinator_crashes: int = 0
+    broker_faults: int = 0
+    dead_detected: int = 0
+    checkpoints: int = 0
+    aborted: int = 0
+    regional_restores: int = 0
+    full_restores: int = 0
+    #: elements actually replayed across all recoveries
+    replayed_total: int = 0
+    #: of which, by regional restores only
+    replayed_regional: int = 0
+    #: what whole-job restarts would have replayed at the same recovery
+    #: points (the counterfactual the MTTR gate compares against)
+    replayed_full_equiv: int = 0
+    trace: list = field(default_factory=list)
+
+    @property
+    def failures(self) -> int:
+        return (self.crashes + self.coordinator_crashes
+                + self.broker_faults + self.dead_detected)
+
+    @property
+    def restores(self) -> int:
+        return self.regional_restores + self.full_restores
+
+
+def run_coordinated(job: JobGraph, injector: FaultInjector | None = None,
+                    *, parallelism: int | dict[str, int] = 2,
+                    batch_mode: bool = True, chaining: bool = True,
+                    source_batch: int = 64, step_cycles: int = 1,
+                    interval_cycles: int = 4,
+                    unaligned_after: int | None = None,
+                    heartbeat_timeout_s: float = 5.0,
+                    replayable: frozenset | set = frozenset(),
+                    store: Any = None, max_failures: int = 1000,
+                    tracer: Any = None, metrics: Any = None,
+                    profiler: Any = None,
+                    on_coordinator: Any = None) -> CoordinatedReport:
+    """Supervise a parallel job under coordinated checkpoints.
+
+    Unlike :func:`run_with_recovery` — which only checkpoints when the
+    job is quiescent — this supervisor attaches a
+    :class:`~repro.streaming.coordinator.CheckpointCoordinator` that
+    snapshots *while data is in flight* via barrier alignment, commits
+    sink output through 2PC, and recovers regionally:
+
+    - :class:`OperatorCrash` (mid-batch, per-item, or mid-snapshot via
+      ``barrier_crash``) restores only the failed subtask's failover
+      region when the plan decomposes; otherwise the whole job.
+    - :class:`CoordinatorDown` abandons the in-progress checkpoint and
+      rebuilds the coordinator from the store — subtask state is intact,
+      so no executor restore happens at all.
+    - A fail-silent subtask (``subtask_stall``) is caught by the
+      heartbeat detector and treated as a crash of that subtask.
+
+    ``on_coordinator`` (if given) is called with the coordinator after
+    construction — the place to register commit listeners such as
+    :class:`~repro.streaming.txn_sink.TransactionalLogSink`.  Listeners
+    survive coordinator rebuilds.
+    """
+    from ..streaming.coordinator import (
+        CheckpointCoordinator,
+        CheckpointStore,
+        failover_region_of,
+    )
+    from ..streaming.execution import ParallelExecutor
+    from ..util.clock import SimClock
+
+    executor = ParallelExecutor(job, parallelism, batch_mode=batch_mode,
+                                chaining=chaining, injector=injector,
+                                tracer=tracer, metrics=metrics,
+                                profiler=profiler,
+                                transactional_sinks=True,
+                                unaligned_after=unaligned_after)
+    store = store if store is not None else CheckpointStore()
+    clock = SimClock()
+
+    def _build_coordinator() -> CheckpointCoordinator:
+        return CheckpointCoordinator(
+            executor, store=store, clock=clock,
+            interval_cycles=interval_cycles,
+            heartbeat_timeout_s=heartbeat_timeout_s,
+            injector=injector, metrics=metrics)
+
+    coordinator = _build_coordinator()
+    if on_coordinator is not None:
+        on_coordinator(coordinator)
+    report = CoordinatedReport(sink_values={})
+    prior = {"finalized": 0, "aborted": 0}
+    supervised = (tracer.start_span(f"coordinated:{job.name}")
+                  if tracer is not None else None)
+    initial = executor.checkpoint()
+    total_nodes = (len(executor.graph.nodes)
+                   + len(executor.graph.source_parallelism)
+                   + len(job.sinks))
+
+    def _check_budget() -> None:
+        if report.failures > max_failures:
+            raise ChaosError(
+                f"gave up after {report.failures} failures; the fault "
+                "plan appears to re-fire indefinitely")
+
+    def _fault(kind: str) -> None:
+        if supervised is not None:
+            supervised.add_event("fault", kind=kind)
+        if metrics is not None:
+            metrics.counter("chaos.faults", kind=kind).inc()
+
+    def _full_equiv(checkpoint: Any) -> int:
+        """What a whole-job restart to ``checkpoint`` would replay."""
+        total = 0
+        for source, splits in executor.source_positions_snapshot().items():
+            recorded = checkpoint.source_positions.get(source, {})
+            for split, pos in splits.items():
+                total += max(0, pos - recorded.get(split, 0))
+        return total
+
+    def _rebuild_coordinator() -> None:
+        # Counters accumulate across incarnations: the replacement
+        # coordinator starts at zero, but the checkpoints the dead one
+        # finalized (and the pending one it abandoned) still happened.
+        nonlocal coordinator
+        coordinator.abandon_pending()
+        prior["finalized"] += coordinator.finalized
+        prior["aborted"] += coordinator.aborted
+        listeners = list(coordinator.listeners)
+        coordinator = _build_coordinator()
+        coordinator.listeners.extend(listeners)
+
+    def _recover(op_name: str | None) -> None:
+        checkpoint = store.latest()
+        target = checkpoint if checkpoint is not None else initial
+        full_equiv = _full_equiv(target)
+        region = None
+        if checkpoint is not None and op_name is not None:
+            try:
+                candidate = failover_region_of(executor.graph, op_name,
+                                               replayable)
+            except CheckpointError:
+                candidate = None
+            # Regional restore needs the region to contain its own
+            # sources (its input replays from them) and to be a strict
+            # subset — a region spanning the whole plan is just a full
+            # restore with extra bookkeeping.
+            if (candidate is not None and len(candidate) < total_nodes
+                    and candidate
+                    & set(executor.graph.source_parallelism)):
+                region = candidate
+        while True:
+            # A log-backed source restore re-reads the log, so the
+            # restore itself can land in an unavailability window; the
+            # counters only move forward, so retrying walks out.
+            try:
+                if region is not None:
+                    stats = executor.restore_region(target, region)
+                    replayed = stats["replayed_elements"]
+                    report.regional_restores += 1
+                    report.replayed_regional += replayed
+                else:
+                    executor.restore(target)
+                    replayed = full_equiv
+                    report.full_restores += 1
+                    coordinator.monitor.reset_all()
+            except BrokerDown:
+                report.broker_faults += 1
+                _fault("broker")
+                _check_budget()
+                continue
+            break
+        report.replayed_total += replayed
+        report.replayed_full_equiv += full_equiv
+        if metrics is not None:
+            metrics.summary("recovery.replayed_elements").observe(replayed)
+            metrics.summary("recovery.replay_saved").observe(
+                full_equiv - replayed)
+
+    def _supervise() -> None:
+        while True:
+            try:
+                executor.run(source_batch=source_batch,
+                             max_cycles=step_cycles)
+                if executor.done:
+                    coordinator.final_checkpoint(executor)
+                    return
+            except OperatorCrash as crash:
+                report.crashes += 1
+                _fault("crash")
+                _check_budget()
+                _recover(getattr(crash, "op_name", None))
+                continue
+            except CoordinatorDown:
+                report.coordinator_crashes += 1
+                _fault("coordinator")
+                _check_budget()
+                _rebuild_coordinator()
+                continue
+            except BrokerDown:
+                report.broker_faults += 1
+                _fault("broker")
+                _check_budget()
+                _recover(None)
+                continue
+            dead = coordinator.dead_subtasks()
+            if dead:
+                report.dead_detected += 1
+                _fault("dead")
+                _check_budget()
+                _recover(dead[0])
+
+    if supervised is not None:
+        with tracer.activate(supervised):
+            _supervise()
+        supervised.set_attr("crashes", report.crashes)
+        supervised.set_attr("coordinator_crashes",
+                            report.coordinator_crashes)
+        supervised.set_attr("regional_restores", report.regional_restores)
+        supervised.set_attr("full_restores", report.full_restores)
+        supervised.set_attr("replayed_total", report.replayed_total)
+        supervised.end()
+    else:
+        _supervise()
+    report.checkpoints = prior["finalized"] + coordinator.finalized
+    report.aborted = prior["aborted"] + coordinator.aborted
+    report.sink_values = {name: list(sink.values)
+                          for name, sink in executor.sinks.items()}
+    if injector is not None:
+        report.trace = list(injector.trace)
+    return report
+
+
 # -- the reference pipeline -------------------------------------------------
 
 
@@ -208,6 +455,54 @@ def reference_job(elements_or_source: Any,
 def reference_operator_names() -> tuple[str, ...]:
     """Crash targets in the reference job (kept in sync by tests)."""
     return ("watermarks", "double", "drop_tiny", "by_key", "window_sum")
+
+
+def canonical_sinks(sink_values: dict[str, list[Any]]
+                    ) -> dict[str, list[Any]]:
+    """Order-insensitive canonical form of sink output.
+
+    Crash recovery replays deterministically, so crash-only schedules
+    reproduce the fault-free sink lists *exactly*.  Network faults
+    (channel delay/partition) and fail-silent stalls legitimately shift
+    *when* windows fire, which permutes the cross-subtask interleaving
+    at a merge sink — content is still exactly-once (no loss, no
+    duplicates, bit-identical values), only the arrival order differs,
+    as on any real multi-partition sink.  Equivalence suites compare
+    ``canonical_sinks(a) == canonical_sinks(b)``: it is exact on values
+    and multiplicities while forgiving the interleaving.
+    """
+    return {name: sorted(values, key=repr)
+            for name, values in sink_values.items()}
+
+
+def two_region_job(events_a: Any, events_b: Any,
+                   max_lateness: float = 5.0,
+                   window_s: float = 10.0) -> JobGraph:
+    """Two disjoint pipelines in one job: the canonical two-region plan.
+
+    The pipelines share no edges, so :func:`failover_regions` splits
+    them into independent restart units without any replayable-edge
+    declaration — a crash in pipeline A replays only ``events_a`` while
+    pipeline B keeps its state and position.  The recovery-MTTR gate
+    asserts exactly that: regional replay strictly below what a
+    whole-job restart would re-read.
+    """
+    builder = JobBuilder("two-region")
+    (builder.source("events_a", events_a)
+            .with_watermarks(max_lateness, name="wm_a")
+            .map(lambda v: {"k": v["k"], "v": v["v"] * 2.0}, name="double_a")
+            .key_by(lambda v: v["k"], name="by_key_a")
+            .window(TumblingWindows(window_s), "sum",
+                    value_fn=lambda v: v["v"], name="window_a")
+            .sink("out_a"))
+    (builder.source("events_b", events_b)
+            .with_watermarks(max_lateness, name="wm_b")
+            .map(lambda v: {"k": v["k"], "v": v["v"] + 1.0}, name="shift_b")
+            .key_by(lambda v: v["k"], name="by_key_b")
+            .window(TumblingWindows(window_s), "sum",
+                    value_fn=lambda v: v["v"], name="window_b")
+            .sink("out_b"))
+    return builder.build()
 
 
 def fault_free_sinks(build: Callable[[], JobGraph], *,

@@ -31,15 +31,20 @@ from ..streaming.element import StreamItem
 from ..streaming.operators import Operator
 from ..util.errors import (
     BrokerDown,
+    CoordinatorDown,
     OperatorCrash,
     TaskTimeout,
     TierDropout,
 )
 from .plan import (
     SITE_APPEND,
+    SITE_BARRIER,
+    SITE_CHANNEL,
+    SITE_COORDINATOR,
     SITE_FETCH,
     SITE_OFFLOAD,
     SITE_OPERATOR,
+    SITE_STALL,
     FaultEvent,
     FaultPlan,
     FaultSpec,
@@ -61,6 +66,14 @@ class FaultInjector:
             i: "pending" for i, s in enumerate(plan.specs)
             if s.kind == "broker_down"
         }
+        #: cheap feature flags the executor checks on the hot path so
+        #: plans without channel/stall faults pay nothing per batch
+        self.has_channel_faults = any(
+            s.site == SITE_CHANNEL for s in plan.specs)
+        self.has_stalls = any(
+            s.kind == "subtask_stall" for s in plan.specs)
+        #: stall specs that already logged their window-entry event
+        self._stalls_fired: set[int] = set()
 
     # -- bookkeeping ---------------------------------------------------------
 
@@ -170,7 +183,7 @@ class FaultInjector:
                        detail=f"mid-batch k={k}/{len(items)}")
             raise OperatorCrash(
                 f"injected crash in {op.name!r} at item index "
-                f"{max(c, spec.at)}")
+                f"{max(c, spec.at)}", op_name=op.name)
         self._counts[key] = c + len(items)
         return process(items)
 
@@ -186,8 +199,103 @@ class FaultInjector:
             self._fire(spec, identity=op.name, occurrence=c,
                        detail="per-item")
             raise OperatorCrash(
-                f"injected crash in {op.name!r} at item index {c}")
+                f"injected crash in {op.name!r} at item index {c}",
+                op_name=op.name)
         self._counts[key] = c + 1
+
+    # -- checkpoint-protocol sites -------------------------------------------
+
+    def on_channel_offer(self, down: str, idx: int, up: str,
+                         up_idx: int) -> dict[str, Any]:
+        """Hook on each batch offered onto a physical channel.  Returns
+        network-fault directives for the executor to apply:
+
+        ``reorder``    reverse the batch before enqueueing
+        ``duplicate``  re-deliver the last *n* items after the batch
+        ``hold``       withhold the batch for *n* drain cycles (delay
+                       and partition are both modelled as holds —
+                       a partition is just a longer outage window)
+        """
+        before = self._advance(SITE_CHANNEL, (
+            None, down, f"{up}->{down}", f"{down}[{idx}]<-{up}[{up_idx}]"))
+        directives: dict[str, Any] = {}
+        spec = self._matching(SITE_CHANNEL, "channel_reorder", before)
+        if spec is not None:
+            self._fire(spec, identity=spec.target or "*",
+                       occurrence=before[spec.target],
+                       detail=f"reorder {up}[{up_idx}]->{down}[{idx}]")
+            directives["reorder"] = True
+        spec = self._matching(SITE_CHANNEL, "channel_duplicate", before)
+        if spec is not None:
+            depth = spec.param if spec.param is not None else 1
+            self._fire(spec, identity=spec.target or "*",
+                       occurrence=before[spec.target],
+                       detail=f"dup {depth} {up}[{up_idx}]->{down}[{idx}]")
+            directives["duplicate"] = depth
+        for kind, stretch in (("channel_delay", 1), ("channel_partition", 2)):
+            spec = self._matching(SITE_CHANNEL, kind, before)
+            if spec is not None:
+                cycles = (spec.param if spec.param is not None
+                          else 1) * stretch
+                self._fire(spec, identity=spec.target or "*",
+                           occurrence=before[spec.target],
+                           detail=f"hold {cycles} "
+                                  f"{up}[{up_idx}]->{down}[{idx}]")
+                directives["hold"] = max(directives.get("hold", 0), cycles)
+        return directives
+
+    def stall_check(self, op: Operator, subtask: str) -> bool:
+        """Hook once per macro cycle per subtask: is it fail-silent
+        right now?  A stalled subtask neither drains its channels nor
+        heartbeats, so only the coordinator's failure detector — not the
+        data plane — can notice it."""
+        idents = self._member_names(op) | {subtask,
+                                           self._base_name(subtask)}
+        before = self._advance(SITE_STALL, [None, *sorted(idents)])
+        spec = self._matching(SITE_STALL, "subtask_stall", before)
+        if spec is None:
+            return False
+        marker = self.plan.specs.index(spec)
+        if marker not in self._stalls_fired:
+            self._stalls_fired.add(marker)
+            self._fire(spec, identity=subtask,
+                       occurrence=before[spec.target],
+                       detail=f"stall window x{spec.count}")
+        return True
+
+    def before_snapshot(self, op: Operator, subtask: str,
+                        checkpoint_id: int) -> None:
+        """Hook before a subtask snapshots on barrier passage.  The
+        occurrence counter counts snapshots taken per subtask; a
+        ``barrier_crash`` kills the subtask at the worst possible
+        moment — mid-checkpoint, after alignment."""
+        idents = self._member_names(op) | {subtask,
+                                           self._base_name(subtask)}
+        before = self._advance(SITE_BARRIER, [None, *sorted(idents)])
+        spec = self._matching(SITE_BARRIER, "barrier_crash", before)
+        if spec is not None:
+            self._fire(spec, identity=subtask,
+                       occurrence=before[spec.target],
+                       detail=f"checkpoint {checkpoint_id}")
+            raise OperatorCrash(
+                f"injected crash in {subtask!r} while snapshotting "
+                f"checkpoint {checkpoint_id}", op_name=subtask)
+
+    def before_finalize(self, checkpoint_id: int) -> None:
+        """Hook before the coordinator finalizes a checkpoint.  A
+        ``coordinator_crash`` here abandons the pending checkpoint:
+        the store never flips the manifest, sinks abort their sealed
+        transactions, and a rebuilt coordinator resumes from the last
+        finalized checkpoint."""
+        before = self._advance(SITE_COORDINATOR, (None,))
+        spec = self._matching(SITE_COORDINATOR, "coordinator_crash", before)
+        if spec is not None:
+            self._fire(spec, identity="coordinator",
+                       occurrence=before[spec.target],
+                       detail=f"checkpoint {checkpoint_id}")
+            raise CoordinatorDown(
+                f"injected coordinator crash before finalizing "
+                f"checkpoint {checkpoint_id}")
 
     # -- eventlog sites ------------------------------------------------------
 

@@ -23,12 +23,21 @@ from ..util.errors import ChaosError
 from ..util.rng import make_rng
 
 __all__ = ["FaultSpec", "FaultPlan", "FaultEvent",
-           "SITE_OPERATOR", "SITE_APPEND", "SITE_FETCH", "SITE_OFFLOAD"]
+           "SITE_OPERATOR", "SITE_APPEND", "SITE_FETCH", "SITE_OFFLOAD",
+           "SITE_CHANNEL", "SITE_BARRIER", "SITE_COORDINATOR", "SITE_STALL"]
 
 SITE_OPERATOR = "streaming.operator"
 SITE_APPEND = "eventlog.append"
 SITE_FETCH = "eventlog.fetch"
 SITE_OFFLOAD = "offload.task"
+#: one offer of a batch onto a physical channel (network-fault site)
+SITE_CHANNEL = "streaming.channel"
+#: one subtask snapshot taken on barrier passage
+SITE_BARRIER = "streaming.barrier"
+#: one checkpoint-finalize attempt by the coordinator
+SITE_COORDINATOR = "streaming.coordinator"
+#: one macro-cycle liveness check of a subtask
+SITE_STALL = "streaming.stall"
 
 #: kind -> sites where it may be scheduled
 KIND_SITES = {
@@ -39,11 +48,24 @@ KIND_SITES = {
     "duplicate_delivery": {SITE_FETCH},
     "task_timeout": {SITE_OFFLOAD},
     "tier_dropout": {SITE_OFFLOAD},
+    # network faults on dataflow channels (param = cycles to hold /
+    # duplicate depth; see FaultInjector.on_channel_offer)
+    "channel_delay": {SITE_CHANNEL},
+    "channel_duplicate": {SITE_CHANNEL},
+    "channel_reorder": {SITE_CHANNEL},
+    "channel_partition": {SITE_CHANNEL},
+    # checkpoint-protocol faults
+    "barrier_crash": {SITE_BARRIER},
+    "coordinator_crash": {SITE_COORDINATOR},
+    # fail-silent subtask: skips drain cycles and heartbeats for the
+    # window, so only the failure detector can notice
+    "subtask_stall": {SITE_STALL},
 }
 
 #: kinds that fire exactly once and then disarm (vs. window kinds that
 #: affect every occurrence in [at, at + count)).
-ONE_SHOT_KINDS = {"operator_crash", "torn_append"}
+ONE_SHOT_KINDS = {"operator_crash", "torn_append", "barrier_crash",
+                  "coordinator_crash"}
 
 
 @dataclass(frozen=True)
@@ -135,6 +157,10 @@ class FaultPlan:
                broker_outages: int = 0,
                task_timeouts: int = 1,
                tier_dropouts: int = 0,
+               channel_faults: int = 0,
+               barrier_crashes: int = 0,
+               coordinator_crashes: int = 0,
+               stalls: int = 0,
                name: str = "random") -> "FaultPlan":
         """Draw a deterministic schedule from ``seed``.
 
@@ -186,5 +212,27 @@ class FaultPlan:
                 target = str(tiers[int(rng.integers(len(tiers)))])
                 specs.append(FaultSpec("tier_dropout", SITE_OFFLOAD,
                                        at=_at(), target=target))
+        _channel_kinds = ("channel_delay", "channel_duplicate",
+                         "channel_reorder", "channel_partition")
+        for _ in range(channel_faults):
+            kind = _channel_kinds[int(rng.integers(len(_channel_kinds)))]
+            specs.append(FaultSpec(kind, SITE_CHANNEL, at=_at(),
+                                   count=int(rng.integers(1, 3)),
+                                   param=int(rng.integers(1, 4))))
+        if operators:
+            for _ in range(barrier_crashes):
+                target = str(operators[int(rng.integers(len(operators)))])
+                specs.append(FaultSpec("barrier_crash", SITE_BARRIER,
+                                       at=_at(), target=target))
+        for _ in range(coordinator_crashes):
+            specs.append(FaultSpec("coordinator_crash", SITE_COORDINATOR,
+                                   at=_at()))
+        if operators:
+            for _ in range(stalls):
+                target = str(operators[int(rng.integers(len(operators)))])
+                specs.append(FaultSpec("subtask_stall", SITE_STALL,
+                                       at=_at(),
+                                       count=int(rng.integers(2, 6)),
+                                       target=target))
         specs.sort(key=lambda s: (s.site, s.at, s.kind, s.target or ""))
         return cls(specs=tuple(specs), seed=int(seed), name=name)

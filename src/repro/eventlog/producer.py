@@ -31,12 +31,24 @@ class Producer:
     duplicates — so a retry after an ambiguous failure cannot double-
     append (Kafka's idempotent-producer semantics).  ``send`` then
     returns the offset of the *original* append on a duplicate.
+
+    A stable ``producer_id`` turns idempotence into *fencing*: a
+    restarted incarnation reuses the same id and bumps the epoch, and the
+    cluster rejects appends from the fenced predecessor.  That is the
+    foundation of the transactional commit path
+    (:meth:`begin_transaction` / :meth:`send_transactional` /
+    :meth:`commit_transaction`) used by the streaming layer's
+    two-phase-commit sinks: staged records buffer locally and only
+    ``commit_transaction`` drives them into the log, each append retried
+    idempotently so a broker flap mid-commit cannot tear or duplicate
+    the transaction's records.
     """
 
     _next_producer_id = 0
 
     def __init__(self, cluster: LogCluster, clock: SimClock | None = None,
-                 idempotent: bool = False, tracer: Any = None) -> None:
+                 idempotent: bool = False, tracer: Any = None,
+                 producer_id: int | None = None) -> None:
         self.cluster = cluster
         self.clock = clock
         self.idempotent = idempotent
@@ -46,15 +58,24 @@ class Producer:
         #: header so consumers can parent their spans across the broker
         #: hop (W3C trace-context in miniature).
         self.tracer = tracer
-        self.producer_id = Producer._next_producer_id
-        Producer._next_producer_id += 1
+        if producer_id is not None:
+            self.producer_id = producer_id
+            Producer._next_producer_id = max(Producer._next_producer_id,
+                                             producer_id + 1)
+        else:
+            self.producer_id = Producer._next_producer_id
+            Producer._next_producer_id += 1
         self.epoch = 0
         self._sequences: dict[tuple[str, int], int] = {}
         self._round_robin: dict[str, int] = {}
+        self._txn: list[tuple[str, Any, str | None, float | None,
+                              dict[str, str], int | None]] | None = None
         self.sent = 0
         self.bytes_sent = 0
         self.duplicates_rejected = 0
         self.retries = 0
+        self.txn_commits = 0
+        self.txn_aborts = 0
 
     def bump_epoch(self) -> int:
         """Start a new producer incarnation.
@@ -192,3 +213,62 @@ class Producer:
             key = key_fn(value) if key_fn is not None else None
             coords.append(self.send(topic, value, key=key))
         return coords
+
+    # -- transactional commit path -------------------------------------------
+
+    @property
+    def in_transaction(self) -> bool:
+        return self._txn is not None
+
+    def begin_transaction(self) -> None:
+        """Open a transaction; requires an idempotent producer (the
+        commit relies on sequence dedup to survive broker flaps)."""
+        if not self.idempotent:
+            raise ValueError("transactions require an idempotent producer")
+        if self._txn is not None:
+            raise ValueError("transaction already open")
+        self._txn = []
+
+    def send_transactional(self, topic: str, value: Any,
+                           key: str | None = None,
+                           timestamp: float | None = None,
+                           headers: Mapping[str, str] | None = None,
+                           partition: int | None = None) -> None:
+        """Stage one record into the open transaction.  Nothing reaches
+        the cluster until :meth:`commit_transaction`."""
+        if self._txn is None:
+            raise ValueError("no open transaction")
+        self._txn.append((topic, value, key, timestamp,
+                          dict(headers or {}), partition))
+
+    def commit_transaction(
+            self, policy: RetryPolicy | None = None) -> list[tuple[int, int]]:
+        """Drive every staged record into the log and close the
+        transaction; returns their (partition, offset) coordinates.
+
+        Each append goes through :meth:`send_with_retry`, so an
+        ambiguous broker failure mid-commit deduplicates on retry rather
+        than tearing the transaction.  A fenced epoch (another
+        incarnation took over) surfaces as the underlying
+        :class:`~repro.util.errors.LogError` — the caller must not
+        retry a fenced commit.
+        """
+        if self._txn is None:
+            raise ValueError("no open transaction")
+        staged, self._txn = self._txn, None
+        coords = []
+        for topic, value, key, timestamp, headers, partition in staged:
+            coords.append(self.send_with_retry(
+                topic, value, key=key, timestamp=timestamp, headers=headers,
+                partition=partition, policy=policy))
+        self.txn_commits += 1
+        return coords
+
+    def abort_transaction(self) -> int:
+        """Discard the staged records; returns how many were dropped."""
+        if self._txn is None:
+            raise ValueError("no open transaction")
+        dropped = len(self._txn)
+        self._txn = None
+        self.txn_aborts += 1
+        return dropped

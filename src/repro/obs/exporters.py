@@ -127,13 +127,28 @@ class JsonLinesExporter:
 def read_jsonl(path: str | Path) -> tuple[list[dict[str, Any]],
                                           list[dict[str, Any]]]:
     """Parse a :class:`JsonLinesExporter` file back into
-    (span dicts, metric snapshots)."""
+    (span dicts, metric snapshots).
+
+    A process that crashes mid-write leaves a torn final line (partial
+    JSON, no newline).  That tail is skipped — post-crash trace analysis
+    must be able to read everything that *was* durably written — but a
+    malformed line anywhere else still raises, because mid-file
+    corruption is a different bug than a crash.
+    """
     spans: list[dict[str, Any]] = []
     metrics: list[dict[str, Any]] = []
-    for line in Path(path).read_text(encoding="utf-8").splitlines():
+    lines = Path(path).read_text(encoding="utf-8").splitlines()
+    last_payload_idx = max(
+        (i for i, line in enumerate(lines) if line.strip()), default=-1)
+    for i, line in enumerate(lines):
         if not line.strip():
             continue
-        payload = json.loads(line)
+        try:
+            payload = json.loads(line)
+        except json.JSONDecodeError:
+            if i == last_payload_idx:
+                break  # torn tail from a crash mid-write
+            raise
         if payload.get("type") == "span":
             payload.pop("type")
             spans.append(payload)

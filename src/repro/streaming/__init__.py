@@ -1,9 +1,18 @@
 """Flink-like event-time dataflow engine (single-threaded simulation)."""
 
+from .barrier import AlignmentResult, BarrierAligner
 from .cep import PatternMatch, PatternOperator, PatternStep
 from .chain import ChainedOperator
 from .connectors import log_sink, log_source, parallel_log_source
-from .element import Element, StreamItem, Watermark
+from .coordinator import (
+    CheckpointCoordinator,
+    CheckpointManifest,
+    CheckpointStore,
+    HeartbeatMonitor,
+    failover_region_of,
+    failover_regions,
+)
+from .element import CheckpointBarrier, Element, StreamItem, Watermark
 from .execution import (
     ExecutionGraph,
     ParallelCheckpoint,
@@ -33,6 +42,7 @@ from .shuffle import (
     subtask_for_key_group,
 )
 from .state import KeyedState
+from .txn_sink import TransactionalLogSink, TransactionalSink
 from .window_operator import (
     LateRecord,
     WindowAggregateOperator,
@@ -54,6 +64,17 @@ __all__ = [
     "Element",
     "Watermark",
     "StreamItem",
+    "CheckpointBarrier",
+    "AlignmentResult",
+    "BarrierAligner",
+    "CheckpointCoordinator",
+    "CheckpointManifest",
+    "CheckpointStore",
+    "HeartbeatMonitor",
+    "failover_regions",
+    "failover_region_of",
+    "TransactionalSink",
+    "TransactionalLogSink",
     "JobBuilder",
     "JobGraph",
     "SourceSpec",

@@ -1,0 +1,176 @@
+"""Barrier alignment: the per-subtask half of coordinated checkpoints.
+
+A :class:`~repro.streaming.element.CheckpointBarrier` flows in-band
+through every channel.  A multi-channel subtask must not snapshot until
+the barrier has arrived on *all* of its inputs, and must not process
+post-barrier items from channels that already delivered it — otherwise
+the snapshot would mix pre- and post-barrier effects and replay would
+double-count.  :class:`BarrierAligner` tracks that state machine for one
+subtask:
+
+- **aligned** (default): a channel that delivers barrier *n* is
+  *blocked* — its queued items stay buffered in the channel — until the
+  barrier arrives everywhere; then the subtask snapshots and the
+  channels unblock.  Nothing in flight needs to be part of the snapshot
+  (the classic Chandy–Lamport cut: pre-barrier items are in state,
+  post-barrier items will be replayed from the sources).
+- **unaligned escape hatch**: if alignment has been pending for more
+  than ``unaligned_after`` drain cycles (slow/partitioned channel), the
+  aligner gives up blocking: the snapshot is taken immediately, blocked
+  channels unblock (their buffered items are post-barrier and process
+  normally), and every item subsequently drained from a *lagging*
+  channel — pre-barrier in-flight data the snapshot would otherwise
+  lose — is **spilled** into the checkpoint's in-flight state as it is
+  processed, until that channel's straggler barrier arrives and is
+  swallowed.  A restore re-enqueues the spilled items (Flink's
+  unaligned-checkpoint channel state).
+
+Barrier duplication (an at-least-once channel re-delivering a marker —
+see the chaos channel faults) is absorbed: a barrier id at or below the
+last completed one is dropped.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Hashable
+
+from ..util.errors import CheckpointError
+
+__all__ = ["AlignmentResult", "BarrierAligner"]
+
+#: outcomes of feeding one barrier to the aligner
+IGNORED = "ignored"        # duplicate / stale marker: drop it
+BLOCKED = "blocked"        # channel now blocked, still waiting for others
+COMPLETE = "complete"      # all channels aligned: snapshot now
+SPILL = "spill"            # unaligned completion: snapshot + spill in-flight
+STRAGGLER = "straggler"    # late barrier after an unaligned snapshot: the
+                           # channel's spill is complete
+
+
+@dataclass
+class AlignmentResult:
+    """What the subtask must do after one barrier arrival / cycle tick."""
+
+    action: str
+    checkpoint_id: int
+    #: channels whose queued pre-barrier items must be spilled into the
+    #: snapshot (unaligned completion only): the channels that had NOT
+    #: yet delivered the barrier.
+    spill_channels: tuple[Hashable, ...] = ()
+
+
+@dataclass
+class BarrierAligner:
+    """Alignment state for one subtask across its input channels."""
+
+    channels: tuple[Hashable, ...]
+    #: give up blocking after this many drain cycles of partial
+    #: alignment; ``None`` means align forever (pure aligned mode).
+    unaligned_after: int | None = None
+
+    current_id: int | None = None
+    arrived: set = field(default_factory=set)
+    pending_cycles: int = 0
+    completed_id: int = -1
+    #: how many cycles the most recent completed alignment waited
+    last_alignment_cycles: int = 0
+    #: set while an unaligned snapshot for ``current_id`` has been taken
+    #: but stragglers' barriers are still due — they are swallowed.
+    draining_unaligned: bool = False
+
+    def __post_init__(self) -> None:
+        self.channels = tuple(self.channels)
+        if not self.channels:
+            raise CheckpointError("aligner needs at least one channel")
+
+    # -- queries -------------------------------------------------------------
+
+    def is_blocked(self, channel: Hashable) -> bool:
+        """Should the subtask leave this channel's queued items alone?"""
+        return (self.current_id is not None
+                and not self.draining_unaligned
+                and channel in self.arrived)
+
+    def is_spilling(self, channel: Hashable) -> bool:
+        """After an unaligned snapshot, is this channel still delivering
+        pre-barrier items that must be copied into the checkpoint's
+        in-flight state as they are processed?"""
+        return self.draining_unaligned and channel not in self.arrived
+
+    @property
+    def aligning(self) -> bool:
+        return self.current_id is not None
+
+    # -- events --------------------------------------------------------------
+
+    def on_barrier(self, channel: Hashable,
+                   checkpoint_id: int) -> AlignmentResult:
+        """Barrier arrived on ``channel``.  Returns what to do."""
+        if channel not in self.channels:
+            raise CheckpointError(f"unknown channel {channel!r}")
+        if checkpoint_id <= self.completed_id:
+            return AlignmentResult(IGNORED, checkpoint_id)
+        if self.current_id is None:
+            self.current_id = checkpoint_id
+            self.arrived = set()
+            self.pending_cycles = 0
+            self.draining_unaligned = False
+        elif checkpoint_id < self.current_id:
+            # A marker from a checkpoint the coordinator already
+            # abandoned, surfacing late from a previously blocked
+            # channel: drop it.
+            return AlignmentResult(IGNORED, checkpoint_id)
+        elif checkpoint_id > self.current_id:
+            # A newer barrier overtaking an in-progress alignment means
+            # the coordinator abandoned the old checkpoint; restart
+            # alignment on the newer id.
+            self.current_id = checkpoint_id
+            self.arrived = set()
+            self.pending_cycles = 0
+            self.draining_unaligned = False
+        if channel in self.arrived:
+            return AlignmentResult(IGNORED, checkpoint_id)  # duplicated marker
+        self.arrived.add(channel)
+        if self.draining_unaligned:
+            # Snapshot already taken unaligned; this straggler marker
+            # closes the channel's spill (its pre-barrier items are all
+            # in the checkpoint's in-flight state now).
+            if len(self.arrived) == len(self.channels):
+                self._finish()
+            return AlignmentResult(STRAGGLER, checkpoint_id)
+        if len(self.arrived) == len(self.channels):
+            cid = self.current_id
+            self._finish()
+            return AlignmentResult(COMPLETE, cid)
+        return AlignmentResult(BLOCKED, checkpoint_id)
+
+    def on_cycle(self) -> AlignmentResult | None:
+        """Called once per drain cycle while aligning; may trigger the
+        unaligned escape hatch."""
+        if self.current_id is None or self.draining_unaligned:
+            return None
+        self.pending_cycles += 1
+        if (self.unaligned_after is not None
+                and self.pending_cycles > self.unaligned_after):
+            lagging = tuple(c for c in self.channels
+                            if c not in self.arrived)
+            self.draining_unaligned = True
+            return AlignmentResult(SPILL, self.current_id,
+                                   spill_channels=lagging)
+        return None
+
+    def reset(self) -> None:
+        """Forget any in-progress alignment (restore path)."""
+        self.current_id = None
+        self.arrived = set()
+        self.pending_cycles = 0
+        self.draining_unaligned = False
+
+    def _finish(self) -> None:
+        self.completed_id = max(self.completed_id, self.current_id or -1)
+        self.last_alignment_cycles = self.pending_cycles
+        self.current_id = None
+        self.arrived = set()
+        self.pending_cycles = 0
+        self.draining_unaligned = False

@@ -1,0 +1,573 @@
+"""Checkpoint coordination: barriers in, manifests out, regions back.
+
+The :class:`CheckpointCoordinator` drives Chandy–Lamport snapshots of a
+running :class:`~repro.streaming.execution.ParallelExecutor` *without*
+waiting for quiescence: it injects numbered
+:class:`~repro.streaming.element.CheckpointBarrier` markers at every
+source subtask, collects per-subtask state fragments as barriers pass
+(see :mod:`repro.streaming.barrier` for the alignment rules), collects
+two-phase-commit acks from transactional sinks
+(:mod:`repro.streaming.txn_sink`), and — once every subtask, sink and
+open spill has reported — **finalizes** the checkpoint: the assembled
+:class:`~repro.streaming.execution.ParallelCheckpoint` and its manifest
+are committed to the :class:`CheckpointStore` atomically, sinks commit
+phase 2, listeners (event-log mirrors) are notified, and superseded
+checkpoints are pruned.
+
+A coordinator crash (:class:`~repro.util.errors.CoordinatorDown`,
+injectable) abandons the in-progress checkpoint; the 2PC abort demotes
+sink pre-commits back into the open transaction, so nothing is lost and
+nothing becomes visible early.  A rebuilt coordinator resumes from the
+last *finalized* manifest — pending manifests are recovery debris, never
+restore targets.
+
+The module also houses the two failure-handling companions:
+
+- :class:`HeartbeatMonitor` — a deadline failure detector over
+  :class:`~repro.util.clock.SimClock`.  Subtasks beat once per macro
+  cycle; a subtask that misses ``timeout_s`` of beats is declared dead
+  even if it never raised (the *fail-silent* case the
+  ``subtask_stall`` chaos fault exercises).
+- :func:`failover_regions` — partitions the physical plan into regions
+  that must restart together: the weakly connected components of the
+  execution graph, cut at *replayable* edges (edges whose downstream can
+  re-read its input from a durable log rather than from the upstream
+  operator).  Regional recovery restores only the dead subtask's region
+  and replays strictly less input than a whole-job restart.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from ..util.clock import SimClock
+from ..util.errors import CheckpointError, CoordinatorDown
+from .execution import ExecutionGraph, ParallelCheckpoint
+
+__all__ = [
+    "CheckpointManifest",
+    "CheckpointStore",
+    "CheckpointCoordinator",
+    "HeartbeatMonitor",
+    "failover_regions",
+    "failover_region_of",
+]
+
+PENDING = "pending"
+FINALIZED = "finalized"
+ABORTED = "aborted"
+
+
+@dataclass
+class CheckpointManifest:
+    """The durable record of one checkpoint attempt.
+
+    Only a manifest whose status is ``finalized`` names a restorable
+    checkpoint; a ``pending`` or ``aborted`` manifest is an attempt that
+    never completed (crash debris) and is skipped by recovery.
+    """
+
+    checkpoint_id: int
+    status: str = PENDING
+    started_at: float = 0.0
+    finalized_at: float | None = None
+    #: source -> split -> position at barrier injection (the cut point)
+    source_positions: dict[str, dict[int, int]] = field(default_factory=dict)
+    acked_subtasks: list[str] = field(default_factory=list)
+    acked_sinks: list[str] = field(default_factory=list)
+    spilled_items: int = 0
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "checkpoint_id": self.checkpoint_id,
+            "status": self.status,
+            "started_at": self.started_at,
+            "finalized_at": self.finalized_at,
+            "source_positions": {s: dict(p)
+                                 for s, p in self.source_positions.items()},
+            "acked_subtasks": list(self.acked_subtasks),
+            "acked_sinks": list(self.acked_sinks),
+            "spilled_items": self.spilled_items,
+        }
+
+
+class CheckpointStore:
+    """Manifest-backed checkpoint storage with pruning.
+
+    ``finalize`` is the atomic commit point: the manifest flips to
+    ``finalized`` and the snapshot becomes ``latest()`` in one step —
+    there is no observable state where the snapshot exists without its
+    manifest.  Superseded snapshots are pruned (their manifests stay, as
+    aborted/finalized history), so storage holds one live checkpoint.
+    """
+
+    def __init__(self, keep: int = 1) -> None:
+        if keep < 1:
+            raise CheckpointError("store must keep at least one checkpoint")
+        self.keep = keep
+        self._snapshots: dict[int, ParallelCheckpoint] = {}
+        self.manifests: dict[int, CheckpointManifest] = {}
+        self.pruned = 0
+
+    def record(self, manifest: CheckpointManifest) -> None:
+        """Register a pending manifest (checkpoint attempt started)."""
+        self.manifests[manifest.checkpoint_id] = manifest
+
+    def finalize(self, checkpoint: ParallelCheckpoint,
+                 manifest: CheckpointManifest) -> None:
+        if manifest.checkpoint_id != checkpoint.checkpoint_id:
+            raise CheckpointError("manifest/checkpoint id mismatch")
+        manifest.status = FINALIZED
+        self.manifests[manifest.checkpoint_id] = manifest
+        self._snapshots[checkpoint.checkpoint_id] = checkpoint
+        self._prune()
+
+    def abort(self, checkpoint_id: int) -> None:
+        manifest = self.manifests.get(checkpoint_id)
+        if manifest is not None and manifest.status == PENDING:
+            manifest.status = ABORTED
+
+    def latest(self) -> ParallelCheckpoint | None:
+        if not self._snapshots:
+            return None
+        return self._snapshots[max(self._snapshots)]
+
+    def latest_manifest(self) -> CheckpointManifest | None:
+        finalized = [m for m in self.manifests.values()
+                     if m.status == FINALIZED]
+        if not finalized:
+            return None
+        return max(finalized, key=lambda m: m.checkpoint_id)
+
+    def next_checkpoint_id(self) -> int:
+        """Ids keep increasing across coordinator incarnations: a
+        rebuilt coordinator must never reuse an id a dead one claimed."""
+        return max(self.manifests, default=0) + 1
+
+    def _prune(self) -> None:
+        live = sorted(self._snapshots)
+        while len(live) > self.keep:
+            victim = live.pop(0)
+            del self._snapshots[victim]
+            self.pruned += 1
+
+
+class HeartbeatMonitor:
+    """Deadline failure detector: who has not beaten lately?"""
+
+    def __init__(self, clock: SimClock, timeout_s: float = 5.0) -> None:
+        if timeout_s <= 0:
+            raise CheckpointError("heartbeat timeout must be positive")
+        self.clock = clock
+        self.timeout_s = timeout_s
+        self._last: dict[str, float] = {}
+
+    def register(self, subtask: str) -> None:
+        self._last.setdefault(subtask, self.clock.now)
+
+    def beat(self, subtask: str) -> None:
+        self._last[subtask] = self.clock.now
+
+    def dead(self) -> list[str]:
+        """Subtasks whose last beat is older than the timeout."""
+        now = self.clock.now
+        return sorted(s for s, t in self._last.items()
+                      if now - t > self.timeout_s)
+
+    def reset(self, subtask: str) -> None:
+        """A recovered subtask starts a fresh deadline."""
+        self._last[subtask] = self.clock.now
+
+    def reset_all(self) -> None:
+        """Whole-job restart: everyone gets a fresh deadline."""
+        now = self.clock.now
+        for subtask in self._last:
+            self._last[subtask] = now
+
+
+class _Pending:
+    """Mutable assembly state for one in-progress checkpoint."""
+
+    def __init__(self, checkpoint_id: int, started_at: float,
+                 source_positions: dict[str, dict[int, int]],
+                 expected_subtasks: set[tuple[str, int]],
+                 expected_sinks: set[str]) -> None:
+        self.checkpoint_id = checkpoint_id
+        self.started_at = started_at
+        self.source_positions = source_positions
+        self.expected_subtasks = expected_subtasks
+        self.acked: set[tuple[str, int]] = set()
+        self.expected_sinks = expected_sinks
+        self.sink_acked: set[str] = set()
+        #: logical operator -> key group -> blob
+        self.keyed: dict[str, dict[int, Any]] = {}
+        #: logical operator -> subtask idx -> scalar snapshot
+        self.scalar: dict[str, dict[int, Any]] = {}
+        #: unaligned in-flight state: channel key -> spilled items
+        self.in_flight: dict[tuple, list] = {}
+        self.open_spills: set[tuple] = set()
+        #: routing capture: values recorded at each channel's cut point
+        self.channel_wm: dict[tuple, dict[tuple, float]] = {}
+        self.aligned_wm: dict[tuple, float] = {}
+        self.rr: dict[tuple[int, int], int] = {}
+
+    @property
+    def complete(self) -> bool:
+        return (self.acked == self.expected_subtasks
+                and self.sink_acked == self.expected_sinks
+                and not self.open_spills)
+
+    @property
+    def spilled_items(self) -> int:
+        return sum(len(v) for v in self.in_flight.values())
+
+
+class CheckpointCoordinator:
+    """Injects barriers, assembles snapshots, finalizes atomically.
+
+    Attach to a :class:`~repro.streaming.execution.ParallelExecutor`
+    built with ``transactional_sinks=True``; the executor then calls
+    :meth:`on_cycle_start` / :meth:`on_cycle_end` from its run loop and
+    reports barrier passage through the ``on_*`` callbacks.  One
+    checkpoint is in progress at a time; ``interval_cycles`` paces
+    triggers.
+    """
+
+    def __init__(self, executor: Any, *,
+                 store: CheckpointStore | None = None,
+                 clock: SimClock | None = None,
+                 interval_cycles: int = 4,
+                 cycle_seconds: float = 1.0,
+                 heartbeat_timeout_s: float = 5.0,
+                 injector: Any = None,
+                 metrics: Any = None) -> None:
+        if interval_cycles < 1:
+            raise CheckpointError("interval_cycles must be >= 1")
+        self.executor = executor
+        self.store = store if store is not None else CheckpointStore()
+        self.clock = clock if clock is not None else SimClock()
+        self.interval_cycles = interval_cycles
+        self.cycle_seconds = cycle_seconds
+        self.injector = injector
+        self.metrics = metrics
+        self.monitor = HeartbeatMonitor(self.clock,
+                                        timeout_s=heartbeat_timeout_s)
+        #: commit listeners: f(checkpoint_id, sink_name, committed_elements)
+        self.listeners: list[Callable[[int, str, list], Any]] = []
+        self._pending: _Pending | None = None
+        self._cycles_since_trigger = 0
+        self.finalized = 0
+        self.aborted = 0
+        executor.attach_coordinator(self)
+        for name in executor.graph.topo:
+            for idx in range(executor.graph.nodes[name].parallelism):
+                self.monitor.register(f"{name}[{idx}]")
+
+    # -- pacing (driven by the executor's run loop) --------------------------
+
+    def on_cycle_start(self, executor: Any) -> None:
+        """Called once per macro cycle, after sources pulled.  Triggers
+        a new checkpoint when due and none is in progress."""
+        self._cycles_since_trigger += 1
+        if (self._pending is None
+                and self._cycles_since_trigger >= self.interval_cycles):
+            self.trigger(executor)
+
+    def on_cycle_end(self, executor: Any) -> None:
+        """Advance simulated time, then try to finalize."""
+        self.clock.advance(self.cycle_seconds)
+        self.maybe_finalize()
+
+    def heartbeat(self, subtask: str) -> None:
+        self.monitor.beat(subtask)
+
+    def dead_subtasks(self) -> list[str]:
+        return self.monitor.dead()
+
+    # -- trigger -------------------------------------------------------------
+
+    def trigger(self, executor: Any | None = None) -> int:
+        """Start checkpoint N: record the cut's source positions and
+        inject barriers at every source subtask (finished and empty
+        splits included — every channel must carry the marker)."""
+        if self._pending is not None:
+            raise CheckpointError(
+                f"checkpoint {self._pending.checkpoint_id} still in "
+                "progress")
+        executor = executor if executor is not None else self.executor
+        cid = self.store.next_checkpoint_id()
+        positions = executor.source_positions_snapshot()
+        expected = {(name, idx)
+                    for name in executor.graph.topo
+                    for idx in range(
+                        executor.graph.nodes[name].parallelism)}
+        self._pending = _Pending(
+            checkpoint_id=cid, started_at=self.clock.now,
+            source_positions=positions, expected_subtasks=expected,
+            expected_sinks=set(executor.sinks))
+        self.store.record(CheckpointManifest(
+            checkpoint_id=cid, started_at=self.clock.now,
+            source_positions=positions))
+        self._cycles_since_trigger = 0
+        executor.inject_barriers(cid)
+        if self.metrics is not None:
+            self.metrics.counter("coordinator.triggered").inc()
+        return cid
+
+    # -- barrier-passage callbacks (from the executor) -----------------------
+
+    def _pending_for(self, checkpoint_id: int) -> _Pending | None:
+        if (self._pending is None
+                or self._pending.checkpoint_id != checkpoint_id):
+            return None  # ack for an abandoned checkpoint: drop it
+        return self._pending
+
+    def on_subtask_ack(self, checkpoint_id: int, name: str, idx: int,
+                       keyed: dict[str, dict[int, Any]],
+                       scalar: dict[str, Any]) -> None:
+        """One subtask snapshotted on barrier passage."""
+        pending = self._pending_for(checkpoint_id)
+        if pending is None:
+            return
+        pending.acked.add((name, idx))
+        for m, groups in keyed.items():
+            pending.keyed.setdefault(m, {}).update(groups)
+        for m, snap in scalar.items():
+            pending.scalar.setdefault(m, {})[idx] = snap
+
+    def on_sink_ack(self, checkpoint_id: int, sink_name: str) -> None:
+        """A transactional sink pre-committed (2PC phase 1)."""
+        pending = self._pending_for(checkpoint_id)
+        if pending is not None:
+            pending.sink_acked.add(sink_name)
+            return
+        # Pre-commit for a checkpoint this coordinator is not assembling
+        # (barriers from an abandoned attempt, or from before a
+        # coordinator crash, finishing their journey): abort it so the
+        # elements fold back into the open transaction instead of being
+        # orphaned in a sealed one nobody will ever commit.
+        self.executor.sinks[sink_name].abort_pending(checkpoint_id)
+
+    def on_spill_open(self, checkpoint_id: int, channel: tuple) -> None:
+        """Unaligned snapshot taken; this lagging channel's pre-barrier
+        items will stream in until its straggler barrier."""
+        pending = self._pending_for(checkpoint_id)
+        if pending is not None:
+            pending.open_spills.add(channel)
+            pending.in_flight.setdefault(channel, [])
+
+    def on_spill(self, checkpoint_id: int, channel: tuple,
+                 items: list) -> None:
+        pending = self._pending_for(checkpoint_id)
+        if pending is not None and channel in pending.open_spills:
+            pending.in_flight[channel].extend(items)
+
+    def on_spill_closed(self, checkpoint_id: int, channel: tuple) -> None:
+        """Straggler barrier arrived: the channel's spill is complete."""
+        pending = self._pending_for(checkpoint_id)
+        if pending is not None:
+            pending.open_spills.discard(channel)
+
+    # -- routing capture (values at each channel's cut point) ----------------
+
+    def capture_channel_wm(self, key: tuple, sender: tuple,
+                           watermark: float) -> None:
+        if self._pending is not None:
+            self._pending.channel_wm.setdefault(key, {})[sender] = watermark
+
+    def capture_aligned_wm(self, key: tuple, watermark: float) -> None:
+        if self._pending is not None:
+            self._pending.aligned_wm[key] = watermark
+
+    def capture_rr(self, key: tuple[int, int], cursor: int) -> None:
+        if self._pending is not None:
+            self._pending.rr[key] = cursor
+
+    # -- finalize / abort ----------------------------------------------------
+
+    def maybe_finalize(self) -> ParallelCheckpoint | None:
+        pending = self._pending
+        if pending is None or not pending.complete:
+            return None
+        if self.injector is not None:
+            # May raise CoordinatorDown: the crash-point *before* the
+            # atomic commit — the checkpoint is lost, sinks must abort.
+            self.injector.before_finalize(pending.checkpoint_id)
+        executor = self.executor
+        cid = pending.checkpoint_id
+        parallelism: dict[str, int] = {}
+        scalar_state: dict[str, list[Any]] = {}
+        for m in executor.job.operators:
+            width = len(executor.subtask_operators(m))
+            parallelism[m] = width
+            per_subtask = pending.scalar.get(m, {})
+            if set(per_subtask) != set(range(width)):
+                raise CheckpointError(
+                    f"checkpoint {cid}: operator {m!r} acked subtasks "
+                    f"{sorted(per_subtask)} of {width}")
+            scalar_state[m] = [per_subtask[i] for i in range(width)]
+        for name in executor.job.sources:
+            parallelism[name] = executor.graph.source_parallelism[name]
+        sink_elements = {
+            name: sink.projected_committed(cid)
+            for name, sink in executor.sinks.items()
+        }
+        checkpoint = ParallelCheckpoint(
+            checkpoint_id=cid,
+            num_key_groups=executor.num_key_groups,
+            parallelism=parallelism,
+            num_splits=dict(executor.graph.source_splits),
+            source_positions={s: dict(p) for s, p
+                              in pending.source_positions.items()},
+            keyed_state={m: dict(g) for m, g in pending.keyed.items()},
+            scalar_state=scalar_state,
+            sink_elements=sink_elements,
+            routing_state={
+                "channel_wm": {k: dict(v)
+                               for k, v in pending.channel_wm.items()},
+                "aligned_wm": dict(pending.aligned_wm),
+                "rr": dict(pending.rr),
+            },
+            in_flight={k: list(v) for k, v in pending.in_flight.items()
+                       if v},
+        )
+        manifest = self.store.manifests[cid]
+        manifest.finalized_at = self.clock.now
+        manifest.acked_subtasks = sorted(f"{n}[{i}]"
+                                         for n, i in pending.acked)
+        manifest.acked_sinks = sorted(pending.sink_acked)
+        manifest.spilled_items = pending.spilled_items
+        # Atomic commit point: manifest + snapshot become visible
+        # together, then phase 2 runs.  A crash after this line loses
+        # nothing — recovery restores checkpoint N and the sinks'
+        # recorded (projected) output already includes transaction N.
+        self.store.finalize(checkpoint, manifest)
+        self._pending = None
+        self.finalized += 1
+        for name, sink in executor.sinks.items():
+            sink.commit(cid)
+            for listener in self.listeners:
+                listener(cid, name, sink.committed)
+        duration = self.clock.now - pending.started_at
+        if self.metrics is not None:
+            self.metrics.counter("coordinator.finalized").inc()
+            self.metrics.summary("checkpoint.duration_s").observe(duration)
+            self.metrics.gauge("checkpoint.latest_id").set(cid)
+            if pending.spilled_items:
+                self.metrics.counter("checkpoint.spilled_items").inc(
+                    pending.spilled_items)
+        executor.on_checkpoint_finalized(cid, duration)
+        return checkpoint
+
+    def abandon_pending(self) -> int | None:
+        """Abort the in-progress checkpoint (2PC abort): sinks demote
+        their pre-committed transactions, the manifest is marked
+        aborted.  Returns the abandoned id, if any."""
+        pending, self._pending = self._pending, None
+        if pending is None:
+            return None
+        cid = pending.checkpoint_id
+        for sink in self.executor.sinks.values():
+            sink.abort_pending(cid)
+        self.store.abort(cid)
+        self.aborted += 1
+        if self.metrics is not None:
+            self.metrics.counter("coordinator.aborted").inc()
+        return cid
+
+    def on_executor_restored(self) -> None:
+        """The executor rewound (full or regional): any in-progress
+        checkpoint is meaningless now."""
+        self.abandon_pending()
+        self._cycles_since_trigger = 0
+
+    # -- completion ----------------------------------------------------------
+
+    def final_checkpoint(self, executor: Any | None = None,
+                         max_cycles: int = 64) -> ParallelCheckpoint:
+        """After the job drains, commit the tail: trigger one last
+        checkpoint and drive drain cycles until it finalizes, so the
+        transactional sinks' committed output is the complete run."""
+        executor = executor if executor is not None else self.executor
+        if self._pending is None:
+            self.trigger(executor)
+        for _ in range(max_cycles):
+            if self._pending is None:
+                break
+            executor.drain_for_coordinator()
+            self.on_cycle_end(executor)
+        if self._pending is not None:
+            raise CheckpointError(
+                "final checkpoint did not complete: barriers are stuck "
+                "(blocked channel or stalled subtask at end of job)")
+        latest = self.store.latest()
+        assert latest is not None
+        return latest
+
+
+# -- failover regions --------------------------------------------------------
+
+
+def failover_regions(graph: ExecutionGraph,
+                     replayable: set[tuple[str, str]] | frozenset = frozenset()
+                     ) -> list[set[str]]:
+    """Partition the physical plan into restart units.
+
+    Two nodes share a region when a (non-replayable) physical edge
+    connects them, in either direction: a failed subtask invalidates
+    everything downstream of it (missing/partial output) and everything
+    upstream feeding it (their emitted-but-unprocessed output is lost in
+    the failed node's channels).  ``replayable`` names edges — as
+    ``(up, down)`` execution-node pairs — whose downstream re-reads from
+    a durable log, so the dependency is cut and the components come
+    apart.  Returns the regions sorted by their smallest member.
+    """
+    names = (set(graph.source_parallelism) | set(graph.nodes)
+             | set(graph.job.sinks))
+    parent = {n: n for n in names}
+
+    def find(n: str) -> str:
+        while parent[n] != n:
+            parent[n] = parent[parent[n]]
+            n = parent[n]
+        return n
+
+    def union(a: str, b: str) -> None:
+        ra, rb = find(a), find(b)
+        if ra != rb:
+            parent[ra] = rb
+
+    cut = {(u, d) for u, d in replayable}
+    for edge in graph.edges:
+        if (edge.up, edge.down) in cut:
+            continue
+        union(edge.up, edge.down)
+    regions: dict[str, set[str]] = {}
+    for n in names:
+        regions.setdefault(find(n), set()).add(n)
+    return sorted(regions.values(), key=lambda r: min(r))
+
+
+def failover_region_of(graph: ExecutionGraph, op_name: str,
+                       replayable: set[tuple[str, str]] | frozenset
+                       = frozenset()) -> set[str]:
+    """The region containing ``op_name`` — a logical operator, a
+    physical subtask (``"window_sum[1]"``), a fused chain (logical
+    ``"chain(a+b)"`` or a physical instance ``"chain(a[0]+b[0])"``), a
+    source or a sink."""
+    base = op_name
+    if base.startswith("chain(") and base.endswith(")"):
+        # all chain members share a region (they are directly wired),
+        # so any one of them resolves it
+        base = base[len("chain("):-1].split("+")[0]
+    if base.endswith("]"):
+        head, bracket, idx = base.rpartition("[")
+        if bracket and idx[:-1].isdigit():
+            base = head
+    node = graph.rename.get(base, base)
+    for region in failover_regions(graph, replayable):
+        if node in region:
+            return region
+    raise CheckpointError(
+        f"{op_name!r} does not name a node in the plan")

@@ -64,12 +64,14 @@ from ..util.errors import (
     JobGraphError,
 )
 from ..util.ids import split_ranges
+from .barrier import BLOCKED, COMPLETE, IGNORED, STRAGGLER, BarrierAligner
 from .chain import ChainedOperator
-from .element import Element, StreamItem, Watermark
+from .element import CheckpointBarrier, Element, StreamItem, Watermark
 from .graph import JobGraph
 from .join import IntervalJoinOperator
 from .operators import Operator
 from .runtime import SinkBuffer, build_chains
+from .txn_sink import TransactionalSink
 from .shuffle import (
     DEFAULT_KEY_GROUPS,
     key_group_for,
@@ -266,6 +268,11 @@ class ParallelCheckpoint:
     #: round-robin cursors); applied on restore only when the plan shape
     #: matches (same parallelism everywhere), dropped on a rescale.
     routing_state: dict[str, Any] = field(default_factory=dict)
+    #: unaligned-checkpoint channel state: (down, idx, side, up, up_idx)
+    #: -> pre-barrier items spilled from a lagging channel.  Re-enqueued
+    #: on restore; non-empty in-flight state pins the plan shape (an
+    #: unaligned checkpoint cannot be restored at another parallelism).
+    in_flight: dict[tuple, list] = field(default_factory=dict)
 
 
 class ParallelExecutor:
@@ -285,7 +292,9 @@ class ParallelExecutor:
                  drop_on_overflow: bool = False, batch_mode: bool = True,
                  chaining: bool = True, injector: Any = None,
                  tracer: Any = None, metrics: Any = None,
-                 profiler: Any = None) -> None:
+                 profiler: Any = None,
+                 transactional_sinks: bool = False,
+                 unaligned_after: int | None = None) -> None:
         self.graph = compile_execution_graph(
             job, parallelism, num_key_groups=num_key_groups,
             chaining=chaining and batch_mode)
@@ -298,17 +307,35 @@ class ParallelExecutor:
         self.tracer = tracer
         self.metrics = metrics
         self.profiler = profiler
-        self.sinks: dict[str, SinkBuffer] = {
-            s: SinkBuffer(s) for s in job.sinks
-        }
+        self.transactional_sinks = transactional_sinks
+        #: give up barrier alignment after this many macro cycles and
+        #: spill in-flight items instead (None = align forever)
+        self.unaligned_after = unaligned_after
         self.backpressure_events = 0
         self.dropped_overflow = 0
         self._checkpoint_seq = 0
         self._flushed = False
         self._job_span: Any = None
         self._obs_spans: dict[str, Any] = {}
+        self._coordinator: Any = None
+        self._aligners: dict[tuple[str, int], BarrierAligner] = {}
+        self._stalled_now: set[tuple[str, int]] = set()
+        #: in-flight faulted packets: (release_cycle, key, sender, seq, items)
+        self._held: list[tuple[int, tuple, tuple, int, list]] = []
+        #: reliable-transport state per (channel key, sender)
+        self._send_seq: dict[tuple, int] = {}
+        self._recv_seq: dict[tuple, int] = {}
+        self._ooo: dict[tuple, dict[int, list]] = {}
+        self._cycle = 0
         self._build_physical_ops()
         self._build_channels()
+        if transactional_sinks:
+            self.sinks: dict[str, Any] = {
+                s: TransactionalSink(s, self._sink_feeders(s))
+                for s in job.sinks
+            }
+        else:
+            self.sinks = {s: SinkBuffer(s) for s in job.sinks}
         # -- sources: split buffers + positions ---------------------------
         self._split_buffers: dict[str, dict[int, list[Element]]] = {}
         self._split_positions: dict[str, dict[int, int]] = {}
@@ -395,6 +422,97 @@ class ParallelExecutor:
         if name in self.graph.source_parallelism:
             return self.graph.source_parallelism[name]
         return self.graph.nodes[name].parallelism
+
+    def _sink_feeders(self, sink: str) -> tuple[tuple[str, int], ...]:
+        """Every (upstream node, subtask) merging into one sink — the
+        participants whose barriers gate the sink's 2PC pre-commit."""
+        feeders: list[tuple[str, int]] = []
+        for edge in self.graph.edges:
+            if edge.mode == MERGE and edge.down == sink:
+                for i in range(self._node_parallelism(edge.up)):
+                    feeders.append((edge.up, i))
+        return tuple(feeders)
+
+    # -- checkpoint coordination ---------------------------------------------
+
+    def attach_coordinator(self, coordinator: Any) -> None:
+        """Wire a CheckpointCoordinator into the run loop.  Requires
+        transactional sinks: with plain sink buffers, output written
+        between the barrier cut and a crash would already be visible,
+        so an in-band checkpoint could not be exactly-once."""
+        if not self.transactional_sinks:
+            raise CheckpointError(
+                "coordinated checkpoints require transactional_sinks=True")
+        self._coordinator = coordinator
+        if not self._aligners:
+            for name in self.graph.topo:
+                node = self.graph.nodes[name]
+                join = isinstance(self._ops[name][0], IntervalJoinOperator)
+                sides = ("left", "right") if join else (None,)
+                for idx in range(node.parallelism):
+                    channels = [
+                        (side, up, up_idx)
+                        for side in sides
+                        for (up, up_idx) in self._channels.get(
+                            (name, idx, side), {})
+                    ]
+                    self._aligners[(name, idx)] = BarrierAligner(
+                        tuple(channels),
+                        unaligned_after=self.unaligned_after)
+
+    def source_positions_snapshot(self) -> dict[str, dict[int, int]]:
+        """Current per-split read positions (the coordinator records
+        these at barrier injection: they are the checkpoint's cut)."""
+        positions: dict[str, dict[int, int]] = {}
+        for name in self.job.sources:
+            self._materialize_source(name)
+            positions[name] = dict(self._split_positions[name])
+        return positions
+
+    def inject_barriers(self, checkpoint_id: int) -> None:
+        """Emit barrier N from every source subtask — including subtasks
+        whose splits are empty or exhausted, so every downstream channel
+        carries the marker and alignment can complete."""
+        barrier = CheckpointBarrier(checkpoint_id)
+        for name in sorted(self.job.sources):
+            self._materialize_source(name)
+            for idx in range(self.graph.source_parallelism[name]):
+                self._emit(name, idx, [barrier])
+                self._capture_rr(name, idx)
+
+    def _capture_rr(self, up: str, up_idx: int) -> None:
+        """A subtask forwarding its barrier freezes its round-robin
+        cursors: they are part of checkpoint N's routing cut."""
+        coord = self._coordinator
+        if coord is None:
+            return
+        for edge_idx, edge in self._down.get(up, ()):
+            if edge.mode == REBALANCE:
+                key = (edge_idx, up_idx)
+                coord.capture_rr(key, self._rr.get(key, 0))
+
+    def drain_for_coordinator(self) -> int:
+        """One macro drain (no source pull): lets the coordinator flow a
+        final barrier through an already-exhausted job."""
+        self._release_held()
+        moved = self._drain_cycle()
+        while self._drain_cycle():
+            pass
+        self._tick_aligners()
+        self._end_cycle()
+        self._cycle += 1
+        return moved
+
+    def on_checkpoint_finalized(self, checkpoint_id: int,
+                                duration_s: float) -> None:
+        """Coordinator callback after the atomic manifest commit."""
+        if self._job_span is not None:
+            self._job_span.add_event("checkpoint.finalized",
+                                     checkpoint_id=checkpoint_id,
+                                     duration_s=duration_s)
+        if self.profiler is not None:
+            self.profiler.record("coordinator.checkpoint_s",
+                                 self.profiler.timer() - duration_s)
 
     # -- sources -------------------------------------------------------------
 
@@ -492,6 +610,12 @@ class ParallelExecutor:
         """Batch offer with per-item backpressure/drop accounting —
         the same arithmetic as the single-instance executor's
         ``_offer_batch``, per physical channel."""
+        injector = self.injector
+        if injector is not None and getattr(injector, "has_channel_faults",
+                                            False):
+            items = self._apply_channel_faults(key, sender, items)
+            if not items:
+                return
         channel = self._channels[key][sender]
         occupancy = len(channel)
         n = len(items)
@@ -528,6 +652,93 @@ class ParallelExecutor:
                                  node=node).inc(events)
         channel.extend(items)
 
+    def _apply_channel_faults(self, key: tuple[str, int, str | None],
+                              sender: tuple[str, int],
+                              items: list[StreamItem]) -> list[StreamItem]:
+        """Thread one offer through the injector's network-fault site.
+
+        Channels are *reliable transport over an unreliable network*:
+        every offer becomes a sequence-numbered packet, and the receiver
+        reassembles in-order, dropping replays — so delay, partition,
+        duplication and reordering are all masked (TCP-style) while the
+        protocol underneath genuinely experiences them.  Delay/partition
+        hold the packet for N cycles (head-of-line: later packets wait
+        in the reassembly buffer); reorder delivers it one cycle late so
+        its successors arrive first; duplicate re-delivers the same
+        packet, which the receiver discards by sequence number.
+        """
+        directives = self.injector.on_channel_offer(
+            key[0], key[1], sender[0], sender[1])
+        ck = (key, sender)
+        seq = self._send_seq.get(ck, 0)
+        self._send_seq[ck] = seq + 1
+        hold = directives.get("hold", 0)
+        if directives.get("reorder"):
+            hold = max(hold, 1)
+        if directives.get("duplicate"):
+            self._held.append((self._cycle + 1, key, sender, seq,
+                               list(items)))
+        if hold:
+            self._held.append((self._cycle + hold, key, sender, seq,
+                               list(items)))
+            if self.metrics is not None:
+                self.metrics.counter("channel.held",
+                                     node=key[0]).inc(len(items))
+            return []
+        return self._receive(key, sender, seq, items)
+
+    def _receive(self, key: tuple[str, int, str | None],
+                 sender: tuple[str, int], seq: int,
+                 items: list[StreamItem]) -> list[StreamItem]:
+        """Receiver-side reassembly: returns the in-order run now
+        deliverable (empty while waiting on an earlier packet)."""
+        ck = (key, sender)
+        expect = self._recv_seq.get(ck, 0)
+        if seq < expect:
+            return []  # replayed packet: already delivered
+        if seq > expect:
+            self._ooo.setdefault(ck, {}).setdefault(seq, list(items))
+            return []
+        out = list(items)
+        expect += 1
+        buffered = self._ooo.get(ck)
+        while buffered and expect in buffered:
+            out.extend(buffered.pop(expect))
+            expect += 1
+        self._recv_seq[ck] = expect
+        return out
+
+    def _release_held(self) -> None:
+        """Deliver held (delayed/duplicated/partitioned) packets whose
+        release cycle has come, through reassembly onto the channel."""
+        if not self._held:
+            return
+        due = [h for h in self._held if h[0] <= self._cycle]
+        if not due:
+            return
+        self._held = [h for h in self._held if h[0] > self._cycle]
+        for _release, key, sender, seq, items in due:
+            delivered = self._receive(key, sender, seq, items)
+            if delivered:
+                self._channels[key][sender].extend(delivered)
+
+    def _reset_transport(self, region: set[str] | None = None) -> None:
+        """Forget per-channel transport state (restore path): held and
+        buffered packets are in-flight data the rewind regenerates."""
+        if region is None:
+            self._held = []
+            self._send_seq = {}
+            self._recv_seq = {}
+            self._ooo = {}
+            return
+        self._held = [h for h in self._held if h[1][0] not in region]
+        for state in (self._send_seq, self._recv_seq, self._ooo):
+            for ck in [ck for ck in state if ck[0][0] in region]:
+                del state[ck]
+
+    def _transport_pending(self) -> bool:
+        return bool(self._held) or any(self._ooo.values())
+
     def _emit(self, up: str, up_idx: int, items: list[StreamItem]) -> None:
         """Route one subtask's output batch down every out-edge."""
         if not items:
@@ -535,6 +746,10 @@ class ParallelExecutor:
         for edge_idx, edge in self._down.get(up, ()):
             if edge.mode == MERGE:
                 sink = self.sinks[edge.down]
+                if self.transactional_sinks:
+                    self._deliver_transactional(sink, edge.down,
+                                                (up, up_idx), items)
+                    continue
                 delivered = [i for i in items if isinstance(i, Element)]
                 sink.elements.extend(delivered)
                 if self.metrics is not None and delivered:
@@ -550,7 +765,8 @@ class ParallelExecutor:
             if edge.mode == HASH:
                 g = self.num_key_groups
                 for item in items:
-                    if isinstance(item, Watermark):
+                    if isinstance(item, (Watermark, CheckpointBarrier)):
+                        # Progress markers fan out to every subtask.
                         for bucket in buckets:
                             bucket.append(item)
                     else:
@@ -561,7 +777,7 @@ class ParallelExecutor:
                 rr_key = (edge_idx, up_idx)
                 cursor = self._rr.get(rr_key, 0)
                 for item in items:
-                    if isinstance(item, Watermark):
+                    if isinstance(item, (Watermark, CheckpointBarrier)):
                         for bucket in buckets:
                             bucket.append(item)
                     else:
@@ -572,6 +788,33 @@ class ParallelExecutor:
                 if bucket:
                     self._offer((edge.down, j, edge.side), (up, up_idx),
                                 bucket)
+
+    def _deliver_transactional(self, sink: Any, sink_name: str,
+                               feeder: tuple[str, int],
+                               items: list[StreamItem]) -> None:
+        """Merge a feeder's output into a 2PC sink: elements stage into
+        the open transaction, barriers advance the sink's alignment and
+        — once all feeders delivered — pre-commit (phase 1, acked to
+        the coordinator)."""
+        batch: list[Element] = []
+        delivered = 0
+        for item in items:
+            if isinstance(item, CheckpointBarrier):
+                if batch:
+                    sink.deliver(batch, feeder)
+                    delivered += len(batch)
+                    batch = []
+                cid = sink.on_barrier(feeder, item.checkpoint_id)
+                if cid is not None and self._coordinator is not None:
+                    self._coordinator.on_sink_ack(cid, sink_name)
+            elif isinstance(item, Element):
+                batch.append(item)
+        if batch:
+            sink.deliver(batch, feeder)
+            delivered += len(batch)
+        if self.metrics is not None and delivered:
+            self.metrics.counter("sink.delivered",
+                                 sink=sink_name).inc(delivered)
 
     # -- watermark alignment -------------------------------------------------
 
@@ -635,11 +878,14 @@ class ParallelExecutor:
         moved = 0
         profiler = self.profiler
         metrics = self.metrics
+        coordinated = self._coordinator is not None
         for name in self.graph.topo:
             node = self.graph.nodes[name]
             join = isinstance(self._ops[name][0], IntervalJoinOperator)
             sides = ("left", "right") if join else (None,)
             for idx in range(node.parallelism):
+                if self._stalled_now and (name, idx) in self._stalled_now:
+                    continue
                 started = time.perf_counter()
                 drained = 0
                 for side in sides:
@@ -647,16 +893,20 @@ class ParallelExecutor:
                     if not chans:
                         continue
                     for sender in sorted(chans):
+                        if coordinated:
+                            drained += self._drain_channel_coordinated(
+                                name, idx, side, sender)
+                            continue
                         pending = chans[sender]
                         if not pending:
                             continue
                         chans[sender] = deque()
-                        moved += len(pending)
                         drained += len(pending)
                         items = self._align((name, idx, side), sender,
                                             pending)
                         if items:
                             self._process(name, idx, side, items)
+                moved += drained
                 if drained:
                     elapsed = time.perf_counter() - started
                     self._lane_cycle[idx] += elapsed
@@ -670,6 +920,159 @@ class ParallelExecutor:
                             "op.wall_s", started,
                             op=self._ops[name][idx].name)
         return moved
+
+    # -- coordinated draining (barrier-aware) ---------------------------------
+
+    def _drain_channel_coordinated(self, name: str, idx: int,
+                                   side: str | None,
+                                   sender: tuple[str, int]) -> int:
+        """Drain one channel under barrier rules: stop at a barrier that
+        blocks the channel, spill items from lagging channels after an
+        unaligned snapshot, and run alignment/snapshot transitions as
+        markers are consumed."""
+        key = (name, idx, side)
+        chan_id = (side, sender[0], sender[1])
+        aligner = self._aligners[(name, idx)]
+        chans = self._channels[key]
+        pending = chans[sender]
+        if not pending or aligner.is_blocked(chan_id):
+            return 0
+        moved = 0
+        segment: list[StreamItem] = []
+
+        def _flush_segment() -> None:
+            if not segment:
+                return
+            if aligner.is_spilling(chan_id):
+                # Pre-barrier in-flight data after an unaligned snapshot
+                # — copy into the checkpoint before processing mutates
+                # downstream state.
+                self._coordinator.on_spill(
+                    aligner.current_id,
+                    (name, idx, side, sender[0], sender[1]),
+                    list(segment))
+            items = self._align(key, sender, segment)
+            if items:
+                self._process(name, idx, side, items)
+
+        while pending:
+            item = pending.popleft()
+            moved += 1
+            if isinstance(item, CheckpointBarrier):
+                _flush_segment()
+                segment = []
+                if self._on_channel_barrier(name, idx, side, sender,
+                                            chan_id, item):
+                    return moved  # channel blocked until alignment ends
+            else:
+                segment.append(item)
+        _flush_segment()
+        return moved
+
+    def _on_channel_barrier(self, name: str, idx: int, side: str | None,
+                            sender: tuple[str, int], chan_id: tuple,
+                            barrier: CheckpointBarrier) -> bool:
+        """Consume one barrier marker; returns True when the channel is
+        now blocked (stop draining it this pass)."""
+        aligner = self._aligners[(name, idx)]
+        result = aligner.on_barrier(chan_id, barrier.checkpoint_id)
+        coord = self._coordinator
+        if result.action == IGNORED:
+            return False
+        if result.action == STRAGGLER:
+            # The spill for this channel is complete; its watermark cut
+            # was captured at the unaligned snapshot.
+            coord.on_spill_closed(result.checkpoint_id,
+                                  (name, idx, side, sender[0], sender[1]))
+            return False
+        # BLOCKED and COMPLETE both mark this channel's cut point.
+        coord.capture_channel_wm(
+            (name, idx, side), sender,
+            self._channel_wm[(name, idx, side)][sender])
+        if result.action == COMPLETE:
+            self._complete_alignment(name, idx, result.checkpoint_id,
+                                     aligner)
+            return False
+        return True  # BLOCKED
+
+    def _complete_alignment(self, name: str, idx: int, checkpoint_id: int,
+                            aligner: BarrierAligner) -> None:
+        """All channels aligned: snapshot, ack, forward the barrier."""
+        if self.metrics is not None:
+            self.metrics.summary(
+                "checkpoint.alignment_cycles",
+                op=f"{name}[{idx}]").observe(aligner.last_alignment_cycles)
+        self._snapshot_subtask(name, idx, checkpoint_id)
+        self._forward_barrier(name, idx, checkpoint_id)
+
+    def _complete_unaligned(self, name: str, idx: int, checkpoint_id: int,
+                            spill_channels: tuple) -> None:
+        """Alignment timed out: snapshot *now*, open a spill for each
+        lagging channel (capturing its watermark cut first), and let the
+        barrier overtake the in-flight data."""
+        coord = self._coordinator
+        for chan_id in spill_channels:
+            side, up, up_idx = chan_id
+            coord.on_spill_open(checkpoint_id,
+                                (name, idx, side, up, up_idx))
+            coord.capture_channel_wm(
+                (name, idx, side), (up, up_idx),
+                self._channel_wm[(name, idx, side)][(up, up_idx)])
+        if self.metrics is not None:
+            self.metrics.counter("checkpoint.unaligned",
+                                 op=f"{name}[{idx}]").inc()
+        self._snapshot_subtask(name, idx, checkpoint_id)
+        self._forward_barrier(name, idx, checkpoint_id)
+
+    def _forward_barrier(self, name: str, idx: int,
+                         checkpoint_id: int) -> None:
+        for side in self._subtask_sides(name, idx):
+            self._coordinator.capture_aligned_wm(
+                (name, idx, side), self._aligned_wm[(name, idx, side)])
+        self._emit(name, idx, [CheckpointBarrier(checkpoint_id)])
+        self._capture_rr(name, idx)
+
+    def _subtask_sides(self, name: str, idx: int) -> list[str | None]:
+        join = isinstance(self._ops[name][0], IntervalJoinOperator)
+        return [s for s in (("left", "right") if join else (None,))
+                if (name, idx, s) in self._aligned_wm]
+
+    def _snapshot_subtask(self, name: str, idx: int,
+                          checkpoint_id: int) -> None:
+        """Snapshot one subtask's members on barrier passage and ack the
+        coordinator.  The injector's barrier-phase crash site sits just
+        before the state read — a subtask dying *during* its snapshot."""
+        subtask = f"{name}[{idx}]"
+        op = self._ops[name][idx]
+        if self.injector is not None:
+            self.injector.before_snapshot(op, subtask, checkpoint_id)
+        started = time.perf_counter()
+        node = self.graph.nodes[name]
+        keyed: dict[str, dict[int, Any]] = {}
+        scalar: dict[str, Any] = {}
+        for m in node.members:
+            clone = self._clones[m][idx]
+            if self.job.operators[m].requires_shuffle:
+                keyed[m] = clone.snapshot_key_groups(self.num_key_groups)
+                scalar[m] = clone.scalar_snapshot()
+            else:
+                scalar[m] = clone.snapshot()
+        self._coordinator.on_subtask_ack(checkpoint_id, name, idx,
+                                         keyed, scalar)
+        if self.profiler is not None:
+            self.profiler.record("checkpoint.snapshot_s", started,
+                                 op=subtask)
+
+    def _tick_aligners(self) -> None:
+        """Once per macro cycle: aligners still waiting count a pending
+        cycle; past the unaligned threshold they flip to spill mode."""
+        if self._coordinator is None:
+            return
+        for (name, idx), aligner in self._aligners.items():
+            result = aligner.on_cycle()
+            if result is not None:
+                self._complete_unaligned(name, idx, result.checkpoint_id,
+                                         result.spill_channels)
 
     # -- run loop ------------------------------------------------------------
 
@@ -692,21 +1095,69 @@ class ParallelExecutor:
                 self.lane_busy_s[lane] += busy
                 self._lane_cycle[lane] = 0.0
 
+    def _begin_cycle(self) -> None:
+        """Macro-cycle prologue: release held channel batches, compute
+        the stalled-subtask set, and beat heartbeats for everyone else
+        (a stalled subtask is fail-silent: it neither drains nor beats,
+        so only the failure detector notices)."""
+        self._release_held()
+        injector = self.injector
+        if injector is not None and getattr(injector, "has_stalls", False):
+            self._stalled_now = {
+                (name, idx)
+                for name in self.graph.topo
+                for idx in range(self.graph.nodes[name].parallelism)
+                if injector.stall_check(self._ops[name][idx],
+                                        f"{name}[{idx}]")
+            }
+        elif self._stalled_now:
+            self._stalled_now = set()
+        if self._coordinator is not None:
+            for name in self.graph.topo:
+                for idx in range(self.graph.nodes[name].parallelism):
+                    if (name, idx) not in self._stalled_now:
+                        self._coordinator.heartbeat(f"{name}[{idx}]")
+
+    def _pending_items(self) -> bool:
+        return any(chan for chans in self._channels.values()
+                   for chan in chans.values())
+
     def _run_loop(self, source_batch: int,
                   max_cycles: int | None) -> dict[str, SinkBuffer]:
         cycles = 0
+        idle = 0
+        coordinator = self._coordinator
         while True:
+            self._begin_cycle()
             pulled = self._pull_sources(source_batch)
+            if coordinator is not None:
+                coordinator.on_cycle_start(self)
             moved = self._drain_cycle()
             while self._drain_cycle():
                 pass
+            self._tick_aligners()
             self._end_cycle()
+            self._cycle += 1
+            if coordinator is not None:
+                coordinator.on_cycle_end(self)
             cycles += 1
             if self._sources_done() and not pulled and moved == 0:
-                break
+                # Blocked, stalled or held items keep the loop alive:
+                # barriers and fault windows resolve with more cycles.
+                if not self._transport_pending() \
+                        and not self._pending_items():
+                    break
+                idle += 1
+                if idle > 100_000:
+                    raise CheckpointError(
+                        "run loop made no progress for 100000 cycles; "
+                        "items are permanently stuck in channels")
+            else:
+                idle = 0
             if max_cycles is not None and cycles >= max_cycles:
                 break
-        if self._sources_done():
+        if self._sources_done() and not self._transport_pending() \
+                and not self._pending_items():
             self._flush()
             self._close_spans()
             self._publish_metrics()
@@ -766,8 +1217,7 @@ class ParallelExecutor:
         """Aligned snapshot: keyed state by key group, sources by split,
         sink contents in full (so a restore into a *fresh* executor —
         the rescaling path — reproduces the run exactly)."""
-        if any(chan for chans in self._channels.values()
-               for chan in chans.values()):
+        if self._pending_items() or self._transport_pending():
             raise CheckpointError("cannot checkpoint with items in flight; "
                                   "call run() or drain first")
         self._checkpoint_seq += 1
@@ -819,19 +1269,23 @@ class ParallelExecutor:
                                      checkpoint_id=snapshot.checkpoint_id)
         return snapshot
 
-    def restore(self, checkpoint: ParallelCheckpoint) -> None:
+    def restore(self, checkpoint: ParallelCheckpoint) -> dict[str, int]:
         """Rewind to a snapshot — possibly taken at another parallelism.
 
         At unchanged parallelism the restore is exact (routing state
         included).  On a rescale, key groups and splits are reassigned
         to the new subtask ranges and scalar state merges conservatively
         (see ``restore_parallel`` / ``restore_rescaled`` on operators).
+        Returns recovery stats: ``replayed_elements`` is how much source
+        input the rewind will re-read (the recovery cost regional
+        restarts minimize).
         """
         if checkpoint.num_key_groups != self.num_key_groups:
             raise CheckpointError(
                 f"snapshot has {checkpoint.num_key_groups} key groups, "
                 f"this plan {self.num_key_groups}; key-group counts are "
                 "fixed for a job's lifetime")
+        replayed = 0
         for name, positions in checkpoint.source_positions.items():
             if name not in self.job.sources:
                 raise CheckpointError(
@@ -847,6 +1301,7 @@ class ParallelExecutor:
             finished = self._finished_splits[name]
             finished.clear()
             for s, pos in positions.items():
+                replayed += max(0, self._split_positions[name][s] - pos)
                 self._split_positions[name][s] = pos
                 if pos >= len(buffers[s]):
                     finished.add(s)
@@ -875,10 +1330,15 @@ class ParallelExecutor:
                         clone.restore_rescaled(
                             list(checkpoint.scalar_state[m]))
         for name, buf in self.sinks.items():
-            buf.elements[:] = list(checkpoint.sink_elements.get(name, ()))
+            elements = list(checkpoint.sink_elements.get(name, ()))
+            if hasattr(buf, "restore_elements"):
+                buf.restore_elements(elements)  # 2PC: truncate open txns
+            else:
+                buf.elements[:] = elements
         for chans in self._channels.values():
             for sender in chans:
                 chans[sender].clear()
+        self._reset_transport()
         routing = checkpoint.routing_state
         same_shape = (routing
                       and routing["channel_wm"].keys()
@@ -897,12 +1357,135 @@ class ParallelExecutor:
                     wms[sender] = float("-inf")
                 self._aligned_wm[k] = float("-inf")
             self._rr = {}
+        if checkpoint.in_flight:
+            if not same_shape:
+                raise CheckpointError(
+                    "an unaligned checkpoint (spilled in-flight state) "
+                    "cannot be restored into a different plan shape; "
+                    "restore at the original parallelism first")
+            for (down, idx, side, up, up_idx), items \
+                    in checkpoint.in_flight.items():
+                self._channels[(down, idx, side)][(up, up_idx)].extend(
+                    items)
+        for aligner in self._aligners.values():
+            aligner.reset()
         self._flushed = False
+        if self._coordinator is not None:
+            self._coordinator.on_executor_restored()
         if self.metrics is not None:
             self.metrics.counter("executor.restores").inc()
         if self._job_span is not None:
             self._job_span.add_event("restore",
                                      checkpoint_id=checkpoint.checkpoint_id)
+        return {"replayed_elements": replayed,
+                "restored_nodes": len(self.graph.topo)}
+
+    def restore_region(self, checkpoint: ParallelCheckpoint,
+                       region: set[str]) -> dict[str, int]:
+        """Partial recovery: rewind only the nodes in ``region`` (an
+        execution-node/source/sink set from
+        :func:`~repro.streaming.coordinator.failover_region_of`),
+        leaving every other subtask's state, channels and progress
+        untouched.  Only valid at the checkpoint's own parallelism —
+        regional recovery is a restart, not a rescale.  Returns recovery
+        stats; ``replayed_elements`` counts only the region's sources,
+        which is what makes partial recovery cheaper than global.
+        """
+        if checkpoint.num_key_groups != self.num_key_groups:
+            raise CheckpointError("key-group count mismatch")
+        for m in self.job.operators:
+            if self.graph.rename[m] in region \
+                    and checkpoint.parallelism.get(m) \
+                    != len(self._clones[m]):
+                raise CheckpointError(
+                    f"regional restore needs matching parallelism for "
+                    f"{m!r}; use restore() to rescale")
+        replayed = 0
+        for name in self.job.sources:
+            if name not in region:
+                continue
+            positions = checkpoint.source_positions.get(name, {})
+            buffers = self._materialize_source(name)
+            finished = self._finished_splits[name]
+            finished.clear()
+            for s, pos in positions.items():
+                replayed += max(0, self._split_positions[name][s] - pos)
+                self._split_positions[name][s] = pos
+                if pos >= len(buffers[s]):
+                    finished.add(s)
+        restored_nodes = 0
+        for m in self.job.operators:
+            exec_name = self.graph.rename[m]
+            if exec_name not in region:
+                continue
+            restored_nodes += 1
+            clones = self._clones[m]
+            if m in checkpoint.keyed_state:
+                groups = checkpoint.keyed_state[m]
+                for i, clone in enumerate(clones):
+                    mine = {kg: groups[kg]
+                            for kg in key_group_range(self.num_key_groups,
+                                                      len(clones), i)
+                            if kg in groups}
+                    clone.restore_parallel(
+                        mine, [checkpoint.scalar_state[m][i]],
+                        primary=(i == 0))
+            else:
+                for i, clone in enumerate(clones):
+                    clone.restore(checkpoint.scalar_state[m][i])
+        for name, buf in self.sinks.items():
+            if name not in region:
+                continue
+            elements = list(checkpoint.sink_elements.get(name, ()))
+            if hasattr(buf, "restore_elements"):
+                buf.restore_elements(elements)
+            else:
+                buf.elements[:] = elements
+        routing = checkpoint.routing_state
+        channel_wm = routing.get("channel_wm", {}) if routing else {}
+        aligned_wm = routing.get("aligned_wm", {}) if routing else {}
+        for key, chans in self._channels.items():
+            down, idx, side = key
+            if down not in region:
+                continue
+            for sender in chans:
+                chans[sender].clear()
+                saved = channel_wm.get(key, {})
+                self._channel_wm[key][sender] = saved.get(
+                    sender, float("-inf"))
+            self._aligned_wm[key] = aligned_wm.get(key, float("-inf"))
+        self._reset_transport(region)
+        if checkpoint.in_flight:
+            for (down, idx, side, up, up_idx), items \
+                    in checkpoint.in_flight.items():
+                if down in region:
+                    self._channels[(down, idx, side)][(up, up_idx)].extend(
+                        items)
+        rr = routing.get("rr", {}) if routing else {}
+        for edge_idx, edge in enumerate(self.graph.edges):
+            if edge.mode == REBALANCE and edge.up in region:
+                for key in list(self._rr):
+                    if key[0] == edge_idx:
+                        self._rr[key] = rr.get(key, 0)
+        for (name, idx), aligner in self._aligners.items():
+            if name in region:
+                aligner.reset()
+        self._flushed = False
+        if self._coordinator is not None:
+            self._coordinator.on_executor_restored()
+            for name in region:
+                if name in self.graph.nodes:
+                    for idx in range(self.graph.nodes[name].parallelism):
+                        self._coordinator.monitor.reset(f"{name}[{idx}]")
+        if self.metrics is not None:
+            self.metrics.counter("executor.regional_restores").inc()
+        if self._job_span is not None:
+            self._job_span.add_event(
+                "restore.regional",
+                checkpoint_id=checkpoint.checkpoint_id,
+                region=",".join(sorted(region)))
+        return {"replayed_elements": replayed,
+                "restored_nodes": restored_nodes}
 
     # -- observability ---------------------------------------------------------
 

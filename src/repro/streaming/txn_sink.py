@@ -1,0 +1,231 @@
+"""Two-phase-commit transactional sinks.
+
+The coordinated-checkpoint protocol (see
+:mod:`repro.streaming.coordinator`) makes sink output exactly-once by
+turning every sink into a 2PC participant:
+
+- elements delivered between barriers accumulate in an **open
+  transaction** (invisible);
+- when barrier *n* has arrived from **every** feeder subtask the open
+  transaction **pre-commits** — it is sealed against checkpoint *n* and
+  the sink acks the coordinator (phase 1);
+- when the coordinator finalizes checkpoint *n* the sealed transaction
+  **commits** and its elements become visible (phase 2);
+- on recovery, uncommitted transactions are truncated and the visible
+  output rewinds to exactly what checkpoint *n* recorded — so no
+  element is ever exposed twice or lost, for any crash point.
+
+:class:`TransactionalSink` is the in-memory collected sink
+(:class:`~repro.streaming.runtime.SinkBuffer`-compatible surface).
+:class:`TransactionalLogSink` mirrors committed output into an event-log
+topic through a fenced idempotent producer; its resume point is derived
+from the topic's end offsets, so a crash *between* checkpoint
+finalization and the log append replays the delta idempotently —
+end-to-end exactly-once into the log.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Hashable
+
+from ..eventlog.broker import LogCluster
+from ..eventlog.producer import Producer
+from ..util.errors import CheckpointError
+from .element import Element
+
+__all__ = ["TransactionalSink", "TransactionalLogSink"]
+
+
+class TransactionalSink:
+    """A sink buffer whose output becomes visible only at commit.
+
+    ``feeders`` are the upstream (node, subtask) pairs that merge into
+    this sink; the sink pre-commits when each has delivered the barrier.
+    Deliveries from feeders that already passed the barrier while others
+    lag are staged into the *next* transaction, preserving arrival order
+    within each epoch.
+    """
+
+    def __init__(self, name: str, feeders: tuple[Hashable, ...]) -> None:
+        if not feeders:
+            raise CheckpointError(f"sink {name!r} has no feeders")
+        self.name = name
+        self.feeders = tuple(feeders)
+        self.committed: list[Element] = []
+        self._staged: list[Element] = []
+        self._staged_next: list[Element] = []
+        self._barriered: set[Hashable] = set()
+        self._barrier_id: int | None = None
+        #: pre-committed transactions awaiting coordinator finalize
+        self.pending: dict[int, list[Element]] = {}
+        self.last_committed_id = -1
+        self.pre_commits = 0
+        self.commits = 0
+        self.aborts = 0
+
+    # -- SinkBuffer-compatible surface --------------------------------------
+
+    @property
+    def elements(self) -> list[Element]:
+        """The committed (visible) output."""
+        return self.committed
+
+    @property
+    def values(self) -> list[Any]:
+        return [e.value for e in self.committed]
+
+    def __len__(self) -> int:
+        return len(self.committed)
+
+    @property
+    def uncommitted(self) -> int:
+        """Elements staged or pre-committed but not yet visible."""
+        return (len(self._staged) + len(self._staged_next)
+                + sum(len(v) for v in self.pending.values()))
+
+    # -- data plane ----------------------------------------------------------
+
+    def deliver(self, items: list[Element], feeder: Hashable) -> None:
+        """Stage delivered elements into the open transaction (or the
+        next one, if this feeder already passed the pending barrier)."""
+        if self._barrier_id is not None and feeder in self._barriered:
+            self._staged_next.extend(items)
+        else:
+            self._staged.extend(items)
+
+    def on_barrier(self, feeder: Hashable, checkpoint_id: int) -> int | None:
+        """Barrier from one feeder.  Returns the checkpoint id when this
+        completes phase 1 (pre-commit), else ``None``."""
+        if checkpoint_id in self.pending \
+                or checkpoint_id <= self.last_committed_id:
+            return None  # duplicated/stale marker
+        if self._barrier_id is None:
+            self._barrier_id = checkpoint_id
+            self._barriered = set()
+        elif checkpoint_id < self._barrier_id:
+            return None  # stale marker from an abandoned checkpoint
+        elif checkpoint_id > self._barrier_id:
+            # Newer barrier overtakes an abandoned one: restart with the
+            # already-staged-next items folded back in arrival order.
+            self._staged.extend(self._staged_next)
+            self._staged_next = []
+            self._barrier_id = checkpoint_id
+            self._barriered = set()
+        if feeder in self._barriered:
+            return None  # duplicated marker
+        self._barriered.add(feeder)
+        if len(self._barriered) < len(self.feeders):
+            return None
+        # Phase 1: seal the open transaction against this checkpoint.
+        cid = self._barrier_id
+        self.pending[cid] = self._staged
+        self._staged = self._staged_next
+        self._staged_next = []
+        self._barrier_id = None
+        self._barriered = set()
+        self.pre_commits += 1
+        return cid
+
+    # -- 2PC phase 2 / abort -------------------------------------------------
+
+    def projected_committed(self, checkpoint_id: int) -> list[Element]:
+        """What ``committed`` will be once ``checkpoint_id`` commits —
+        recorded in the checkpoint before phase 2 runs, so recovery is
+        correct whether or not the commit itself happened."""
+        if checkpoint_id not in self.pending:
+            raise CheckpointError(
+                f"sink {self.name!r} has no pre-committed transaction "
+                f"for checkpoint {checkpoint_id}")
+        return self.committed + self.pending[checkpoint_id]
+
+    def commit(self, checkpoint_id: int) -> int:
+        """Phase 2: make the sealed transaction visible."""
+        txn = self.pending.pop(checkpoint_id, None)
+        if txn is None:
+            raise CheckpointError(
+                f"sink {self.name!r}: commit for unknown checkpoint "
+                f"{checkpoint_id}")
+        self.committed.extend(txn)
+        self.last_committed_id = max(self.last_committed_id, checkpoint_id)
+        self.commits += 1
+        return len(txn)
+
+    def abort_pending(self, checkpoint_id: int) -> None:
+        """The coordinator abandoned ``checkpoint_id`` (e.g. it crashed
+        before finalize): demote the sealed transaction back into the
+        open one, ahead of anything staged since — nothing is lost, the
+        elements simply commit with the next successful checkpoint."""
+        txn = self.pending.pop(checkpoint_id, None)
+        if txn is not None:
+            self._staged = txn + self._staged
+            self.aborts += 1
+
+    def restore_elements(self, elements: list[Element]) -> None:
+        """Recovery: visible output becomes exactly the checkpoint's
+        record; every in-flight transaction is truncated (replay will
+        regenerate it)."""
+        self.committed[:] = list(elements)
+        self._staged = []
+        self._staged_next = []
+        self._barriered = set()
+        self._barrier_id = None
+        if self.pending:
+            self.aborts += len(self.pending)
+        self.pending = {}
+
+
+class TransactionalLogSink:
+    """Mirrors a :class:`TransactionalSink`'s committed output into an
+    event-log topic, exactly-once across crashes.
+
+    Registered as a coordinator listener: on every checkpoint commit it
+    appends the newly committed elements through a fenced idempotent
+    producer transaction.  The resume point is the topic's total end
+    offset — appends happen in committed order, so after a crash
+    anywhere (even between the manifest write and the log append) the
+    delta that is re-driven starts exactly where the log left off.
+    ``fence()`` bumps the producer epoch on recovery so a zombie
+    incarnation's stray appends are rejected by the cluster.
+    """
+
+    def __init__(self, cluster: LogCluster, topic: str, sink_name: str,
+                 producer_id: int | None = None) -> None:
+        self.cluster = cluster
+        self.topic = topic
+        self.sink_name = sink_name
+        self.producer = Producer(cluster, idempotent=True,
+                                 producer_id=producer_id)
+        self.committed_appends = 0
+
+    def _log_length(self) -> int:
+        return sum(
+            self.cluster.end_offset(self.topic, p)
+            - self.cluster.base_offset(self.topic, p)
+            for p in range(self.cluster.partition_count(self.topic)))
+
+    def fence(self) -> int:
+        """New incarnation: fence the previous epoch and re-derive the
+        resume point from the log itself."""
+        epoch = self.producer.bump_epoch()
+        self.committed_appends = self._log_length()
+        return epoch
+
+    def on_checkpoint_committed(self, checkpoint_id: int,
+                                committed: list[Element]) -> int:
+        """Append the delta of newly committed elements; returns how
+        many records were appended (0 when replaying an already-applied
+        commit)."""
+        delta = committed[self.committed_appends:]
+        if not delta:
+            return 0
+        self.producer.begin_transaction()
+        for element in delta:
+            key = (element.key if isinstance(element.key, str)
+                   else None if element.key is None else str(element.key))
+            self.producer.send_transactional(
+                self.topic, element.value, key=key,
+                timestamp=element.timestamp,
+                headers={"checkpoint": str(checkpoint_id)})
+        appended = len(self.producer.commit_transaction())
+        self.committed_appends = len(committed)
+        return appended

@@ -11,6 +11,7 @@ Session windows merge on insert, the standard merging-window algorithm.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 from typing import Any, Callable
 
@@ -61,31 +62,84 @@ class _Agg:
         self.result = result
 
 
+def _exact_add(partials: list, x: float) -> list:
+    """Shewchuk's grow-partials step: fold ``x`` into a list of
+    non-overlapping partial sums that exactly represent the true sum."""
+    x = float(x)
+    i = 0
+    for y in partials:
+        if abs(x) < abs(y):
+            x, y = y, x
+        hi = x + y
+        lo = y - (hi - x)
+        if lo:
+            partials[i] = lo
+            i += 1
+        x = hi
+    partials[i:] = [x]
+    return partials
+
+
+#: accumulator length at which _sum_add collapses to exact partials
+_COMPACT_AT = 64
+
+
+def _sum_add(acc: list, v) -> list:
+    """Accumulate for an *order-independent* float sum.
+
+    The accumulator is a list whose exact (infinite-precision) sum is
+    the window's true sum: the hot path is a C-speed ``append``, and
+    when the list grows it is compacted to Shewchuk exact partials —
+    an exact-sum-preserving rewrite, so where the compaction boundary
+    falls cannot affect the result.  ``math.fsum`` at finalize is then
+    the correctly rounded true sum whatever the arrival interleaving
+    across parallel channels (or its perturbation by injected network
+    delays) was.
+    """
+    acc.append(float(v))
+    if len(acc) >= _COMPACT_AT:
+        partials: list = []
+        for y in acc:
+            _exact_add(partials, y)
+        acc[:] = partials
+    return acc
+
+
+def _sum_merge(a: list, b: list) -> list:
+    a.extend(b)
+    if len(a) >= _COMPACT_AT:
+        partials: list = []
+        for y in a:
+            _exact_add(partials, y)
+        a[:] = partials
+    return a
+
+
 def _mean_init():
-    return [0.0, 0]
+    return [[], 0]
 
 
 def _mean_add(acc, v):
-    acc[0] += v
+    _sum_add(acc[0], v)
     acc[1] += 1
     return acc
 
 
 def _mean_merge(a, b):
-    return [a[0] + b[0], a[1] + b[1]]
+    return [_sum_merge(a[0], b[0]), a[1] + b[1]]
 
 
 aggregators: dict[str, _Agg] = {
     "count": _Agg(lambda: 0, lambda a, _v: a + 1, lambda a, b: a + b,
                   lambda a: a),
-    "sum": _Agg(lambda: 0.0, lambda a, v: a + v, lambda a, b: a + b,
-                lambda a: a),
+    "sum": _Agg(list, _sum_add, _sum_merge,
+                lambda a: math.fsum(a)),
     "min": _Agg(lambda: float("inf"), min, min,
                 lambda a: a),
     "max": _Agg(lambda: float("-inf"), max, max,
                 lambda a: a),
     "mean": _Agg(_mean_init, _mean_add, _mean_merge,
-                 lambda a: a[0] / a[1] if a[1] else float("nan")),
+                 lambda a: math.fsum(a[0]) / a[1] if a[1] else float("nan")),
     "list": _Agg(list, lambda a, v: a + [v], lambda a, b: a + b,
                  lambda a: a),
 }

@@ -99,6 +99,22 @@ class OperatorCrash(StreamError):
     Subclassing :class:`StreamError` keeps injected crashes
     indistinguishable from organic operator failures to recovery code —
     the point of chaos testing is that the production path cannot tell.
+
+    ``op_name`` (when known) names the physical subtask that died, e.g.
+    ``"window_sum[1]"`` — regional recovery uses it to compute the
+    failover region instead of restarting the whole job.
+    """
+
+    def __init__(self, message: str, op_name: str | None = None):
+        super().__init__(message)
+        self.op_name = op_name
+
+
+class CoordinatorDown(StreamError):
+    """The checkpoint coordinator died (injected or organic).
+
+    Any in-progress checkpoint is abandoned; a rebuilt coordinator
+    resumes from the last *finalized* manifest in the store.
     """
 
 

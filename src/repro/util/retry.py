@@ -151,8 +151,10 @@ class CircuitBreaker:
     - **open**: calls raise :class:`CircuitOpen` without running until
       ``reset_timeout_s`` of simulated time has passed, then one probe
       is let through (half-open).
-    - **half-open**: ``half_open_successes`` consecutive successes
-      close it; any failure re-opens it (and restarts the cool-down).
+    - **half-open**: exactly **one** trial call is admitted at a time;
+      further calls are rejected while the probe is in flight.
+      ``half_open_successes`` consecutive successes close it; any
+      failure re-opens it (and restarts the cool-down).
 
     The breaker does not retry; pair it with a :class:`Retrier` whose
     ``retry_on`` excludes :class:`CircuitOpen` to fail fast while open.
@@ -177,6 +179,7 @@ class CircuitBreaker:
         self.state = self.CLOSED
         self._consecutive_failures = 0
         self._half_open_streak = 0
+        self._half_open_inflight = False
         self._opened_at = 0.0
         self.trips = 0
         self.rejected = 0
@@ -186,15 +189,27 @@ class CircuitBreaker:
                 and self.clock.now - self._opened_at >= self.reset_timeout_s):
             self.state = self.HALF_OPEN
             self._half_open_streak = 0
+            self._half_open_inflight = False
 
     def allow(self) -> bool:
-        """Would a call be admitted right now?  (Advances open->half-open.)"""
+        """Would a call be admitted right now?  (Advances open->half-open.)
+
+        While half-open, exactly one trial call is admitted: the first
+        ``allow`` claims the probe slot and later calls are refused until
+        ``record_success``/``record_failure`` resolves it.
+        """
         self._maybe_half_open()
+        if self.state == self.HALF_OPEN:
+            if self._half_open_inflight:
+                return False
+            self._half_open_inflight = True
+            return True
         return self.state != self.OPEN
 
     def record_success(self) -> None:
         self._consecutive_failures = 0
         if self.state == self.HALF_OPEN:
+            self._half_open_inflight = False
             self._half_open_streak += 1
             if self._half_open_streak >= self.half_open_successes:
                 self.state = self.CLOSED
@@ -216,6 +231,7 @@ class CircuitBreaker:
         self._opened_at = self.clock.now
         self._consecutive_failures = 0
         self._half_open_streak = 0
+        self._half_open_inflight = False
 
     def call(self, fn: Callable[[], Any]) -> Any:
         """Run ``fn`` through the breaker, recording the outcome."""

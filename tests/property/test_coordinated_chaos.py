@@ -1,0 +1,296 @@
+"""Coordinated-checkpoint chaos: exactly-once under in-flight snapshots.
+
+The invariant, stronger than :mod:`test_parallel_chaos`'s: with
+checkpoints taken *while data is in flight* (barrier alignment, 2PC
+sinks) and recovery that may be *regional* (only the failed subtask's
+failover region restarts), any seeded schedule of subtask crashes,
+mid-snapshot crashes, coordinator crashes, fail-silent stalls and
+network faults (delay / duplicate / reorder / partition on channels)
+must yield transactional-sink output equal to the fault-free run — no
+element lost, none exposed twice.
+
+Crash-only schedules replay deterministically, so raw sink order is
+compared.  Network faults and stalls legitimately shift *when* windows
+fire (permuting cross-subtask interleave at a merge sink), so those
+sweeps compare :func:`~repro.chaos.harness.canonical_sinks` — exact on
+values and multiplicities, forgiving of interleave.
+
+A couple of fixed-schedule smokes stay unmarked for tier 1; the sweeps
+are ``chaos``-marked and run via ``make chaos-parallel``.
+"""
+
+import pytest
+
+from repro.chaos import (
+    SITE_CHANNEL,
+    SITE_COORDINATOR,
+    SITE_OPERATOR,
+    SITE_STALL,
+    FaultInjector,
+    FaultPlan,
+    FaultSpec,
+    canonical_sinks,
+    fault_free_sinks,
+    reference_events,
+    reference_job,
+    reference_operator_names,
+    run_coordinated,
+    two_region_job,
+)
+from repro.eventlog.broker import LogCluster, TopicConfig
+from repro.streaming.txn_sink import TransactionalLogSink
+
+MODES = ((False, False), (True, False), (True, True))
+SOURCE_BATCH = 16
+
+
+def _run(build, plan, *, parallelism=2, exact=True, batch_mode=True,
+         chaining=True, **kwargs):
+    golden = fault_free_sinks(build, parallelism=parallelism,
+                              source_batch=SOURCE_BATCH,
+                              batch_mode=batch_mode, chaining=chaining)
+    injector = FaultInjector(plan) if plan is not None else None
+    report = run_coordinated(build(), injector, parallelism=parallelism,
+                             source_batch=SOURCE_BATCH,
+                             batch_mode=batch_mode, chaining=chaining,
+                             **kwargs)
+    if plan is not None:
+        # network faults and short stalls fire without raising, so the
+        # injector trace — not report.failures — is the fired predicate
+        assert report.trace, f"schedule {plan.name} never fired"
+    if exact:
+        assert report.sink_values == golden, (
+            f"coordinated recovery diverged (plan="
+            f"{plan.name if plan else 'none'}, parallelism={parallelism})")
+    else:
+        assert canonical_sinks(report.sink_values) \
+            == canonical_sinks(golden), (
+                f"exactly-once violated (plan="
+                f"{plan.name if plan else 'none'}, "
+                f"parallelism={parallelism})")
+    return report
+
+
+class TestCoordinatedSmoke:
+    """Unmarked: the coordinated machinery stays inside tier 1."""
+
+    def test_no_faults_all_modes(self):
+        events = reference_events(seed=3, n=200)
+        for batch_mode, chaining in MODES:
+            report = _run(lambda: reference_job(events), None,
+                          batch_mode=batch_mode, chaining=chaining,
+                          interval_cycles=2)
+            assert report.checkpoints >= 1
+
+    def test_subtask_and_coordinator_crash(self):
+        events = reference_events(seed=3, n=200)
+        plan = FaultPlan(specs=(
+            FaultSpec("operator_crash", SITE_OPERATOR, at=40,
+                      target="window_sum[1]"),
+            FaultSpec("coordinator_crash", SITE_COORDINATOR, at=1),
+        ), name="coordinated-smoke")
+        report = _run(lambda: reference_job(events), plan,
+                      interval_cycles=2)
+        assert report.crashes == 1
+        assert report.coordinator_crashes == 1
+        assert report.aborted >= 1
+
+    def test_regional_recovery_replays_less(self):
+        # the two-region plan: a crash in pipeline A must not rewind
+        # pipeline B, and must replay strictly less than a full restart
+        def build():
+            return two_region_job(reference_events(seed=11, n=200),
+                                  reference_events(seed=13, n=200))
+
+        plan = FaultPlan(specs=(
+            FaultSpec("operator_crash", SITE_OPERATOR, at=150,
+                      target="window_a"),
+        ), name="regional-smoke")
+        report = _run(build, plan, interval_cycles=2)
+        assert report.regional_restores == 1
+        assert report.full_restores == 0
+        assert report.replayed_total < report.replayed_full_equiv
+
+
+@pytest.mark.chaos
+class TestCoordinatedCrashSweeps:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_random_crash_schedules(self, seed):
+        events = reference_events(seed=seed % 3, n=240)
+        plan = FaultPlan.random(
+            seed + 700, horizon=70,
+            operators=reference_operator_names(), crashes=2,
+            torn_appends=0, unavailable_windows=0,
+            duplicate_deliveries=0, task_timeouts=0,
+            barrier_crashes=1, coordinator_crashes=1,
+            name=f"coordinated-{seed}")
+        _run(lambda: reference_job(events), plan, interval_cycles=2)
+
+    @pytest.mark.parametrize("parallelism", [1, 2, 4])
+    def test_all_parallelisms_and_modes(self, parallelism):
+        events = reference_events(seed=7, n=240)
+        plan = FaultPlan(specs=(
+            FaultSpec("operator_crash", SITE_OPERATOR, at=19,
+                      target="window_sum"),
+            FaultSpec("barrier_crash", "streaming.barrier", at=1,
+                      target="double"),
+            FaultSpec("coordinator_crash", SITE_COORDINATOR, at=2),
+        ), name=f"modes-p{parallelism}")
+        for batch_mode, chaining in MODES:
+            _run(lambda: reference_job(events), plan,
+                 parallelism=parallelism, batch_mode=batch_mode,
+                 chaining=chaining, interval_cycles=2)
+
+
+@pytest.mark.chaos
+class TestNetworkFaultSweeps:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_channel_faults_masked(self, seed):
+        # delay / duplicate / reorder / partition on physical channels:
+        # the reliable-transport layer masks them, exactly-once holds
+        events = reference_events(seed=seed % 3, n=240)
+        plan = FaultPlan.random(
+            seed + 900, horizon=60,
+            operators=reference_operator_names(), crashes=0,
+            torn_appends=0, unavailable_windows=0,
+            duplicate_deliveries=0, task_timeouts=0,
+            channel_faults=4, name=f"net-{seed}")
+        _run(lambda: reference_job(events), plan, exact=False,
+             interval_cycles=2)
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_crashes_and_network_together(self, seed):
+        events = reference_events(seed=seed % 2, n=240)
+        plan = FaultPlan.random(
+            seed + 1100, horizon=60,
+            operators=reference_operator_names(), crashes=1,
+            torn_appends=0, unavailable_windows=0,
+            duplicate_deliveries=0, task_timeouts=0,
+            channel_faults=3, coordinator_crashes=1,
+            name=f"net-crash-{seed}")
+        _run(lambda: reference_job(events), plan, exact=False,
+             interval_cycles=2)
+
+    def test_unaligned_checkpoints_under_partition(self):
+        # a partitioned channel stalls alignment past the escape hatch:
+        # the snapshot goes unaligned, spilling in-flight items — and
+        # output must still be exactly-once
+        events = reference_events(seed=4, n=240)
+        plan = FaultPlan(specs=(
+            FaultSpec("channel_partition", SITE_CHANNEL, at=8, count=2,
+                      param=3),
+            FaultSpec("operator_crash", SITE_OPERATOR, at=140,
+                      target="window_sum"),
+        ), name="unaligned")
+        _run(lambda: reference_job(events), plan, exact=False,
+             interval_cycles=2, unaligned_after=2)
+
+
+@pytest.mark.chaos
+class TestFailureDetector:
+    def test_stalled_subtask_detected_and_recovered(self):
+        # fail-silent: the subtask neither drains nor heartbeats; only
+        # the deadline detector can notice, and recovery must still be
+        # exactly-once
+        events = reference_events(seed=6, n=240)
+        plan = FaultPlan(specs=(
+            FaultSpec("subtask_stall", SITE_STALL, at=6, count=12,
+                      target="window_sum[0]"),
+        ), name="stall")
+        report = _run(lambda: reference_job(events), plan, exact=False,
+                      interval_cycles=2, heartbeat_timeout_s=4.0)
+        assert report.dead_detected >= 1
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_stall_sweeps(self, seed):
+        events = reference_events(seed=seed, n=240)
+        # the stall counter ticks once per macro cycle per subtask, so
+        # the horizon must sit inside the run's ~15-cycle span
+        plan = FaultPlan.random(
+            seed + 1300, horizon=12,
+            operators=reference_operator_names(), crashes=0,
+            torn_appends=0, unavailable_windows=0,
+            duplicate_deliveries=0, task_timeouts=0,
+            stalls=1, name=f"stall-{seed}")
+        _run(lambda: reference_job(events), plan, exact=False,
+             interval_cycles=2, heartbeat_timeout_s=4.0)
+
+
+@pytest.mark.chaos
+class TestRegionalRecoverySweeps:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_regional_beats_full_restart(self, seed):
+        def build():
+            return two_region_job(
+                reference_events(seed=seed * 2 + 1, n=200),
+                reference_events(seed=seed * 2 + 2, n=200))
+
+        # at=70: inside every subtask's per-identity item count (each of
+        # the 2 subtasks sees ~100 of the 200 source elements)
+        target = ("window_a", "window_b", "double_a", "shift_b")[seed % 4]
+        plan = FaultPlan(specs=(
+            FaultSpec("operator_crash", SITE_OPERATOR, at=70,
+                      target=target),
+        ), name=f"regional-{seed}")
+        # canonical compare: the surviving region is *not* rewound, so
+        # its subtasks' merge interleave at the sink may shift relative
+        # to the fault-free run — content stays exactly-once
+        report = _run(build, plan, exact=False, interval_cycles=2)
+        assert report.regional_restores >= 1
+        assert report.replayed_total < report.replayed_full_equiv
+
+    def test_log_cut_makes_connected_plan_regional(self):
+        # the reference plan is one component, but declaring the edge
+        # into the keyed window replayable cuts it into two regions
+        events = reference_events(seed=8, n=240)
+        plan = FaultPlan(specs=(
+            FaultSpec("operator_crash", SITE_OPERATOR, at=160,
+                      target="window_sum"),
+        ), name="log-cut")
+        golden = fault_free_sinks(lambda: reference_job(events),
+                                  parallelism=2, source_batch=SOURCE_BATCH)
+        injector = FaultInjector(plan)
+        report = run_coordinated(
+            reference_job(events), injector, parallelism=2,
+            source_batch=SOURCE_BATCH, interval_cycles=2,
+            replayable={("by_key", "window_sum")})
+        # the cut region has no source to rewind, so recovery falls
+        # back to a full restore — but correctness must hold either way
+        assert canonical_sinks(report.sink_values) == canonical_sinks(golden)
+
+
+@pytest.mark.chaos
+class TestTransactionalLogMirror:
+    def test_exactly_once_into_the_log_across_coordinator_crashes(self):
+        events = reference_events(seed=12, n=240)
+        golden = fault_free_sinks(lambda: reference_job(events),
+                                  parallelism=2, source_batch=SOURCE_BATCH)
+        cluster = LogCluster(num_brokers=3)
+        cluster.create_topic(TopicConfig("mirror", partitions=2,
+                                         replication=2))
+        mirror = TransactionalLogSink(cluster, "mirror", "out")
+
+        def wire(coordinator):
+            mirror.fence()
+            coordinator.listeners.append(
+                lambda cid, sink, committed:
+                    mirror.on_checkpoint_committed(cid, committed))
+
+        plan = FaultPlan(specs=(
+            FaultSpec("coordinator_crash", SITE_COORDINATOR, at=1),
+            FaultSpec("operator_crash", SITE_OPERATOR, at=60,
+                      target="window_sum"),
+        ), name="log-mirror")
+        injector = FaultInjector(plan)
+        report = run_coordinated(reference_job(events), injector,
+                                 parallelism=2, source_batch=SOURCE_BATCH,
+                                 interval_cycles=2, on_coordinator=wire)
+        assert report.coordinator_crashes == 1 and report.crashes == 1
+        assert report.sink_values == golden
+        logged = []
+        for p in range(cluster.partition_count("mirror")):
+            for _offset, record in cluster.read("mirror", p, 0,
+                                                max_records=100_000):
+                logged.append(record.value)
+        expected = sorted(repr(v) for v in golden["out"])
+        assert sorted(repr(v) for v in logged) == expected

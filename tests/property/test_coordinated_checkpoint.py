@@ -1,0 +1,197 @@
+"""Barrier-alignment edge cases for coordinated checkpoints.
+
+The barrier protocol must hold in the degenerate corners: splits with no
+data, channels that carry only watermarks, faults landing while an
+alignment is mid-flight, and checkpoints that outlive the plan shape
+they were taken at (rescale restore).  These are tier-1: each case is a
+small pinned scenario, not a seeded sweep (those live in
+``test_coordinated_chaos.py``).
+"""
+
+from repro.chaos import (
+    SITE_OPERATOR,
+    FaultInjector,
+    FaultPlan,
+    FaultSpec,
+    canonical_sinks,
+    fault_free_sinks,
+    reference_events,
+    reference_job,
+    run_coordinated,
+)
+from repro.streaming import (
+    CheckpointCoordinator,
+    CheckpointStore,
+    Element,
+    JobBuilder,
+    ParallelExecutor,
+)
+from repro.streaming.runtime import Executor
+from repro.streaming.windows import TumblingWindows
+
+
+def _keyed_job(elements, name="edge", window_s=10.0):
+    builder = JobBuilder(name)
+    (builder.source("events", elements, splits=4)
+            .with_watermarks(5.0, name="wm")
+            .key_by(lambda v: v["k"], name="by_key")
+            .window(TumblingWindows(window_s), "sum",
+                    value_fn=lambda v: v["v"], name="win")
+            .sink("out"))
+    return builder.build()
+
+
+def _events(n=60, keys=4):
+    return [Element(value={"k": i % keys, "v": float(i)}, timestamp=i * 0.5)
+            for i in range(n)]
+
+
+def _coordinated_sinks(job, **kwargs):
+    report = run_coordinated(job, None, **kwargs)
+    return report.sink_values
+
+
+class TestEmptySplits:
+    def test_source_with_empty_splits_still_checkpoints(self):
+        # 4 splits, data only in split 0: the other splits' channels
+        # carry nothing but barriers, yet alignment must complete
+        def factory(split, num_splits):
+            if split != 0:
+                return []
+            return _events(40)
+
+        def build():
+            builder = JobBuilder("empty-splits")
+            (builder.source("events", split_factory=factory, splits=4)
+                    .with_watermarks(5.0, name="wm")
+                    .key_by(lambda v: v["k"], name="by_key")
+                    .window(TumblingWindows(10.0), "sum",
+                            value_fn=lambda v: v["v"], name="win")
+                    .sink("out"))
+            return builder.build()
+
+        golden = fault_free_sinks(build, parallelism=2, source_batch=8)
+        report = run_coordinated(build(), None, parallelism=2,
+                                 source_batch=8, interval_cycles=1)
+        assert report.sink_values == golden
+        assert report.checkpoints >= 1
+
+    def test_entirely_empty_source(self):
+        job = _keyed_job([])
+        report = run_coordinated(job, None, parallelism=2, source_batch=8)
+        assert report.sink_values == {"out": []}
+        # the final checkpoint still finalizes over empty channels
+        assert report.checkpoints >= 1
+
+
+class TestWatermarkOnlyChannels:
+    def test_filter_that_drops_everything(self):
+        # downstream of the filter, channels carry only watermarks and
+        # barriers; alignment and 2PC pre-commit must still complete
+        def build():
+            builder = JobBuilder("wm-only")
+            (builder.source("events", _events(40))
+                    .with_watermarks(5.0, name="wm")
+                    .filter(lambda v: False, name="drop_all")
+                    .key_by(lambda v: v["k"], name="by_key")
+                    .window(TumblingWindows(10.0), "sum",
+                            value_fn=lambda v: v["v"], name="win")
+                    .sink("out"))
+            return builder.build()
+
+        report = run_coordinated(build(), None, parallelism=2,
+                                 source_batch=8, interval_cycles=1)
+        assert report.sink_values == {"out": []}
+        assert report.checkpoints >= 1
+
+    def test_one_starved_branch(self):
+        # one branch filtered dry, the other alive — the live branch's
+        # output must be unaffected by alignment against the dry one
+        def build():
+            builder = JobBuilder("starved-branch")
+            (builder.source("events", _events(40))
+                    .with_watermarks(5.0, name="wm")
+                    .filter(lambda v: v["k"] == 99, name="dry")
+                    .key_by(lambda v: v["k"], name="by_dry")
+                    .window(TumblingWindows(10.0), "sum",
+                            value_fn=lambda v: v["v"], name="win_dry")
+                    .sink("out_dry"))
+            (builder.source("beats", _events(40))
+                    .with_watermarks(5.0, name="wm_live")
+                    .key_by(lambda v: v["k"], name="by_live")
+                    .window(TumblingWindows(10.0), "sum",
+                            value_fn=lambda v: v["v"], name="win_live")
+                    .sink("out_live"))
+            return builder.build()
+
+        golden = fault_free_sinks(build, parallelism=2, source_batch=8)
+        report = run_coordinated(build(), None, parallelism=2,
+                                 source_batch=8, interval_cycles=1)
+        assert report.sink_values == golden
+        assert report.sink_values["out_dry"] == []
+        assert report.sink_values["out_live"]
+
+
+class TestBarrierDuringFault:
+    def test_mid_batch_crash_while_aligning(self):
+        # interval_cycles=1 keeps a checkpoint permanently in flight, so
+        # the mid-batch crash lands during an alignment; recovery must
+        # stay exactly-once
+        events = reference_events(seed=5, n=240)
+        golden = fault_free_sinks(lambda: reference_job(events),
+                                  parallelism=2, source_batch=16)
+        plan = FaultPlan(specs=(
+            FaultSpec("operator_crash", SITE_OPERATOR, at=37,
+                      target="window_sum"),
+            FaultSpec("operator_crash", SITE_OPERATOR, at=60,
+                      target="double[1]"),
+        ), name="mid-align")
+        injector = FaultInjector(plan)
+        report = run_coordinated(reference_job(events), injector,
+                                 parallelism=2, source_batch=16,
+                                 interval_cycles=1)
+        assert report.crashes == 2
+        assert canonical_sinks(report.sink_values) == canonical_sinks(golden)
+
+    def test_crash_during_snapshot(self):
+        # the barrier-phase site: a subtask dies *while* snapshotting
+        events = reference_events(seed=9, n=240)
+        golden = fault_free_sinks(lambda: reference_job(events),
+                                  parallelism=2, source_batch=16)
+        plan = FaultPlan(specs=(
+            FaultSpec("barrier_crash", "streaming.barrier", at=1,
+                      target="window_sum"),
+        ), name="snap-crash")
+        injector = FaultInjector(plan)
+        report = run_coordinated(reference_job(events), injector,
+                                 parallelism=2, source_batch=16,
+                                 interval_cycles=1)
+        assert report.crashes == 1
+        assert canonical_sinks(report.sink_values) == canonical_sinks(golden)
+
+
+class TestRescaleFromCoordinatedCheckpoint:
+    def test_restore_finalized_checkpoint_at_other_parallelism(self):
+        def canon(values):
+            return sorted(values, key=repr)
+
+        events = _events(120, keys=6)
+        expected = canon(Executor(_keyed_job(events)).run()["out"].values)
+        for old_p, new_p in ((2, 4), (2, 1), (4, 2)):
+            donor = ParallelExecutor(_keyed_job(events), old_p,
+                                     transactional_sinks=True)
+            store = CheckpointStore()
+            CheckpointCoordinator(donor, store=store, interval_cycles=1)
+            donor.run(source_batch=8, max_cycles=4)
+            manifest = store.latest_manifest()
+            assert manifest is not None and manifest.status == "finalized"
+            snapshot = store.latest()
+            assert snapshot is not None
+            assert not snapshot.in_flight  # aligned: rescale is legal
+            survivor = ParallelExecutor(_keyed_job(events), new_p)
+            survivor.restore(snapshot)
+            survivor.run(source_batch=8)
+            got = canon(survivor.sinks["out"].values)
+            assert got == expected, (
+                f"rescale {old_p}->{new_p} from coordinator checkpoint "
+                f"{snapshot.checkpoint_id} diverged")

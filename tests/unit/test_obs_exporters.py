@@ -4,6 +4,8 @@ import io
 import json
 import math
 
+import pytest
+
 from repro.obs import (
     ConsoleExporter,
     InMemoryExporter,
@@ -92,6 +94,36 @@ class TestJsonLinesExporter:
         render = next(c for c in roots[0].children if c.name == "render")
         assert render.span["attrs"] == {"drawn": 3}
         assert render.span["events"][0]["attrs"] == {"count": 1}
+
+    def test_torn_final_line_is_skipped(self, tmp_path):
+        # a crash mid-write leaves partial JSON with no newline; the
+        # durable prefix must still parse for post-crash analysis
+        tracer = _small_trace()
+        path = tmp_path / "trace.jsonl"
+        exporter = JsonLinesExporter(path)
+        exporter.export_spans(tracer.spans)
+        exporter.export_metrics({"render.frames": 1.0})
+        with open(path, "a", encoding="utf-8") as fh:
+            fh.write('{"type": "span", "name": "torn", "start')
+        spans, metrics = read_jsonl(path)
+        assert len(spans) == 3
+        assert metrics == [{"render.frames": 1.0}]
+        assert all(s["name"] != "torn" for s in spans)
+
+    def test_torn_only_file_reads_empty(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        path.write_text('{"type": "span"', encoding="utf-8")
+        assert read_jsonl(path) == ([], [])
+
+    def test_mid_file_corruption_still_raises(self, tmp_path):
+        # a malformed line *before* the tail is corruption, not a torn
+        # write — it must surface, not be silently dropped
+        path = tmp_path / "trace.jsonl"
+        path.write_text('not json at all\n'
+                        '{"type": "metrics", "values": {}}\n',
+                        encoding="utf-8")
+        with pytest.raises(json.JSONDecodeError):
+            read_jsonl(path)
 
     def test_nan_metric_serializes_as_null(self, tmp_path):
         path = tmp_path / "metrics.jsonl"

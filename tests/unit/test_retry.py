@@ -179,6 +179,47 @@ class TestCircuitBreaker:
         breaker.record_success()
         assert breaker.state == CircuitBreaker.CLOSED
 
+    def test_half_open_admits_exactly_one_probe(self):
+        clock = SimClock()
+        breaker = self._tripped(clock)
+        clock.advance(10.0)
+        assert breaker.allow()  # the probe slot
+        # while the probe is in flight, every other caller is refused
+        assert not breaker.allow()
+        assert not breaker.allow()
+        with pytest.raises(CircuitOpen):
+            breaker.call(lambda: "should not run")
+        breaker.record_success()
+        assert breaker.state == CircuitBreaker.CLOSED
+
+    def test_probe_failure_reopens_and_frees_the_slot(self):
+        clock = SimClock()
+        breaker = self._tripped(clock)
+        clock.advance(10.0)
+        assert breaker.allow()
+        assert not breaker.allow()
+        breaker.record_failure()
+        assert breaker.state == CircuitBreaker.OPEN
+        # after the new cool-down, the slot is claimable again
+        clock.advance(10.0)
+        assert breaker.allow()
+        assert not breaker.allow()
+
+    def test_successive_probes_one_at_a_time(self):
+        clock = SimClock()
+        breaker = CircuitBreaker(failure_threshold=1, reset_timeout_s=1.0,
+                                 half_open_successes=2, clock=clock)
+        breaker.record_failure()
+        clock.advance(1.0)
+        assert breaker.allow()
+        breaker.record_success()
+        assert breaker.state == CircuitBreaker.HALF_OPEN
+        # second trial call needs its own slot claim — and gets it
+        assert breaker.allow()
+        assert not breaker.allow()
+        breaker.record_success()
+        assert breaker.state == CircuitBreaker.CLOSED
+
     def test_validation(self):
         with pytest.raises(ConfigError):
             CircuitBreaker(failure_threshold=0)

@@ -8,7 +8,10 @@ records, and times out an offload task — then the gate asserts:
 1. the supervised streaming run's sinks are **bit-identical** to the
    fault-free run, in per-item, batched and chained modes;
 2. the offload runner absorbs the timeout and still serves the frame;
-3. the same seed reproduces the same fault trace on a second run.
+3. the same seed reproduces the same fault trace on a second run;
+4. recovery MTTR: on the two-region reference plan, a crash in one
+   region recovers **regionally** — exactly-once output, and strictly
+   fewer elements replayed than a whole-job restart would re-read.
 
 Exit 0 when all hold, 1 otherwise.  Runs the ``chaos``-marked suite
 first unless ``--skip-tests``.
@@ -35,10 +38,13 @@ from repro.chaos import (  # noqa: E402
     FaultInjector,
     FaultPlan,
     FaultSpec,
+    canonical_sinks,
     fault_free_sinks,
     reference_events,
     reference_job,
+    run_coordinated,
     run_with_recovery,
+    two_region_job,
 )
 from repro.eventlog.broker import LogCluster, TopicConfig  # noqa: E402
 from repro.eventlog.producer import Producer  # noqa: E402
@@ -143,6 +149,45 @@ def check_offload_timeout(seed: int) -> bool:
     return served and result.timeouts >= 1
 
 
+def check_recovery_mttr(seed: int) -> bool:
+    """Regional recovery must beat a whole-job restart on replay volume.
+
+    The two-region plan decomposes into independent failover regions, so
+    a crash in pipeline A rewinds only ``events_a`` while pipeline B
+    keeps its position — the coordinated supervisor reports both what it
+    actually replayed and what a full restart to the same checkpoint
+    would have re-read.
+    """
+    print("\n== recovery MTTR (regional vs full restart) ==")
+
+    def build():
+        return two_region_job(reference_events(seed=seed, n=200),
+                              reference_events(seed=seed + 1, n=200))
+
+    golden = fault_free_sinks(build, parallelism=2, source_batch=16)
+    plan = FaultPlan(specs=(
+        FaultSpec("operator_crash", SITE_OPERATOR, at=70,
+                  target="window_a"),
+    ), seed=seed, name="mttr-gate")
+    injector = FaultInjector(plan)
+    report = run_coordinated(build(), injector, parallelism=2,
+                             source_batch=16, interval_cycles=2)
+    exactly_once = (canonical_sinks(report.sink_values)
+                    == canonical_sinks(golden))
+    regional = report.regional_restores >= 1 and report.full_restores == 0
+    beats_full = report.replayed_total < report.replayed_full_equiv
+    print(f"  crashes={report.crashes} "
+          f"regional_restores={report.regional_restores} "
+          f"full_restores={report.full_restores} "
+          f"checkpoints={report.checkpoints}")
+    print(f"  replayed={report.replayed_total} vs "
+          f"full-restart-equivalent={report.replayed_full_equiv} "
+          f"(saved {report.replayed_full_equiv - report.replayed_total}) "
+          f"{'REGIONAL' if regional else 'FULL'} "
+          f"sinks {'EXACTLY-ONCE' if exactly_once else 'DIVERGED'}")
+    return exactly_once and regional and beats_full
+
+
 def check_trace_reproducibility(seed: int, first: list) -> bool:
     print("\n== trace reproducibility (same seed, second run) ==")
     _, second = check_quietly(seed)
@@ -185,6 +230,10 @@ def main() -> int:
         return 1
     if not check_trace_reproducibility(args.seed, traces):
         print("\ncheck_robustness: FAIL (fault trace not reproducible)")
+        return 1
+    if not check_recovery_mttr(args.seed):
+        print("\ncheck_robustness: FAIL (regional recovery did not beat "
+              "a full restart)")
         return 1
     print("\ncheck_robustness: OK")
     return 0
