@@ -20,8 +20,11 @@ chaos-parallel:  ## coordinated checkpoints: barriers, 2PC sinks, regional recov
 		tests/property/test_coordinated_chaos.py \
 		tests/property/test_coordinated_checkpoint.py
 
+# perf needs numpy: check_perf fails fast with install instructions if
+# it is missing.  --events 100000 matches the committed baseline so the
+# absolute eps floors gate like-for-like.
 perf:  ## throughput regression gate vs committed baseline
-	$(PYTHON) tools/check_perf.py --skip-tests
+	$(PYTHON) tools/check_perf.py --skip-tests --events 100000
 
 robustness:  ## fixed-schedule crash-recovery smoke + recovery-MTTR gate
 	$(PYTHON) tools/check_robustness.py --skip-tests

@@ -38,6 +38,7 @@ from repro.streaming import (
     TumblingWindows,
 )
 
+from platform_stamp import git_sha, platform_stamp
 from tableprint import print_table
 
 N_EVENTS = 60_000
@@ -72,17 +73,25 @@ def _canonical_sink(sink) -> list[tuple]:
                   for r in sink.values)
 
 
-def run_experiment(n_events: int = N_EVENTS) -> dict:
+def run_experiment(n_events: int = N_EVENTS, repeats: int = 3) -> dict:
     elements = _elements(n_events)
     outputs: dict[int, list[tuple]] = {}
     makespans: dict[int, float] = {}
     modeled: dict[int, float] = {}
     for p in PARALLELISMS:
-        executor = ParallelExecutor(_build_job(elements), p)
-        executor.run(source_batch=SOURCE_BATCH)
-        outputs[p] = _canonical_sink(executor.sinks["out"])
-        makespans[p] = executor.modeled_makespan_s
-        modeled[p] = executor.modeled_speedup
+        # Best-of-N on the modelled makespan: lane busy times are wall
+        # measurements, and scheduler jitter lands on one lane at a
+        # time, inflating the per-cycle max — the fastest repeat is the
+        # least skewed.  Sinks must agree on every repeat.
+        for r in range(repeats):
+            executor = ParallelExecutor(_build_job(elements), p)
+            executor.run(source_batch=SOURCE_BATCH)
+            out = _canonical_sink(executor.sinks["out"])
+            assert outputs.setdefault(p, out) == out, (
+                f"parallelism {p} diverged between repeats")
+            if r == 0 or executor.modeled_makespan_s < makespans[p]:
+                makespans[p] = executor.modeled_makespan_s
+                modeled[p] = executor.modeled_speedup
     base = outputs[PARALLELISMS[0]]
     for p in PARALLELISMS[1:]:
         assert outputs[p] == base, (
@@ -139,6 +148,10 @@ def main() -> None:
     merged["parallel"] = results["parallel"]
     merged.setdefault("config", {})
     merged["parallel_config"] = results["config"]
+    # Provenance: whichever bench ran last stamped the file; both
+    # record the same interpreter/numpy/CPU and commit.
+    merged["platform"] = platform_stamp()
+    merged["git_sha"] = git_sha()
     args.out.write_text(json.dumps(merged, indent=2) + "\n")
     print(f"\nresults merged into {args.out}")
 

@@ -1,0 +1,38 @@
+"""Provenance stamp for benchmark baselines.
+
+Committed ``BENCH_streaming.json`` numbers are machine-dependent; the
+stamp records *which* machine and code revision produced them so a
+regression report can distinguish "code got slower" from "different
+box" at a glance.
+"""
+
+from __future__ import annotations
+
+import os
+import platform
+import subprocess
+from pathlib import Path
+
+import numpy as np
+
+
+def platform_stamp() -> dict:
+    """Interpreter/numpy/CPU provenance for a benchmark result."""
+    return {
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+        "cpu_count": os.cpu_count(),
+    }
+
+
+def git_sha() -> str:
+    """Current commit SHA, or ``"unknown"`` outside a git checkout."""
+    try:
+        proc = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            cwd=Path(__file__).resolve().parent,
+            capture_output=True, text=True, timeout=10)
+    except (OSError, subprocess.TimeoutExpired):
+        return "unknown"
+    sha = proc.stdout.strip()
+    return sha if proc.returncode == 0 and sha else "unknown"

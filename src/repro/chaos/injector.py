@@ -26,6 +26,7 @@ from typing import Any, Callable, Iterable
 
 from ..eventlog.broker import LogCluster
 from ..eventlog.record import Record
+from ..streaming.batch import items_weight, take_prefix
 from ..streaming.chain import ChainedOperator
 from ..streaming.element import StreamItem
 from ..streaming.operators import Operator
@@ -169,22 +170,23 @@ class FaultInjector:
         exactly like a process dying between state update and emit.
         """
         items = list(items)
+        total = items_weight(items)
         key = (SITE_OPERATOR, op.name)
         c = self._counts.get(key, 0)
         candidates = self._crash_candidates(self._member_names(op),
-                                            below=c + len(items))
+                                            below=c + total)
         if candidates:
             spec = min(candidates, key=lambda s: s.at)
             k = max(0, spec.at - c)
             self._counts[key] = c + k
             if k:
-                process(items[:k])  # partial progress; outputs lost
+                process(take_prefix(items, k))  # partial progress; lost
             self._fire(spec, identity=op.name, occurrence=max(c, spec.at),
-                       detail=f"mid-batch k={k}/{len(items)}")
+                       detail=f"mid-batch k={k}/{total}")
             raise OperatorCrash(
                 f"injected crash in {op.name!r} at item index "
                 f"{max(c, spec.at)}", op_name=op.name)
-        self._counts[key] = c + len(items)
+        self._counts[key] = c + total
         return process(items)
 
     def before_item(self, op: Operator) -> None:

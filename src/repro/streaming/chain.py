@@ -18,6 +18,13 @@ Member operators keep their identity: the job graph still names them,
 the checkpoint coordinator snapshots/restores them individually, and
 their ``processed``/``emitted`` counters keep working, so chaining is
 invisible to everything except the channel structure.
+
+Columnar execution composes transparently: ``process_batch`` pipes each
+member's output list straight into the next member, so a
+:class:`~repro.streaming.batch.RecordBatch` flows zero-copy through the
+whole chain as long as every member has a columnar kernel — and the
+first member without one simply decodes it via the per-item fallback in
+:func:`~repro.streaming.operators._segmented`.
 """
 
 from __future__ import annotations

@@ -14,6 +14,7 @@ from typing import Any, Callable, Iterable
 from ..eventlog.broker import LogCluster
 from ..eventlog.consumer import Consumer, ConsumerGroup
 from ..eventlog.producer import Producer
+from .batch import RecordBatch
 from .element import Element
 
 __all__ = ["log_source", "parallel_log_source", "log_sink"]
@@ -22,6 +23,7 @@ __all__ = ["log_source", "parallel_log_source", "log_sink"]
 def log_source(cluster: LogCluster, topic: str,
                partitions: list[int] | None = None,
                time_ordered: bool = True, tracer: Any = None,
+               columnar: bool = False,
                ) -> Callable[[], Iterable[Element]]:
     """A re-runnable source reading everything retained in ``topic``.
 
@@ -35,6 +37,12 @@ def log_source(cluster: LogCluster, topic: str,
     The consumer runs with offset dedup on: a broker that re-delivers
     (duplicate delivery under fault injection, a retried fetch) still
     feeds each record into the stream exactly once.
+
+    With ``columnar`` the source materializes
+    :class:`~repro.streaming.batch.RecordBatch` runs instead of loose
+    Elements (one per fetch batch unordered, one for the whole replay
+    when time-ordered) — the executor splices them into its source
+    buffer without re-encoding.  Decoded, the stream is identical.
     """
 
     def iterate() -> Iterable[Element]:
@@ -48,18 +56,24 @@ def log_source(cluster: LogCluster, topic: str,
             if not time_ordered:
                 for batch in consumer.iter_batches(max_records=1024):
                     records += len(batch)
-                    for row in batch:
-                        yield Element(value=row.value,
-                                      timestamp=row.timestamp, key=row.key)
+                    run = [Element(value=row.value, timestamp=row.timestamp,
+                                   key=row.key) for row in batch]
+                    if columnar and run:
+                        yield RecordBatch.from_elements(run)
+                    else:
+                        yield from run
             else:
                 rows = []
                 for batch in consumer.iter_batches(max_records=4096):
                     rows.extend(batch)
                 rows.sort(key=lambda r: (r.timestamp, r.partition, r.offset))
                 records = len(rows)
-                for row in rows:
-                    yield Element(value=row.value, timestamp=row.timestamp,
-                                  key=row.key)
+                run = [Element(value=row.value, timestamp=row.timestamp,
+                               key=row.key) for row in rows]
+                if columnar and run:
+                    yield RecordBatch.from_elements(run)
+                else:
+                    yield from run
         finally:
             if span is not None:
                 span.set_attr("records", records)
@@ -72,6 +86,7 @@ def parallel_log_source(cluster: LogCluster, topic: str,
                         *, splits: int | None = None,
                         group_id: str | None = None,
                         time_ordered: bool = True, tracer: Any = None,
+                        columnar: bool = False,
                         ) -> tuple[Callable[[int, int], Iterable[Element]],
                                    int]:
     """A split-aware source over ``topic``, fanned out via a consumer
@@ -128,8 +143,13 @@ def parallel_log_source(cluster: LogCluster, topic: str,
         if span is not None:
             span.set_attr("records", len(rows))
             span.end()
-        return [Element(value=row.value, timestamp=row.timestamp,
-                        key=row.key) for row in rows]
+        run = [Element(value=row.value, timestamp=row.timestamp,
+                       key=row.key) for row in rows]
+        if columnar and run:
+            # One batch per split; the parallel executor normalizes to
+            # its canonical per-element split buffer either way.
+            return [RecordBatch.from_elements(run)]
+        return run
 
     return split_factory, num_splits
 

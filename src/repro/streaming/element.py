@@ -20,7 +20,7 @@ from typing import Any
 __all__ = ["Element", "Watermark", "CheckpointBarrier", "StreamItem"]
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Element:
     """A data record in flight."""
 
@@ -35,14 +35,14 @@ class Element:
         return Element(value=self.value, timestamp=self.timestamp, key=key)
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Watermark:
     """Event-time progress marker."""
 
     timestamp: float
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class CheckpointBarrier:
     """In-band checkpoint marker, numbered by the coordinator.
 

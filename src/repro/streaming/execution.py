@@ -58,6 +58,8 @@ from collections import deque
 from dataclasses import dataclass, field
 from typing import Any, Iterable
 
+import numpy as np
+
 from ..util.errors import (
     BackpressureOverflow,
     CheckpointError,
@@ -65,6 +67,14 @@ from ..util.errors import (
 )
 from ..util.ids import split_ranges
 from .barrier import BLOCKED, COMPLETE, IGNORED, STRAGGLER, BarrierAligner
+from .batch import (
+    RecordBatch,
+    decode_items,
+    elements_of,
+    item_weight,
+    items_weight,
+    take_prefix,
+)
 from .chain import ChainedOperator
 from .element import CheckpointBarrier, Element, StreamItem, Watermark
 from .graph import JobGraph
@@ -77,6 +87,7 @@ from .shuffle import (
     key_group_for,
     key_group_range,
     subtask_for_key_group,
+    subtasks_for_keys,
 )
 
 __all__ = [
@@ -290,6 +301,7 @@ class ParallelExecutor:
                  *, num_key_groups: int = DEFAULT_KEY_GROUPS,
                  channel_capacity: int = 10_000,
                  drop_on_overflow: bool = False, batch_mode: bool = True,
+                 columnar: bool | None = None,
                  chaining: bool = True, injector: Any = None,
                  tracer: Any = None, metrics: Any = None,
                  profiler: Any = None,
@@ -303,6 +315,11 @@ class ParallelExecutor:
         self.channel_capacity = channel_capacity
         self.drop_on_overflow = drop_on_overflow
         self.batch_mode = batch_mode
+        #: columnar hot path: sources encode splits as RecordBatches and
+        #: shuffles/merges stay vectorized; defaults on in batch mode and
+        #: is bit-identical to the per-element representation.
+        self.columnar = batch_mode and (columnar if columnar is not None
+                                        else True)
         self.injector = injector
         self.tracer = tracer
         self.metrics = metrics
@@ -339,6 +356,18 @@ class ParallelExecutor:
         # -- sources: split buffers + positions ---------------------------
         self._split_buffers: dict[str, dict[int, list[Element]]] = {}
         self._split_positions: dict[str, dict[int, int]] = {}
+        #: columnar split encodings (one shared key dictionary per
+        #: source) and per-split "timestamps nondecreasing" flags; a
+        #: split holding markers or opaque values maps to None and the
+        #: subtask falls back to the heap merge.
+        self._split_batches: dict[str, dict[int, RecordBatch | None]] = {}
+        self._split_sorted: dict[str, dict[int, bool]] = {}
+        #: (source, subtask) -> pre-merged pull plan (built lazily,
+        #: dropped on restore — positions define the remaining suffix)
+        self._merge_cache: dict[tuple[str, int], dict[str, Any]] = {}
+        #: parallelism -> (key_dict, per-code subtask map) for the
+        #: vectorized hash shuffle (single entry per width: bounded)
+        self._hash_sub_cache: dict[int, tuple[list, np.ndarray]] = {}
         self._finished_splits: dict[str, set[int]] = {
             name: set() for name in job.sources
         }
@@ -524,9 +553,12 @@ class ParallelExecutor:
         buffers: dict[int, list[Element]] = {s: [] for s in range(n_splits)}
         if spec.split_factory is not None:
             for s in range(n_splits):
-                buffers[s] = list(spec.split_factory(s, n_splits))
+                # decode_items: columnar connectors may hand back
+                # RecordBatches; the canonical split buffer stays
+                # per-element so positions mean the same in every mode.
+                buffers[s] = decode_items(spec.split_factory(s, n_splits))
         else:
-            for i, item in enumerate(spec.iterate()):
+            for i, item in enumerate(decode_items(spec.iterate())):
                 if isinstance(item, Watermark):
                     # A watermark in a source stream asserts event-time
                     # progress for the whole source: broadcast.
@@ -544,20 +576,51 @@ class ParallelExecutor:
         positions = self._split_positions.setdefault(name, {})
         for s in range(n_splits):
             positions.setdefault(s, 0)
+        if self.columnar:
+            self._columnarize_source(name, buffers)
         return buffers
+
+    def _columnarize_source(self, name: str,
+                            buffers: dict[int, list[Element]]) -> None:
+        """Encode each split as a RecordBatch sharing one key dictionary
+        across the whole source, so a subtask merging several splits can
+        gather codes into one batch without re-encoding keys."""
+        key_index: dict = {}
+        key_dict: list = []
+        batches: dict[int, RecordBatch | None] = {}
+        sorted_flags: dict[int, bool] = {}
+        for s, buf in sorted(buffers.items()):
+            if buf and all(type(it) is Element for it in buf):
+                rb = RecordBatch.from_elements(buf, key_index, key_dict)
+                batches[s] = rb
+                ts = rb.timestamps
+                sorted_flags[s] = bool(np.all(ts[1:] >= ts[:-1]))
+            else:
+                batches[s] = None
+                sorted_flags[s] = False
+        self._split_batches[name] = batches
+        self._split_sorted[name] = sorted_flags
 
     def _pull_sources(self, batch: int) -> int:
         pulled = 0
+        columnar = self.columnar
         for name in sorted(self.job.sources):
             buffers = self._materialize_source(name)
             positions = self._split_positions[name]
             finished = self._finished_splits[name]
             for idx, splits in enumerate(self._source_assignment[name]):
                 started = time.perf_counter()
-                taken = self._take_merged(buffers, positions, finished,
-                                          splits, batch)
+                taken = (self._take_merged_columnar(name, idx, splits,
+                                                    batch)
+                         if columnar else None)
+                if taken is None:
+                    taken = self._take_merged(buffers, positions, finished,
+                                              splits, batch)
+                    if taken:
+                        pulled += len(taken)
+                elif taken:
+                    pulled += items_weight(taken)
                 if taken:
-                    pulled += len(taken)
                     self._emit(name, idx, taken)
                 self._lane_cycle[idx] += time.perf_counter() - started
         return pulled
@@ -594,6 +657,105 @@ class ParallelExecutor:
                 finished.add(s)
         return taken
 
+    def _merge_plan(self, name: str, idx: int,
+                    splits: range) -> dict[str, Any] | None:
+        """Pre-merged pull plan for one source subtask: the remaining
+        suffixes of its columnar splits, globally ordered by
+        ``lexsort((split_id, timestamp))`` — provably the heap merge's
+        order when per-split timestamps are nondecreasing (the heap pops
+        by (ts, split) and per-split FIFO order is preserved by the
+        stable sort).  Each pull is then a zero-copy slice.  Returns
+        None (heap fallback) when any live split holds markers, opaque
+        values, or out-of-order timestamps."""
+        key = (name, idx)
+        plan = self._merge_cache.get(key)
+        if plan is not None:
+            return plan
+        batches = self._split_batches.get(name)
+        if batches is None:
+            return None
+        sorted_flags = self._split_sorted[name]
+        positions = self._split_positions[name]
+        buffers = self._split_buffers[name]
+        live: list[int] = []
+        for s in splits:
+            if positions[s] >= len(buffers[s]):
+                continue
+            rb = batches.get(s)
+            if rb is None or not sorted_flags[s] \
+                    or not isinstance(rb.values, np.ndarray):
+                return None
+            live.append(s)
+        if len(live) == 1:
+            s = live[0]
+            rb = batches[s]
+            plan = {"merged": rb.slice(positions[s], len(rb)),
+                    "sids": None, "split": s, "cursor": 0}
+        elif live:
+            ts_parts, val_parts, code_parts, sid_parts = [], [], [], []
+            kd: list | None = None
+            for s in live:
+                rb = batches[s]
+                pos = positions[s]
+                ts_parts.append(rb.timestamps[pos:])
+                val_parts.append(rb.values[pos:])
+                code_parts.append(rb.key_codes[pos:])
+                sid_parts.append(np.full(len(rb) - pos, s, dtype=np.int64))
+                kd = rb.key_dict
+            ts_all = np.concatenate(ts_parts)
+            sid_all = np.concatenate(sid_parts)
+            order = np.lexsort((sid_all, ts_all))
+            merged = RecordBatch(
+                ts_all[order], np.concatenate(val_parts)[order],
+                py_values=True,
+                key_codes=np.concatenate(code_parts)[order], key_dict=kd)
+            plan = {"merged": merged, "sids": sid_all[order],
+                    "split": None, "cursor": 0}
+        else:
+            plan = {"merged": None, "sids": None, "split": None,
+                    "cursor": 0}
+        plan["total"] = 0 if plan["merged"] is None \
+            else len(plan["merged"])
+        self._merge_cache[key] = plan
+        return plan
+
+    def _take_merged_columnar(self, name: str, idx: int, splits: range,
+                              batch: int) -> list | None:
+        """Columnar twin of :meth:`_take_merged`: slice the pre-merged
+        plan and advance per-split positions by how many of the pulled
+        rows each split contributed (so checkpointed offsets stay
+        mode-independent).  Returns None to fall back to the heap."""
+        plan = self._merge_plan(name, idx, splits)
+        if plan is None:
+            return None
+        positions = self._split_positions[name]
+        finished = self._finished_splits[name]
+        buffers = self._split_buffers[name]
+        cur = plan["cursor"]
+        total = plan["total"]
+        if cur >= total:
+            for s in splits:
+                if positions[s] >= len(buffers[s]):
+                    finished.add(s)
+            return []
+        end = min(cur + batch, total)
+        plan["cursor"] = end
+        out = plan["merged"].slice(cur, end)
+        s = plan["split"]
+        if s is not None:
+            touched = [s]
+            positions[s] += end - cur
+        else:
+            counts = np.bincount(plan["sids"][cur:end],
+                                 minlength=splits.stop)
+            touched = np.flatnonzero(counts).tolist()
+            for sv in touched:
+                positions[sv] += int(counts[sv])
+        for sv in (splits if end >= total else touched):
+            if positions[sv] >= len(buffers[sv]):
+                finished.add(sv)
+        return [out]
+
     def _sources_done(self) -> bool:
         for name in self.job.sources:
             if name not in self._split_buffers:
@@ -617,8 +779,9 @@ class ParallelExecutor:
             if not items:
                 return
         channel = self._channels[key][sender]
-        occupancy = len(channel)
-        n = len(items)
+        columnar = self.columnar
+        occupancy = items_weight(channel) if columnar else len(channel)
+        n = items_weight(items) if columnar else len(items)
         capacity = self.channel_capacity
         node = key[0]
         if occupancy + n <= capacity:
@@ -627,7 +790,8 @@ class ParallelExecutor:
         if self.drop_on_overflow:
             room = max(0, capacity - occupancy)
             if room:
-                channel.extend(items[:room])
+                channel.extend(take_prefix(items, room) if columnar
+                               else items[:room])
             self.dropped_overflow += n - room
             if self.metrics is not None:
                 self.metrics.counter("channel.dropped",
@@ -635,7 +799,8 @@ class ParallelExecutor:
             return
         if occupancy + n > capacity * 10:
             i0 = capacity * 10 - occupancy
-            channel.extend(items[:i0])
+            channel.extend(decode_items(take_prefix(items, i0))
+                           if columnar else items[:i0])
             events = (i0 + 1) - max(0, min(i0 + 1, capacity - occupancy))
             self.backpressure_events += events
             if self.metrics is not None:
@@ -750,7 +915,7 @@ class ParallelExecutor:
                     self._deliver_transactional(sink, edge.down,
                                                 (up, up_idx), items)
                     continue
-                delivered = [i for i in items if isinstance(i, Element)]
+                delivered = elements_of(items)
                 sink.elements.extend(delivered)
                 if self.metrics is not None and delivered:
                     self.metrics.counter("sink.delivered",
@@ -769,6 +934,8 @@ class ParallelExecutor:
                         # Progress markers fan out to every subtask.
                         for bucket in buckets:
                             bucket.append(item)
+                    elif type(item) is RecordBatch:
+                        self._partition_batch(item, g, p_down, buckets)
                     else:
                         kg = key_group_for(item.key, g)
                         buckets[subtask_for_key_group(kg, g, p_down)].append(
@@ -780,6 +947,17 @@ class ParallelExecutor:
                     if isinstance(item, (Watermark, CheckpointBarrier)):
                         for bucket in buckets:
                             bucket.append(item)
+                    elif type(item) is RecordBatch:
+                        n = len(item)
+                        if p_down == 1:
+                            buckets[0].append(item)
+                        else:
+                            dest = (cursor + np.arange(n)) % p_down
+                            for j in range(p_down):
+                                part = item.compress(dest == j)
+                                if len(part):
+                                    buckets[j].append(part)
+                        cursor += n
                     else:
                         buckets[cursor % p_down].append(item)
                         cursor += 1
@@ -788,6 +966,39 @@ class ParallelExecutor:
                 if bucket:
                     self._offer((edge.down, j, edge.side), (up, up_idx),
                                 bucket)
+
+    def _partition_batch(self, rb: RecordBatch, g: int, p: int,
+                         buckets: list[list[StreamItem]]) -> None:
+        """Hash-shuffle one columnar batch: one subtask lookup per
+        *distinct* key in the batch's dictionary, then a vectorized
+        gather/partition over the codes column.  Unkeyed rows fall back
+        to per-element routing so the StreamError raises at exactly the
+        position the per-item path would raise it."""
+        codes = rb.key_codes
+        kd = rb.key_dict
+        cached = self._hash_sub_cache.get(p)
+        if codes is not None and cached is not None and cached[0] is kd:
+            sub = cached[1]  # cache hit implies the dict is None-free
+        elif codes is None or any(k is None for k in kd):
+            for e in rb.to_elements():
+                kg = key_group_for(e.key, g)
+                buckets[subtask_for_key_group(kg, g, p)].append(e)
+            return
+        else:
+            sub = np.asarray(subtasks_for_keys(kd, g, p), dtype=np.int64)
+            self._hash_sub_cache[p] = (kd, sub)
+        if p == 1:
+            buckets[0].append(rb)
+            return
+        dest = sub[codes]
+        lo = int(dest.min())
+        if lo == int(dest.max()):
+            buckets[lo].append(rb)  # whole batch owned by one subtask
+            return
+        for j in range(p):
+            part = rb.compress(dest == j)
+            if len(part):
+                buckets[j].append(part)
 
     def _deliver_transactional(self, sink: Any, sink_name: str,
                                feeder: tuple[str, int],
@@ -807,6 +1018,8 @@ class ParallelExecutor:
                 cid = sink.on_barrier(feeder, item.checkpoint_id)
                 if cid is not None and self._coordinator is not None:
                     self._coordinator.on_sink_ack(cid, sink_name)
+            elif type(item) is RecordBatch:
+                item.extend_elements(batch)
             elif isinstance(item, Element):
                 batch.append(item)
         if batch:
@@ -847,6 +1060,8 @@ class ParallelExecutor:
         join = isinstance(op, IntervalJoinOperator)
         if self.batch_mode:
             if join:
+                if self.columnar:
+                    items = decode_items(items)
                 if injector is None:
                     out = op.process_side_batch(side, items)
                 else:
@@ -901,7 +1116,8 @@ class ParallelExecutor:
                         if not pending:
                             continue
                         chans[sender] = deque()
-                        drained += len(pending)
+                        drained += (items_weight(pending) if self.columnar
+                                    else len(pending))
                         items = self._align((name, idx, side), sender,
                                             pending)
                         if items:
@@ -946,18 +1162,20 @@ class ParallelExecutor:
             if aligner.is_spilling(chan_id):
                 # Pre-barrier in-flight data after an unaligned snapshot
                 # — copy into the checkpoint before processing mutates
-                # downstream state.
+                # downstream state.  Decoded: spilled state is
+                # representation-independent, so an unaligned checkpoint
+                # restores identically in any execution mode.
                 self._coordinator.on_spill(
                     aligner.current_id,
                     (name, idx, side, sender[0], sender[1]),
-                    list(segment))
+                    decode_items(segment))
             items = self._align(key, sender, segment)
             if items:
                 self._process(name, idx, side, items)
 
         while pending:
             item = pending.popleft()
-            moved += 1
+            moved += item_weight(item)
             if isinstance(item, CheckpointBarrier):
                 _flush_segment()
                 segment = []
@@ -1305,6 +1523,7 @@ class ParallelExecutor:
                 self._split_positions[name][s] = pos
                 if pos >= len(buffers[s]):
                     finished.add(s)
+        self._merge_cache.clear()  # rewound positions: re-plan pulls
         for m in self.job.operators:
             if m not in checkpoint.scalar_state:
                 raise CheckpointError(
@@ -1413,6 +1632,8 @@ class ParallelExecutor:
                 self._split_positions[name][s] = pos
                 if pos >= len(buffers[s]):
                     finished.add(s)
+            for key in [k for k in self._merge_cache if k[0] == name]:
+                del self._merge_cache[key]
         restored_nodes = 0
         for m in self.job.operators:
             exec_name = self.graph.rename[m]

@@ -26,8 +26,11 @@ from typing import Any, Callable, Iterable
 import numpy as np
 
 from ..util.errors import StreamError
+from .batch import RecordBatch
 from .element import Element, StreamItem, Watermark
 from .state import KeyedState
+
+_MISSING = object()  # sentinel: "no accumulator yet" (None is a value)
 
 __all__ = [
     "Operator",
@@ -47,11 +50,27 @@ def _segmented(op: "Operator", items: Iterable[StreamItem]) -> list[StreamItem]:
     that of the per-item loop; ``op._run`` maintains its own counters for
     elements, this helper maintains ``emitted`` for watermark outputs
     (fired windows etc.), mirroring :meth:`Operator.handle`.
+
+    Columnar batches: an operator with a columnar kernel
+    (``has_columnar_kernel``) consumes a :class:`RecordBatch` whole via
+    ``_run_columnar``; otherwise the batch is decoded into the current
+    element run and takes the per-item fallback — the rule documented in
+    docs/ARCHITECTURE.md ("Columnar batch representation").
     """
     out: list[StreamItem] = []
     run: list[Element] = []
+    columnar = op.has_columnar_kernel
     for item in items:
-        if isinstance(item, Watermark):
+        if type(item) is RecordBatch:
+            if columnar:
+                if run:
+                    op._run(run, out)
+                    run = []
+                if len(item):
+                    op._run_columnar(item, out)
+            else:
+                item.extend_elements(run)
+        elif isinstance(item, Watermark):
             if run:
                 op._run(run, out)
                 run = []
@@ -83,6 +102,14 @@ class Operator:
     #: "Parallel execution", and CONTRIBUTING.md).
     requires_shuffle = False
 
+    #: Whether this operator implements ``_run_columnar`` and may
+    #: consume :class:`RecordBatch` columns whole.  Operators without a
+    #: kernel are still correct: :func:`_segmented` (and the default
+    #: ``process_batch``) decode batches back to Elements — the per-item
+    #: fallback.  New operators must declare one or the other explicitly
+    #: (see CONTRIBUTING.md).
+    has_columnar_kernel = False
+
     def __init__(self, name: str) -> None:
         self.name = name
         self.processed = 0
@@ -108,13 +135,25 @@ class Operator:
         out: list[StreamItem] = []
         handle = self.handle
         for item in items:
-            out.extend(handle(item))
+            if type(item) is RecordBatch:
+                for element in item.to_elements():
+                    out.extend(handle(element))
+            else:
+                out.extend(handle(item))
         return out
 
     def _run(self, elements: list[Element], out: list[StreamItem]) -> None:
         """Fast path for a watermark-free run of elements (see
         :func:`_segmented`).  Implementations must append outputs to
         ``out`` and maintain ``processed``/``emitted`` themselves."""
+        raise NotImplementedError
+
+    def _run_columnar(self, batch: RecordBatch,
+                      out: list[StreamItem]) -> None:
+        """Columnar kernel: consume one non-empty :class:`RecordBatch`
+        (only called when ``has_columnar_kernel`` is True).  Must append
+        outputs (batches and/or items) to ``out``, maintain counters,
+        and produce exactly the per-item results."""
         raise NotImplementedError
 
     def process(self, element: Element) -> list[StreamItem]:
@@ -201,6 +240,7 @@ class MapOperator(Operator):
     """
 
     chainable = True
+    has_columnar_kernel = True
 
     def __init__(self, name: str, fn: Callable[[Any], Any],
                  vectorized: bool = False) -> None:
@@ -212,6 +252,20 @@ class MapOperator(Operator):
         if self.vectorized:
             return [element.with_value(self.fn(np.asarray([element.value]))[0])]
         return [element.with_value(self.fn(element.value))]
+
+    def _run_columnar(self, batch: RecordBatch,
+                      out: list[StreamItem]) -> None:
+        n = len(batch)
+        if self.vectorized:
+            values = self.fn(batch.values_array())
+            if not isinstance(values, np.ndarray):
+                values = list(values)
+        else:
+            fn = self.fn
+            values = [fn(v) for v in batch.values_list()]
+        out.append(batch.with_values(values, py_values=False))
+        self.processed += n
+        self.emitted += n
 
     def process_batch(self, items: Iterable[StreamItem]) -> list[StreamItem]:
         return _segmented(self, items)
@@ -238,12 +292,32 @@ class FilterOperator(Operator):
     """
 
     chainable = True
+    has_columnar_kernel = True
 
     def __init__(self, name: str, predicate: Callable[[Any], bool],
                  vectorized: bool = False) -> None:
         super().__init__(name)
         self.predicate = predicate
         self.vectorized = vectorized
+
+    def _run_columnar(self, batch: RecordBatch,
+                      out: list[StreamItem]) -> None:
+        n = len(batch)
+        if self.vectorized:
+            mask = np.asarray(self.predicate(batch.values_array()))
+            mask = mask.astype(bool, copy=False)
+        else:
+            predicate = self.predicate
+            mask = np.fromiter((bool(predicate(v))
+                                for v in batch.values_list()),
+                               dtype=bool, count=n)
+        kept = int(mask.sum())
+        if kept == n:
+            out.append(batch)
+        elif kept:
+            out.append(batch.compress(mask))
+        self.processed += n
+        self.emitted += kept
 
     def process(self, element: Element) -> list[StreamItem]:
         if self.vectorized:
@@ -304,12 +378,47 @@ class KeyByOperator(Operator):
     """
 
     chainable = True
+    has_columnar_kernel = True
 
     def __init__(self, name: str, key_fn: Callable[[Any], Any],
                  vectorized: bool = False) -> None:
         super().__init__(name)
         self.key_fn = key_fn
         self.vectorized = vectorized
+
+    def _run_columnar(self, batch: RecordBatch,
+                      out: list[StreamItem]) -> None:
+        n = len(batch)
+        keys = None
+        if self.vectorized:
+            keys = np.asarray(self.key_fn(batch.values_array()))
+            nan_keys = (keys.dtype.kind == "f" and bool(np.isnan(keys).any()))
+            if keys.dtype.kind != "O" and not nan_keys:
+                # Dictionary-encode in one pass; np.unique's scalars are
+                # exactly what the per-item vectorized path produces.
+                uniq, inverse = np.unique(keys, return_inverse=True)
+                out.append(batch.with_keys(
+                    inverse.astype(np.int64, copy=False), list(uniq)))
+                self.processed += n
+                self.emitted += n
+                return
+            keys = list(keys)  # unorderable or NaN: encode per key object
+        key_fn = self.key_fn
+        key_index: dict = {}
+        kd: list = []
+        codes: list[int] = []
+        if keys is None:
+            keys = (key_fn(v) for v in batch.values_list())
+        for k in keys:
+            code = key_index.get(k)
+            if code is None and k not in key_index:
+                code = len(kd)
+                key_index[k] = code
+                kd.append(k)
+            codes.append(code)
+        out.append(batch.with_keys(np.asarray(codes, dtype=np.int64), kd))
+        self.processed += n
+        self.emitted += n
 
     def process(self, element: Element) -> list[StreamItem]:
         if self.vectorized:
@@ -346,6 +455,7 @@ class ReduceOperator(Operator):
     """
 
     requires_shuffle = True
+    has_columnar_kernel = True
 
     def __init__(self, name: str,
                  reduce_fn: Callable[[Any, Any], Any],
@@ -397,6 +507,59 @@ class ReduceOperator(Operator):
         self.processed += n
         self.emitted += n
 
+    def _run_columnar(self, batch: RecordBatch,
+                      out: list[StreamItem]) -> None:
+        codes = batch.key_codes
+        if codes is None or any(k is None for k in batch.key_dict):
+            # Unkeyed (or partially unkeyed) input must fail with the
+            # same error, at the same point, as per-item execution.
+            self._run(batch.to_elements(), out)
+            return
+        n = len(batch)
+        state = self._state
+        if not self.vectorized:
+            reduce_fn = self.reduce_fn
+            kd = batch.key_dict
+            get_existing = state.get_existing
+            put = state.put
+            results: list[Any] = []
+            append = results.append
+            values = batch.values_list()
+            for i, c in enumerate(codes.tolist()):
+                key = kd[c]
+                v = values[i]
+                prev = get_existing(key, _MISSING)
+                if prev is not _MISSING:
+                    v = reduce_fn(prev, v)
+                put(key, v)
+                append(v)
+            out.append(batch.with_values(results, py_values=False))
+        else:
+            order = np.argsort(codes, kind="stable")
+            sorted_codes = codes[order]
+            bounds = np.flatnonzero(np.diff(sorted_codes)) + 1
+            values_arr = batch.values_array()
+            kd = batch.key_dict
+            results = None
+            updates = []
+            for idx in np.split(order, bounds):
+                key = kd[int(codes[idx[0]])]
+                values = values_arr[idx]
+                prev = state.get_existing(key, _MISSING)
+                if prev is not _MISSING:
+                    values = np.concatenate((np.asarray([prev]), values))
+                    acc = self.reduce_fn.accumulate(values)[1:]
+                else:
+                    acc = self.reduce_fn.accumulate(values)
+                updates.append((key, acc[-1]))
+                if results is None:
+                    results = np.empty(n, dtype=acc.dtype)
+                results[idx] = acc
+            state.put_many(updates)
+            out.append(batch.with_values(results, py_values=False))
+        self.processed += n
+        self.emitted += n
+
     def _run_vectorized(self, elements: list[Element],
                         out: list[StreamItem]) -> None:
         state = self._state
@@ -441,10 +604,22 @@ class TimestampAssigner(Operator):
     """Rewrite element timestamps from a field of the value."""
 
     chainable = True
+    has_columnar_kernel = True
 
     def __init__(self, name: str, ts_fn: Callable[[Any], float]) -> None:
         super().__init__(name)
         self.ts_fn = ts_fn
+
+    def _run_columnar(self, batch: RecordBatch,
+                      out: list[StreamItem]) -> None:
+        n = len(batch)
+        ts_fn = self.ts_fn
+        timestamps = np.fromiter((float(ts_fn(v))
+                                  for v in batch.values_list()),
+                                 dtype=np.float64, count=n)
+        out.append(batch.with_timestamps(timestamps))
+        self.processed += n
+        self.emitted += n
 
     def process(self, element: Element) -> list[StreamItem]:
         return [Element(value=element.value, timestamp=float(
@@ -474,6 +649,7 @@ class WatermarkGenerator(Operator):
     """
 
     chainable = True
+    has_columnar_kernel = True
 
     def __init__(self, name: str, max_lateness: float,
                  emit_every: int = 1) -> None:
@@ -527,6 +703,52 @@ class WatermarkGenerator(Operator):
         self._last_wm = last_wm
         self.processed += len(elements)
         self.emitted += len(elements)
+
+    def _run_columnar(self, batch: RecordBatch,
+                      out: list[StreamItem]) -> None:
+        """Vectorized watermark cadence.
+
+        Candidate positions are where the element counter reaches
+        ``emit_every``; candidate watermarks (running-max timestamp minus
+        lateness) are nondecreasing, so the per-item "greater than the
+        last emitted watermark" test reduces to comparing each candidate
+        against its predecessor and the incoming ``_last_wm`` — one
+        vector compare instead of a per-element loop.  The batch is
+        re-emitted as zero-copy slices around the emitted watermarks.
+        """
+        n = len(batch)
+        since = self._since_emit
+        emit_every = self.emit_every
+        run_max = np.maximum.accumulate(batch.timestamps)
+        if self._max_ts != float("-inf"):
+            run_max = np.maximum(run_max, self._max_ts)
+        first = emit_every - 1 - since
+        cand = np.arange(first, n, emit_every, dtype=np.int64)
+        if cand.size:
+            cand_wm = run_max[cand] - self.max_lateness
+            prev = np.empty_like(cand_wm)
+            prev[0] = float("-inf")
+            prev[1:] = cand_wm[:-1]
+            emit = cand_wm > np.maximum(prev, self._last_wm)
+            emit_pos = cand[emit].tolist()
+            emit_wms = cand_wm[emit].tolist()
+        else:
+            emit_pos = []
+            emit_wms = []
+        start = 0
+        for pos, wm in zip(emit_pos, emit_wms):
+            out.append(batch if start == 0 and pos + 1 == n
+                       else batch.slice(start, pos + 1))
+            out.append(Watermark(wm))
+            start = pos + 1
+        if start < n:
+            out.append(batch if start == 0 else batch.slice(start, n))
+        self._max_ts = float(run_max[-1])
+        if emit_wms:
+            self._last_wm = emit_wms[-1]
+        self._since_emit = (since + n) % emit_every
+        self.processed += n
+        self.emitted += n
 
     def on_watermark(self, watermark: Watermark) -> list[StreamItem]:
         return []  # swallow upstream watermarks; we generate our own

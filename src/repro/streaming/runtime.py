@@ -40,7 +40,11 @@ from collections import deque
 from dataclasses import dataclass, field
 from typing import Any, Iterable
 
+import numpy as np
+
 from ..util.errors import BackpressureOverflow, CheckpointError
+from .batch import (ColumnarStream, RecordBatch, decode_items, elements_of,
+                    items_weight, take_prefix)
 from .chain import ChainedOperator
 from .element import Element, StreamItem, Watermark
 from .graph import JobGraph
@@ -121,7 +125,8 @@ class Executor:
 
     def __init__(self, job: JobGraph, channel_capacity: int = 10_000,
                  drop_on_overflow: bool = False, batch_mode: bool = True,
-                 chaining: bool = True, injector: Any = None,
+                 chaining: bool = True, columnar: bool | None = None,
+                 injector: Any = None,
                  tracer: Any = None, metrics: Any = None,
                  profiler: Any = None) -> None:
         job.validate()
@@ -130,6 +135,14 @@ class Executor:
         self.drop_on_overflow = drop_on_overflow
         self.batch_mode = batch_mode
         self.chaining = chaining and batch_mode
+        #: Columnar hot path: sources encode element runs as
+        #: :class:`RecordBatch` columns and operators with columnar
+        #: kernels consume them whole.  Pure representation change —
+        #: sink output and checkpoints are identical; defaults on with
+        #: batch_mode, ``columnar=False`` forces the list-of-Element
+        #: batches (the PR-5-era baseline).
+        self.columnar = batch_mode and (columnar if columnar is not None
+                                        else True)
         #: optional fault injector (see :mod:`repro.chaos`) — duck-typed
         #: so the streaming layer never imports chaos: anything with
         #: ``intercept_batch(op, items, process)`` and ``before_item(op)``
@@ -157,6 +170,7 @@ class Executor:
         self._source_iters: dict[str, Any] = {}
         self._source_positions: dict[str, int] = {}
         self._source_buffers: dict[str, list[Element]] = {}
+        self._source_streams: dict[str, ColumnarStream] = {}
         self.backpressure_events = 0
         self.dropped_overflow = 0
         self._checkpoint_seq = 0
@@ -229,19 +243,33 @@ class Executor:
         rewind by index.  Real systems rewind via log offsets; our
         eventlog-backed sources do exactly that through ``log_source``."""
         if name not in self._source_buffers:
-            self._source_buffers[name] = list(self.job.sources[name].iterate())
+            raw = list(self.job.sources[name].iterate())
+            # Connectors may yield pre-encoded RecordBatches; the flat
+            # element buffer stays canonical (checkpoint positions index
+            # it), the columnar stream splices them in zero-copy.
+            if RecordBatch in map(type, raw):
+                self._source_buffers[name] = decode_items(raw)
+            else:
+                self._source_buffers[name] = raw
             self._source_positions.setdefault(name, 0)
+            if self.columnar:
+                self._source_streams[name] = ColumnarStream(raw)
         return self._source_buffers[name]
 
-    def _pull_sources(self, batch: int) -> list[tuple[str, list[Element]]]:
-        pulled: list[tuple[str, list[Element]]] = []
+    def _pull_sources(self, batch: int) -> list[tuple[str, list[StreamItem]]]:
+        pulled: list[tuple[str, list[StreamItem]]] = []
         for name in sorted(self.job.sources):
             if name in self._finished_sources:
                 continue
             buffer = self._materialize_source(name)
             pos = self._source_positions[name]
-            take = buffer[pos:pos + batch]
-            self._source_positions[name] = pos + len(take)
+            if self.columnar:
+                take = self._source_streams[name].slice(pos, pos + batch)
+                taken = min(batch, len(buffer) - pos)
+            else:
+                take = buffer[pos:pos + batch]
+                taken = len(take)
+            self._source_positions[name] = pos + taken
             if take:
                 pulled.append((name, take))
             if self._source_positions[name] >= len(buffer):
@@ -274,10 +302,22 @@ class Executor:
     def _offer_batch(self, node: str, side: str | None,
                      items: list[StreamItem]) -> None:
         """Batch equivalent of per-item ``_offer``: identical per-item
-        accounting, computed arithmetically in O(1)."""
+        accounting, computed arithmetically in O(1).
+
+        Columnar batches count element-weighted (a RecordBatch is as many
+        items as it has rows), so backpressure and drop decisions are
+        representation-blind.  The partial-extend paths (drop, raise)
+        split batches at the exact element boundary; the raise path also
+        decodes, so stalled channel *contents* match per-item execution.
+        """
         channel = self._channels[(node, side)]
-        occupancy = len(channel)
-        n = len(items)
+        columnar = self.columnar
+        if columnar:
+            occupancy = items_weight(channel)
+            n = items_weight(items)
+        else:
+            occupancy = len(channel)
+            n = len(items)
         capacity = self.channel_capacity
         if occupancy + n <= capacity:
             channel.extend(items)
@@ -285,7 +325,8 @@ class Executor:
         if self.drop_on_overflow:
             room = max(0, capacity - occupancy)
             if room:
-                channel.extend(items[:room])
+                channel.extend(take_prefix(items, room) if columnar
+                               else items[:room])
             self.dropped_overflow += n - room
             if self.metrics is not None:
                 self.metrics.counter("channel.dropped",
@@ -300,7 +341,8 @@ class Executor:
             # backpressure and extended nothing — diverging from
             # per-item execution in both the counter and the channel.)
             i0 = capacity * 10 - occupancy
-            channel.extend(items[:i0])
+            channel.extend(decode_items(take_prefix(items, i0)) if columnar
+                           else items[:i0])
             events = (i0 + 1) - max(0, min(i0 + 1, capacity - occupancy))
             self.backpressure_events += events
             if self.metrics is not None:
@@ -339,14 +381,17 @@ class Executor:
         for down, side in self._down.get(node, ()):
             sink = self.sinks.get(down)
             if sink is not None:
-                if self.metrics is None:
+                if self.columnar:
+                    delivered = elements_of(items)
+                elif self.metrics is None:
                     sink.elements.extend(
                         item for item in items if isinstance(item, Element))
+                    continue
                 else:
                     delivered = [i for i in items if isinstance(i, Element)]
-                    sink.elements.extend(delivered)
-                    for item in delivered:
-                        self._observe_sink(down, item)
+                sink.elements.extend(delivered)
+                if self.metrics is not None:
+                    self._observe_sink_batch(down, delivered)
             else:
                 self._offer_batch(down, side, items)
 
@@ -367,6 +412,29 @@ class Executor:
         delivered, lag = handles
         delivered.inc()
         lag.observe(self._max_event_ts - ts)
+
+    def _observe_sink_batch(self, sink: str, delivered: list[Element]) -> None:
+        """Vectorized :meth:`_observe_sink` over a delivery batch: the
+        running max of event time is ``np.maximum.accumulate`` seeded
+        with the high-water mark — identical lag samples, one observe."""
+        if not delivered:
+            return
+        handles = self._metric_handles.get(("sink", sink))
+        if handles is None:
+            handles = (self.metrics.counter("sink.delivered", sink=sink),
+                       self.metrics.summary("sink.watermark_lag_s",
+                                            sink=sink))
+            self._metric_handles[("sink", sink)] = handles
+        counter, lag = handles
+        n = len(delivered)
+        ts = np.fromiter((e.timestamp for e in delivered),
+                         dtype=np.float64, count=n)
+        high = np.maximum.accumulate(ts)
+        if self._max_event_ts != float("-inf"):
+            high = np.maximum(high, self._max_event_ts)
+        self._max_event_ts = float(high[-1])
+        counter.inc(n)
+        lag.observe_many((high - ts).tolist())
 
     def _batch_size_summary(self, node: str) -> Any:
         summary = self._metric_handles.get(("batch", node))
@@ -409,6 +477,11 @@ class Executor:
                     pending = self._take_channel(name, side)
                     if pending is None:
                         continue
+                    if self.columnar:
+                        # Joins have no columnar kernel; decode at the
+                        # channel so side-batch processing (and chaos
+                        # interception) see plain elements.
+                        pending = decode_items(pending)
                     moved += len(pending)
                     drained += len(pending)
                     if injector is None:
@@ -423,8 +496,10 @@ class Executor:
                 pending = self._take_channel(name, None)
                 if pending is None:
                     continue
-                moved += len(pending)
-                drained = len(pending)
+                weight = (items_weight(pending) if self.columnar
+                          else len(pending))
+                moved += weight
+                drained = weight
                 if injector is None:
                     out = op.process_batch(pending)
                 else:

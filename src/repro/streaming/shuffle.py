@@ -29,6 +29,7 @@ __all__ = [
     "key_group_range",
     "subtask_for_key_group",
     "subtask_for_key",
+    "subtasks_for_keys",
     "group_by_key_group",
     "merge_key_groups",
 ]
@@ -78,6 +79,17 @@ def subtask_for_key(key: Any, num_key_groups: int, parallelism: int) -> int:
     """Route a key straight to its subtask (hash -> group -> range)."""
     return subtask_for_key_group(key_group_for(key, num_key_groups),
                                  num_key_groups, parallelism)
+
+
+def subtasks_for_keys(keys: Iterable[Any], num_key_groups: int,
+                      parallelism: int) -> list[int]:
+    """Subtask index per key — the dictionary-routing helper behind the
+    columnar hash shuffle: hash each *distinct* key-dictionary entry
+    once, then gather per row through the batch's codes column instead
+    of hashing every element."""
+    return [subtask_for_key_group(key_group_for(k, num_key_groups),
+                                  num_key_groups, parallelism)
+            for k in keys]
 
 
 def group_by_key_group(data: dict[Any, Any],

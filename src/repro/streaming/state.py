@@ -50,6 +50,19 @@ class KeyedState:
     def put(self, key: Any, value: Any) -> None:
         self._data[key] = value
 
+    # -- bulk access (columnar kernels) --------------------------------------
+
+    def get_existing(self, key: Any, default: Any = None) -> Any:
+        """Raw lookup without the default factory — what a grouped
+        reduction wants: distinguish "no accumulator yet" from a
+        factory-made empty one without materializing anything."""
+        return self._data.get(key, default)
+
+    def put_many(self, pairs: Iterable[tuple[Any, Any]]) -> None:
+        """Bulk insert — one C-level dict update for a whole grouped
+        reduction instead of one ``put`` per group."""
+        self._data.update(pairs)
+
     def remove(self, key: Any) -> None:
         self._data.pop(key, None)
 

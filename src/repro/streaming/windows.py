@@ -79,6 +79,17 @@ class TumblingWindows(WindowAssigner):
         self._last = (start, windows)
         return windows
 
+    def assign_starts(self, timestamps):
+        """Vectorized window starts for a float64 timestamp array.
+
+        IEEE-754 float64 arithmetic is identical element-wise to the
+        scalar expression in :meth:`assign`, so grouped (columnar)
+        window assignment lands every element in the same bucket as
+        per-item assignment.
+        """
+        return ((timestamps - self.offset) // self.size) * self.size \
+            + self.offset
+
 
 class SlidingWindows(WindowAssigner):
     """Windows of ``size`` seconds sliding every ``slide`` seconds."""
