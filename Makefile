@@ -4,7 +4,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test chaos chaos-parallel perf robustness obs verify
+.PHONY: test chaos chaos-parallel perf robustness obs elasticity verify
 
 test:  ## tier-1: fast unit/integration/property tests
 	$(PYTHON) -m pytest -x -q
@@ -29,5 +29,8 @@ perf:  ## throughput regression gate vs committed baseline
 robustness:  ## fixed-schedule crash-recovery smoke + recovery-MTTR gate
 	$(PYTHON) tools/check_robustness.py --skip-tests
 
-verify: test perf obs chaos chaos-parallel robustness
+elasticity:  ## autoscale chaos suite + live-rescale SLO/replay gate
+	$(PYTHON) tools/check_elasticity.py
+
+verify: test perf obs chaos chaos-parallel robustness elasticity
 	@echo "verify: all gates passed"

@@ -23,6 +23,7 @@ from .harness import (
 )
 from .injector import ChaosLogCluster, FaultInjector
 from .plan import (
+    RESCALE_PHASES,
     SITE_APPEND,
     SITE_BARRIER,
     SITE_CHANNEL,
@@ -30,6 +31,7 @@ from .plan import (
     SITE_FETCH,
     SITE_OFFLOAD,
     SITE_OPERATOR,
+    SITE_RESCALE,
     SITE_STALL,
     FaultEvent,
     FaultPlan,
@@ -60,4 +62,6 @@ __all__ = [
     "SITE_BARRIER",
     "SITE_COORDINATOR",
     "SITE_STALL",
+    "SITE_RESCALE",
+    "RESCALE_PHASES",
 ]

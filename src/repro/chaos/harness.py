@@ -434,14 +434,18 @@ def reference_events(seed: int = 0, n: int = 400,
 
 def reference_job(elements_or_source: Any,
                   max_lateness: float = 5.0,
-                  window_s: float = 10.0) -> JobGraph:
+                  window_s: float = 10.0,
+                  splits: int | None = None) -> JobGraph:
     """watermarks -> map -> filter -> key_by -> window(sum) -> sink.
 
     The linear head is chainable, the window is a shuffle point, so one
     graph exercises per-item, batched and chained execution paths.
+    ``splits`` pins the source's split count independently of source
+    parallelism — required for rescaling tests, where a checkpoint can
+    only restore into a plan with the same splits.
     """
     builder = JobBuilder("chaos-reference")
-    (builder.source("events", elements_or_source)
+    (builder.source("events", elements_or_source, splits=splits)
             .with_watermarks(max_lateness, name="watermarks")
             .map(lambda v: {"k": v["k"], "v": v["v"] * 2.0}, name="double")
             .filter(lambda v: v["v"] >= 1.0, name="drop_tiny")

@@ -45,6 +45,7 @@ from .plan import (
     SITE_FETCH,
     SITE_OFFLOAD,
     SITE_OPERATOR,
+    SITE_RESCALE,
     SITE_STALL,
     FaultEvent,
     FaultPlan,
@@ -298,6 +299,25 @@ class FaultInjector:
             raise CoordinatorDown(
                 f"injected coordinator crash before finalizing "
                 f"checkpoint {checkpoint_id}")
+
+    def before_rescale(self, phase: str) -> None:
+        """Hook at each phase entry of a live rescale (see
+        :data:`~repro.chaos.plan.RESCALE_PHASES`).  The counters are per
+        phase plus a global one, so a plan can kill the supervisor "on
+        the second savepoint" or "on any third phase entry".  A
+        ``rescale_crash`` raises :class:`OperatorCrash` with
+        ``op_name=None`` — the supervisor recovers the *old* executor
+        from the last finalized checkpoint and retries the rescale, the
+        same way a real control plane restarts after dying mid-scale."""
+        before = self._advance(SITE_RESCALE, (None, phase))
+        spec = self._matching(SITE_RESCALE, "rescale_crash", before)
+        if spec is not None:
+            self._fire(spec, identity=f"rescale:{phase}",
+                       occurrence=before[spec.target],
+                       detail=f"phase {phase}")
+            raise OperatorCrash(
+                f"injected supervisor crash during rescale phase "
+                f"{phase!r}", op_name=None)
 
     # -- eventlog sites ------------------------------------------------------
 

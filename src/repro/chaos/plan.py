@@ -24,7 +24,8 @@ from ..util.rng import make_rng
 
 __all__ = ["FaultSpec", "FaultPlan", "FaultEvent",
            "SITE_OPERATOR", "SITE_APPEND", "SITE_FETCH", "SITE_OFFLOAD",
-           "SITE_CHANNEL", "SITE_BARRIER", "SITE_COORDINATOR", "SITE_STALL"]
+           "SITE_CHANNEL", "SITE_BARRIER", "SITE_COORDINATOR", "SITE_STALL",
+           "SITE_RESCALE", "RESCALE_PHASES"]
 
 SITE_OPERATOR = "streaming.operator"
 SITE_APPEND = "eventlog.append"
@@ -38,6 +39,12 @@ SITE_BARRIER = "streaming.barrier"
 SITE_COORDINATOR = "streaming.coordinator"
 #: one macro-cycle liveness check of a subtask
 SITE_STALL = "streaming.stall"
+#: one phase entry of a live-rescale attempt by the scaling supervisor
+SITE_RESCALE = "streaming.rescale"
+
+#: the rescale state machine's phases, in order; ``rescale_crash``
+#: targets one of these (or None for the global phase-entry counter)
+RESCALE_PHASES = ("decide", "savepoint", "recompile", "restore")
 
 #: kind -> sites where it may be scheduled
 KIND_SITES = {
@@ -60,12 +67,14 @@ KIND_SITES = {
     # fail-silent subtask: skips drain cycles and heartbeats for the
     # window, so only the failure detector can notice
     "subtask_stall": {SITE_STALL},
+    # supervisor death at one phase of a live rescale (target = phase)
+    "rescale_crash": {SITE_RESCALE},
 }
 
 #: kinds that fire exactly once and then disarm (vs. window kinds that
 #: affect every occurrence in [at, at + count)).
 ONE_SHOT_KINDS = {"operator_crash", "torn_append", "barrier_crash",
-                  "coordinator_crash"}
+                  "coordinator_crash", "rescale_crash"}
 
 
 @dataclass(frozen=True)
@@ -103,6 +112,11 @@ class FaultSpec:
             raise ChaosError("count must be >= 1")
         if self.kind == "broker_down" and self.param is None:
             raise ChaosError("broker_down needs param=broker_id")
+        if self.kind == "rescale_crash" and \
+                self.target is not None and self.target not in RESCALE_PHASES:
+            raise ChaosError(
+                f"rescale_crash target must be a phase in "
+                f"{RESCALE_PHASES} or None, got {self.target!r}")
 
     @property
     def end(self) -> int:
@@ -161,6 +175,7 @@ class FaultPlan:
                barrier_crashes: int = 0,
                coordinator_crashes: int = 0,
                stalls: int = 0,
+               rescale_crashes: int = 0,
                name: str = "random") -> "FaultPlan":
         """Draw a deterministic schedule from ``seed``.
 
@@ -227,6 +242,13 @@ class FaultPlan:
         for _ in range(coordinator_crashes):
             specs.append(FaultSpec("coordinator_crash", SITE_COORDINATOR,
                                    at=_at()))
+        for _ in range(rescale_crashes):
+            phase = RESCALE_PHASES[int(rng.integers(len(RESCALE_PHASES)))]
+            # rescale attempts are rare events: keep `at` small so the
+            # crash lands on an attempt that actually happens
+            specs.append(FaultSpec("rescale_crash", SITE_RESCALE,
+                                   at=int(rng.integers(0, 3)),
+                                   target=phase))
         if operators:
             for _ in range(stalls):
                 target = str(operators[int(rng.integers(len(operators)))])

@@ -19,6 +19,7 @@ from .mobility import (
 from .retail import GazeEvent, Product, RetailWorld, Shopper
 from .social import SocialPost, SocialStreamConfig, generate_posts
 from .traffic import Beacon, RingRoadSim, VehicleState
+from .workload import LoadProfile, diurnal_flash_events
 
 __all__ = [
     "Building",
@@ -46,4 +47,6 @@ __all__ = [
     "Beacon",
     "RingRoadSim",
     "VehicleState",
+    "LoadProfile",
+    "diurnal_flash_events",
 ]

@@ -1,5 +1,19 @@
 """Flink-like event-time dataflow engine (single-threaded simulation)."""
 
+from .autoscale import (
+    Autoscaler,
+    AutoscaleReport,
+    GradientPolicy,
+    OperatorSignals,
+    RescaleEvent,
+    ScalingDecision,
+    ScalingPolicy,
+    ScalingSupervisor,
+    SchedulePolicy,
+    ShedPolicy,
+    UtilizationTargetPolicy,
+    run_autoscaled,
+)
 from .barrier import AlignmentResult, BarrierAligner
 from .cep import PatternMatch, PatternOperator, PatternStep
 from .chain import ChainedOperator
@@ -58,6 +72,18 @@ from .windows import (
 )
 
 __all__ = [
+    "OperatorSignals",
+    "ScalingDecision",
+    "ScalingPolicy",
+    "UtilizationTargetPolicy",
+    "GradientPolicy",
+    "SchedulePolicy",
+    "ShedPolicy",
+    "Autoscaler",
+    "RescaleEvent",
+    "AutoscaleReport",
+    "ScalingSupervisor",
+    "run_autoscaled",
     "PatternMatch",
     "PatternOperator",
     "PatternStep",

@@ -211,6 +211,9 @@ class _Pending:
         self.channel_wm: dict[tuple, dict[tuple, float]] = {}
         self.aligned_wm: dict[tuple, float] = {}
         self.rr: dict[tuple[int, int], int] = {}
+        #: shed-tier state captured at the cut (plans + counts), so the
+        #: finalized checkpoint rewinds shed accounting with positions
+        self.shed_state: dict[str, Any] = {}
 
     @property
     def complete(self) -> bool:
@@ -279,6 +282,15 @@ class CheckpointCoordinator:
         self.clock.advance(self.cycle_seconds)
         self.maybe_finalize()
 
+    @property
+    def in_progress(self) -> int | None:
+        """Checkpoint id currently being assembled, or None.  The
+        scaling supervisor waits this out before cutting a savepoint
+        (one checkpoint in progress at a time is a coordinator
+        invariant)."""
+        return (self._pending.checkpoint_id
+                if self._pending is not None else None)
+
     def heartbeat(self, subtask: str) -> None:
         self.monitor.beat(subtask)
 
@@ -306,6 +318,7 @@ class CheckpointCoordinator:
             checkpoint_id=cid, started_at=self.clock.now,
             source_positions=positions, expected_subtasks=expected,
             expected_sinks=set(executor.sinks))
+        self._pending.shed_state = executor.shed_state_snapshot()
         self.store.record(CheckpointManifest(
             checkpoint_id=cid, started_at=self.clock.now,
             source_positions=positions))
@@ -431,6 +444,7 @@ class CheckpointCoordinator:
             },
             in_flight={k: list(v) for k, v in pending.in_flight.items()
                        if v},
+            shed_state=dict(pending.shed_state),
         )
         manifest = self.store.manifests[cid]
         manifest.finalized_at = self.clock.now

@@ -284,6 +284,11 @@ class ParallelCheckpoint:
     #: on restore; non-empty in-flight state pins the plan shape (an
     #: unaligned checkpoint cannot be restored at another parallelism).
     in_flight: dict[tuple, list] = field(default_factory=dict)
+    #: load-shedding tier state: active per-source shed plans plus the
+    #: per-source shed counts *as of this checkpoint's cut*, so a
+    #: restore rewinds shed accounting together with source positions
+    #: (replayed input re-sheds the same elements, counted once).
+    shed_state: dict[str, Any] = field(default_factory=dict)
 
 
 class ParallelExecutor:
@@ -330,6 +335,17 @@ class ParallelExecutor:
         self.unaligned_after = unaligned_after
         self.backpressure_events = 0
         self.dropped_overflow = 0
+        #: elements dropped by the load-shedding tier (a subset of
+        #: ``dropped_overflow``: shed counts flow through the same
+        #: drop-accounting total the equivalence suites reconcile)
+        self.shed_elements = 0
+        self._shed: dict[str, tuple[int, int, int]] = {}
+        self._shed_by_source: dict[str, int] = {}
+        #: event-time frontiers for the live watermark-lag gauge:
+        #: max timestamp pulled from any source / delivered per sink
+        self._source_frontier = float("-inf")
+        self._sink_frontier: dict[str, float] = {}
+        self._gauge_cache: dict[str, Any] | None = None
         self._checkpoint_seq = 0
         self._flushed = False
         self._job_span: Any = None
@@ -608,6 +624,7 @@ class ParallelExecutor:
             buffers = self._materialize_source(name)
             positions = self._split_positions[name]
             finished = self._finished_splits[name]
+            shed_plan = self._shed.get(name)
             for idx, splits in enumerate(self._source_assignment[name]):
                 started = time.perf_counter()
                 taken = (self._take_merged_columnar(name, idx, splits,
@@ -621,9 +638,134 @@ class ParallelExecutor:
                 elif taken:
                     pulled += items_weight(taken)
                 if taken:
+                    self._note_source_progress(taken)
+                    if shed_plan is not None:
+                        taken = self._shed_filter(name, taken, shed_plan)
+                if taken:
                     self._emit(name, idx, taken)
                 self._lane_cycle[idx] += time.perf_counter() - started
         return pulled
+
+    def _note_source_progress(self, taken: list[StreamItem]) -> None:
+        """Advance the source event-time frontier (merged pulls are
+        time-ordered, so the last item carries the batch maximum)."""
+        last = taken[-1]
+        ts = (float(last.timestamps[-1]) if type(last) is RecordBatch
+              else last.timestamp)
+        if ts > self._source_frontier:
+            self._source_frontier = ts
+
+    # -- load shedding ---------------------------------------------------------
+
+    #: Fibonacci-hash multiplier for the shed decision (SplitMix64 mix)
+    _SHED_MIX = 0x9E3779B97F4A7C15
+
+    @staticmethod
+    def _shed_mask(ts: np.ndarray, keep: int, mod: int,
+                   salt: int) -> np.ndarray:
+        """Keep-mask over element timestamps.  The decision hashes the
+        raw float64 timestamp bits, so it depends only on element
+        *content* — never on read positions or batch boundaries.  That
+        makes shedding crash-consistent: a replay after restore sheds
+        exactly the same elements, in every execution mode."""
+        bits = np.ascontiguousarray(ts, dtype=np.float64).view(np.uint64)
+        h = (bits ^ np.uint64(salt)) * np.uint64(ParallelExecutor._SHED_MIX)
+        h ^= h >> np.uint64(31)
+        return (h % np.uint64(mod)) < np.uint64(keep)
+
+    def set_shedding(self, source: str, keep: int, mod: int, *,
+                     salt: int = 0) -> None:
+        """Activate the load-shedding tier on one source: admit a
+        deterministic ``keep/mod`` fraction of its elements and drop the
+        rest at the pull boundary (before they enter any channel or
+        operator).  Shed elements are counted in ``shed_elements`` and
+        ``dropped_overflow`` — the existing drop-accounting path — and
+        never reach operators or sinks, so exactly-once for *committed*
+        records is preserved by construction."""
+        if source not in self.job.sources:
+            raise JobGraphError(f"unknown source {source!r}")
+        if mod < 1 or not 0 <= keep <= mod:
+            raise JobGraphError(
+                f"shed ratio needs 0 <= keep <= mod, got {keep}/{mod}")
+        if keep == mod:
+            self._shed.pop(source, None)
+        else:
+            self._shed[source] = (int(keep), int(mod), int(salt))
+
+    def clear_shedding(self, source: str) -> None:
+        """Deactivate shedding on one source (already-shed counts stay)."""
+        self._shed.pop(source, None)
+
+    def _shed_filter(self, name: str, taken: list[StreamItem],
+                     plan: tuple[int, int, int]) -> list[StreamItem]:
+        keep, mod, salt = plan
+        shed = 0
+        out: list[StreamItem] = []
+        if type(taken[0]) is RecordBatch:
+            for rb in taken:
+                mask = self._shed_mask(rb.timestamps, keep, mod, salt)
+                kept = int(mask.sum())
+                if kept == len(rb):
+                    out.append(rb)
+                    continue
+                shed += len(rb) - kept
+                if kept:
+                    out.append(rb.compress(mask))
+        else:
+            # Progress markers (watermarks) always pass; elements run
+            # through the same vectorized mask as the columnar path so
+            # the shed *set* is bit-identical across modes.
+            elems = [(i, it) for i, it in enumerate(taken)
+                     if type(it) is Element]
+            if not elems:
+                return taken
+            ts = np.fromiter((it.timestamp for _, it in elems),
+                             dtype=np.float64, count=len(elems))
+            mask = self._shed_mask(ts, keep, mod, salt)
+            if bool(mask.all()):
+                return taken
+            dropped = {elems[j][0] for j in range(len(elems))
+                       if not mask[j]}
+            shed = len(dropped)
+            out = [it for i, it in enumerate(taken) if i not in dropped]
+        if shed:
+            self.shed_elements += shed
+            self.dropped_overflow += shed
+            self._shed_by_source[name] = \
+                self._shed_by_source.get(name, 0) + shed
+            if self.metrics is not None:
+                self.metrics.counter("source.shed", source=name).inc(shed)
+        return out
+
+    def shed_state_snapshot(self) -> dict[str, Any]:
+        """Shed-tier state for a checkpoint: active plans + per-source
+        shed counts at the cut (see ``ParallelCheckpoint.shed_state``)."""
+        return {"plans": {k: list(v) for k, v in self._shed.items()},
+                "shed": dict(self._shed_by_source)}
+
+    def apply_shed_state(self, state: dict[str, Any],
+                         sources: Iterable[str] | None = None) -> None:
+        """Restore shed plans and rewind shed counters to a checkpoint's
+        cut.  Counter rewinds adjust ``dropped_overflow`` by the same
+        delta, so overflow-drop accounting is untouched.  ``sources``
+        limits the rewind (regional recovery)."""
+        if not state:
+            return  # pre-shed-tier checkpoint: nothing to rewind
+        plans = {k: tuple(v) for k, v in state.get("plans", {}).items()}
+        counts = state.get("shed", {})
+        names = self.job.sources if sources is None else sources
+        for name in names:
+            if name in plans:
+                self._shed[name] = plans[name]  # type: ignore[assignment]
+            else:
+                self._shed.pop(name, None)
+            snap = int(counts.get(name, 0))
+            cur = self._shed_by_source.get(name, 0)
+            if snap != cur:
+                self.dropped_overflow = max(
+                    0, self.dropped_overflow + snap - cur)
+                self.shed_elements += snap - cur
+                self._shed_by_source[name] = snap
 
     @staticmethod
     def _take_merged(buffers: dict[int, list[Element]],
@@ -917,9 +1059,12 @@ class ParallelExecutor:
                     continue
                 delivered = elements_of(items)
                 sink.elements.extend(delivered)
-                if self.metrics is not None and delivered:
-                    self.metrics.counter("sink.delivered",
-                                         sink=edge.down).inc(len(delivered))
+                if delivered:
+                    self._note_sink_delivery(edge.down, delivered)
+                    if self.metrics is not None:
+                        self.metrics.counter(
+                            "sink.delivered",
+                            sink=edge.down).inc(len(delivered))
                 continue
             if edge.mode == FORWARD:
                 self._offer((edge.down, up_idx, edge.side), (up, up_idx),
@@ -1013,6 +1158,7 @@ class ParallelExecutor:
             if isinstance(item, CheckpointBarrier):
                 if batch:
                     sink.deliver(batch, feeder)
+                    self._note_sink_delivery(sink_name, batch)
                     delivered += len(batch)
                     batch = []
                 cid = sink.on_barrier(feeder, item.checkpoint_id)
@@ -1024,10 +1170,20 @@ class ParallelExecutor:
                 batch.append(item)
         if batch:
             sink.deliver(batch, feeder)
+            self._note_sink_delivery(sink_name, batch)
             delivered += len(batch)
         if self.metrics is not None and delivered:
             self.metrics.counter("sink.delivered",
                                  sink=sink_name).inc(delivered)
+
+    def _note_sink_delivery(self, sink_name: str,
+                            elements: list[Element]) -> None:
+        """Advance a sink's event-time frontier (feeds the live
+        ``sink.watermark_lag_s`` gauge)."""
+        ts = max(e.timestamp for e in elements)
+        last = self._sink_frontier.get(sink_name)
+        if last is None or ts > last:
+            self._sink_frontier[sink_name] = ts
 
     # -- watermark alignment -------------------------------------------------
 
@@ -1356,6 +1512,12 @@ class ParallelExecutor:
             self._tick_aligners()
             self._end_cycle()
             self._cycle += 1
+            # Live refresh: gauges used to be set only at end-of-run,
+            # which starved any observer of a running job (the
+            # autoscaler most of all).  Publishing per macro cycle keeps
+            # backpressure/progress/watermark-lag gauges current.
+            if self.metrics is not None:
+                self._publish_metrics()
             if coordinator is not None:
                 coordinator.on_cycle_end(self)
             cycles += 1
@@ -1429,6 +1591,20 @@ class ParallelExecutor:
         """The per-subtask clones of one logical operator."""
         return list(self._clones[operator])
 
+    def source_item_timestamps(self, name: str) -> list[float]:
+        """Timestamps of every item in one source's split buffers, in
+        split order.  The scaling supervisor sorts these once to build
+        its deterministic arrival model (how many elements have
+        "arrived" by sim-time t)."""
+        buffers = self._materialize_source(name)
+        return [item.timestamp
+                for _, buf in sorted(buffers.items()) for item in buf]
+
+    def source_pulled(self, name: str) -> int:
+        """Total items pulled so far across one source's splits."""
+        self._materialize_source(name)
+        return sum(self._split_positions[name].values())
+
     # -- checkpoints -----------------------------------------------------------
 
     def checkpoint(self) -> ParallelCheckpoint:
@@ -1477,6 +1653,7 @@ class ParallelExecutor:
                 "aligned_wm": dict(self._aligned_wm),
                 "rr": dict(self._rr),
             },
+            shed_state=self.shed_state_snapshot(),
         )
         if self.profiler is not None:
             self.profiler.record("checkpoint.duration_s", started)
@@ -1588,6 +1765,7 @@ class ParallelExecutor:
                     items)
         for aligner in self._aligners.values():
             aligner.reset()
+        self.apply_shed_state(checkpoint.shed_state)
         self._flushed = False
         if self._coordinator is not None:
             self._coordinator.on_executor_restored()
@@ -1691,6 +1869,9 @@ class ParallelExecutor:
         for (name, idx), aligner in self._aligners.items():
             if name in region:
                 aligner.reset()
+        self.apply_shed_state(
+            checkpoint.shed_state,
+            sources=[n for n in self.job.sources if n in region])
         self._flushed = False
         if self._coordinator is not None:
             self._coordinator.on_executor_restored()
@@ -1783,21 +1964,49 @@ class ParallelExecutor:
         self._job_span.end()
 
     def _publish_metrics(self) -> None:
+        """Publish executor/operator/sink gauges.  Called every macro
+        cycle (live refresh) and at end-of-run; handles are cached so
+        the per-cycle cost is attribute sets, not label rendering."""
         if self.metrics is None:
             return
-        self.metrics.gauge("executor.backpressure_events").set(
-            self.backpressure_events)
-        self.metrics.gauge("executor.dropped_overflow").set(
-            self.dropped_overflow)
-        self.metrics.gauge("executor.modeled_makespan_s").set(
-            self.modeled_makespan_s)
-        self.metrics.gauge("executor.serial_busy_s").set(self.serial_busy_s)
-        for name in self.job.operators:
-            processed, emitted = self.logical_counters(name)
-            self.metrics.gauge("op.processed", op=name).set(processed)
-            self.metrics.gauge("op.emitted", op=name).set(emitted)
-            for clone in self._clones[name]:
-                self.metrics.gauge("subtask.processed",
-                                   op=clone.name).set(clone.processed)
-        for name, buf in self.sinks.items():
-            self.metrics.gauge("sink.size", sink=name).set(len(buf))
+        cache = self._gauge_cache
+        if cache is None:
+            m = self.metrics
+            cache = self._gauge_cache = {
+                "backpressure": m.gauge("executor.backpressure_events"),
+                "dropped": m.gauge("executor.dropped_overflow"),
+                "shed": m.gauge("executor.shed_elements"),
+                "makespan": m.gauge("executor.modeled_makespan_s"),
+                "busy": m.gauge("executor.serial_busy_s"),
+                "ops": [
+                    (m.gauge("op.processed", op=name),
+                     m.gauge("op.emitted", op=name),
+                     [(clone, m.gauge("subtask.processed", op=clone.name))
+                      for clone in self._clones[name]])
+                    for name in self.job.operators
+                ],
+                "sinks": [
+                    (name, buf, m.gauge("sink.size", sink=name),
+                     m.gauge("sink.watermark_lag_s", sink=name))
+                    for name, buf in self.sinks.items()
+                ],
+            }
+        cache["backpressure"].set(self.backpressure_events)
+        cache["dropped"].set(self.dropped_overflow)
+        cache["shed"].set(self.shed_elements)
+        cache["makespan"].set(self.modeled_makespan_s)
+        cache["busy"].set(self.serial_busy_s)
+        for g_processed, g_emitted, clones in cache["ops"]:
+            processed = emitted = 0
+            for clone, g_sub in clones:
+                g_sub.set(clone.processed)
+                processed += clone.processed
+                emitted += clone.emitted
+            g_processed.set(processed)
+            g_emitted.set(emitted)
+        frontier = self._source_frontier
+        for name, buf, g_size, g_lag in cache["sinks"]:
+            g_size.set(len(buf))
+            last = self._sink_frontier.get(name)
+            if last is not None and frontier > float("-inf"):
+                g_lag.set(max(0.0, frontier - last))

@@ -38,6 +38,7 @@ from repro.chaos import (
     two_region_job,
 )
 from repro.eventlog.broker import LogCluster, TopicConfig
+from repro.streaming import JobBuilder, SchedulePolicy, ScalingSupervisor, ShedPolicy
 from repro.streaming.txn_sink import TransactionalLogSink
 
 MODES = ((False, False), (True, False), (True, True))
@@ -257,6 +258,83 @@ class TestRegionalRecoverySweeps:
         # the cut region has no source to rewind, so recovery falls
         # back to a full restore — but correctness must hold either way
         assert canonical_sinks(report.sink_values) == canonical_sinks(golden)
+
+
+SHED = ShedPolicy(trigger_wait_s=0.0, release_wait_s=0.0, keep=2, mod=3)
+
+
+def _shed_run(plan, *, seed=7, n=400, schedule=None, **kwargs):
+    """A coordinated run with always-on deterministic shedding (the
+    trigger threshold of zero activates the tier from element zero, so
+    the golden and the chaos run shed the identical subset)."""
+    events = reference_events(seed=seed, n=n, keys=4)
+    injector = FaultInjector(plan) if plan is not None else None
+    supervisor = ScalingSupervisor(
+        reference_job(events, splits=4),
+        SchedulePolicy(schedule or {}), injector=injector,
+        parallelism=1, source_batch=32, shed_policy=SHED, **kwargs)
+    return supervisor.run()
+
+
+class TestShedExactlyOnceSmoke:
+    """Unmarked: the shed tier's accounting stays inside tier 1."""
+
+    def test_shed_plus_committed_accounts_for_every_element(self):
+        # passthrough job: every admitted element reaches the sink, so
+        # committed + shed must partition the input exactly, and the
+        # shed set never leaks into the transactional sink
+        events = reference_events(seed=5, n=300, keys=4)
+        total = len(events)
+        builder = JobBuilder("shed-passthrough")
+        (builder.source("events", events, splits=4)
+                .map(lambda v: v, name="ident")
+                .sink("out"))
+        supervisor = ScalingSupervisor(
+            builder.build(), SchedulePolicy({}), parallelism=1,
+            source_batch=32, shed_policy=SHED)
+        report = supervisor.run()
+        committed = len(report.sink_values["out"])
+        assert report.shed_total > 0
+        assert committed + report.shed_total == total
+        # shed elements flow through the shared drop-accounting path
+        assert report.dropped_overflow >= report.shed_total
+
+
+@pytest.mark.chaos
+class TestShedExactlyOnceUnderChaos:
+    """Shedding must preserve exactly-once for *committed* records:
+    shed elements appear only in drop accounting, never partially in a
+    transactional sink — across crashes, coordinator loss and rescales
+    (checkpoints carry the shed plans and counts; restores rewind
+    them)."""
+
+    def _golden(self, seed=7, n=400):
+        report = _shed_run(None, seed=seed, n=n)
+        return canonical_sinks(report.sink_values), report.shed_total
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_crash_schedules_shed_identically(self, seed):
+        golden, golden_shed = self._golden(seed=seed % 3)
+        plan = FaultPlan.random(
+            seed + 2100, horizon=60,
+            operators=reference_operator_names(), crashes=2,
+            torn_appends=0, unavailable_windows=0,
+            duplicate_deliveries=0, task_timeouts=0,
+            coordinator_crashes=1, name=f"shed-{seed}")
+        report = _shed_run(plan, seed=seed % 3)
+        assert canonical_sinks(report.sink_values) == golden
+        assert report.shed_total == golden_shed
+
+    def test_shedding_survives_a_live_rescale(self):
+        golden, golden_shed = self._golden()
+        plan = FaultPlan(specs=(
+            FaultSpec("rescale_crash", "streaming.rescale", at=0,
+                      target="restore"),
+        ), name="shed-rescale")
+        report = _shed_run(plan, schedule={1: {"window_sum": 2}})
+        assert len(report.rescales) == 1
+        assert canonical_sinks(report.sink_values) == golden
+        assert report.shed_total == golden_shed
 
 
 @pytest.mark.chaos
