@@ -4,7 +4,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test chaos chaos-parallel perf robustness obs elasticity verify
+.PHONY: test chaos chaos-parallel perf robustness obs elasticity store verify
 
 test:  ## tier-1: fast unit/integration/property tests
 	$(PYTHON) -m pytest -x -q
@@ -32,5 +32,8 @@ robustness:  ## fixed-schedule crash-recovery smoke + recovery-MTTR gate
 elasticity:  ## autoscale chaos suite + live-rescale SLO/replay gate
 	$(PYTHON) tools/check_elasticity.py
 
-verify: test perf obs chaos chaos-parallel robustness elasticity
+store:  ## serving-store chaos suite + exactly-once/latency gate
+	$(PYTHON) tools/check_store.py
+
+verify: test perf obs chaos chaos-parallel robustness elasticity store
 	@echo "verify: all gates passed"

@@ -1,0 +1,179 @@
+"""P8: tiered serving store — point-lookup latency under columnar ingest.
+
+The paper's serving split (Sec 4.1): AR overlays need millisecond
+"latest state for this key" reads while dashboards keep appending
+committed history.  This bench builds the log-structured hot tier to
+**>= 1M distinct keys** (memtable + size-tiered sorted runs, exactly the
+state a long-running deployment accumulates), then measures point
+lookups *interleaved with sustained columnar ingest* into the
+analytical tier — every lookup timed individually so the tail is real,
+not an average hiding compaction stalls.
+
+Reported: per-phase build throughput, hot-tier structure (runs,
+compactions), lookup p50/p99/max, and concurrent analytical ingest
+rate.  The committed gate (``tools/check_store.py``) holds p99 under
+``P99_FLOOR_US`` — set with ~10x headroom over the measured value on
+the reference container so only a structural regression (e.g. lookups
+degrading to full-run scans) trips it.
+
+Results merge into ``BENCH_streaming.json`` under the ``"store"`` key.
+"""
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+sys.path.insert(0, str(Path(__file__).parent))
+
+from repro.store import HotStore, TieredStore, key_repr
+from repro.streaming.element import Element
+
+from platform_stamp import git_sha, platform_stamp
+from tableprint import print_table
+
+SEED = 8
+N_KEYS = 1_000_000
+BUILD_EPOCH_ROWS = 100_000
+INGEST_BATCHES = 25
+INGEST_ROWS = 8_000
+LOOKUPS_PER_BATCH = 400
+NUM_SHARDS = 16
+MEMTABLE_LIMIT = 10_000
+
+#: gate floor for the lookup tail, microseconds (see module docstring)
+P99_FLOOR_US = 2_000.0
+
+
+def _build_hot(store: TieredStore, rng) -> dict:
+    """Populate the hot tier to N_KEYS distinct keys through committed
+    epochs, flushing and compacting as a live deployment would."""
+    started = time.perf_counter()
+    epoch = 0
+    hot = store.hot
+    for base in range(0, N_KEYS, BUILD_EPOCH_ROWS):
+        epoch += 1
+        per_shard = {}
+        for i in range(base, base + BUILD_EPOCH_ROWS):
+            key = f"k-{i:07d}"
+            row = (key_repr(key), float(i % 10_000),
+                   float(rng.uniform(0, 1)))
+            sid = hot.shard_for(key).shard_id
+            per_shard.setdefault(sid, []).append(row)
+        for sid, rows in per_shard.items():
+            hot.shards[sid].apply_epoch(epoch, rows)
+        hot.maintain()
+    elapsed = time.perf_counter() - started
+    return {"build_s": round(elapsed, 2),
+            "build_rows_per_s": round(N_KEYS / elapsed),
+            "epochs": epoch}
+
+
+def _measure(store: TieredStore, rng) -> dict:
+    """Interleave columnar epoch appends with individually timed point
+    lookups against the >= 1M-key hot tier."""
+    latencies = []
+    epoch = 1_000
+    ingest_rows = 0
+    ingest_s = 0.0
+    targets = rng.integers(0, N_KEYS, size=INGEST_BATCHES * LOOKUPS_PER_BATCH)
+    t = 0
+    for _ in range(INGEST_BATCHES):
+        epoch += 1
+        elements = [Element(value=float(rng.uniform(0, 1)),
+                            timestamp=float(i),
+                            key=f"k-{int(rng.integers(N_KEYS)):07d}")
+                    for i in range(INGEST_ROWS)]
+        started = time.perf_counter()
+        store.analytical.append_epoch(epoch, elements)
+        # keep the consolidation cost honest: dashboards read back
+        store.analytical.count(start=0.0)
+        ingest_s += time.perf_counter() - started
+        ingest_rows += INGEST_ROWS
+        for _ in range(LOOKUPS_PER_BATCH):
+            key = f"k-{targets[t]:07d}"
+            t += 1
+            t0 = time.perf_counter_ns()
+            value = store.point(key)
+            latencies.append(time.perf_counter_ns() - t0)
+            assert value is not None
+    lat_us = np.asarray(latencies, dtype=np.float64) / 1_000.0
+    return {
+        "lookups": len(latencies),
+        "lookup_p50_us": round(float(np.percentile(lat_us, 50)), 1),
+        "lookup_p99_us": round(float(np.percentile(lat_us, 99)), 1),
+        "lookup_max_us": round(float(lat_us.max()), 1),
+        "ingest_rows": ingest_rows,
+        "ingest_rows_per_s": round(ingest_rows / ingest_s),
+    }
+
+
+def run_experiment() -> dict:
+    rng = np.random.default_rng(SEED)
+    store = TieredStore(num_shards=NUM_SHARDS,
+                        memtable_limit=MEMTABLE_LIMIT,
+                        metric_fn=lambda v: float(v))
+    build = _build_hot(store, rng)
+    assert store.hot.rows >= N_KEYS
+    measure = _measure(store, rng)
+    hot_stats = store.hot.stats()
+    results = {
+        "config": {"keys": N_KEYS, "num_shards": NUM_SHARDS,
+                   "memtable_limit": MEMTABLE_LIMIT,
+                   "ingest_batches": INGEST_BATCHES,
+                   "ingest_rows_per_batch": INGEST_ROWS,
+                   "p99_floor_us": P99_FLOOR_US},
+        "store": {**build, **measure,
+                  "hot_rows": store.hot.rows,
+                  "runs": int(sum(s["runs"]
+                                  for s in hot_stats["shards"])),
+                  "compactions": int(sum(s["compactions"]
+                                         for s in hot_stats["shards"])),
+                  "analytical_rows": store.analytical.rows},
+    }
+    return results
+
+
+def report(results: dict) -> None:
+    s = results["store"]
+    print_table(
+        f"P8  tiered serving store ({results['config']['keys']:,} keys, "
+        f"{s['ingest_rows']:,} rows concurrent columnar ingest)",
+        ["metric", "value"],
+        [["hot build rows/s", f"{s['build_rows_per_s']:,}"],
+         ["sorted runs (all shards)", str(s["runs"])],
+         ["compactions", str(s["compactions"])],
+         ["point lookup p50", f"{s['lookup_p50_us']} us"],
+         ["point lookup p99", f"{s['lookup_p99_us']} us"],
+         ["point lookup max", f"{s['lookup_max_us']} us"],
+         ["columnar ingest rows/s", f"{s['ingest_rows_per_s']:,}"],
+         ["analytical rows", f"{s['analytical_rows']:,}"]],
+        note=f"gate: tools/check_store.py holds p99 < "
+             f"{P99_FLOOR_US:.0f} us with lookups interleaved into "
+             "live ingest")
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--out", type=Path,
+                        default=Path(__file__).parent
+                        / "BENCH_streaming.json")
+    args = parser.parse_args()
+    results = run_experiment()
+    report(results)
+    merged: dict = {}
+    if args.out.exists():
+        merged = json.loads(args.out.read_text())
+    merged["store"] = results["store"]
+    merged["store_config"] = results["config"]
+    merged["platform"] = platform_stamp()
+    merged["git_sha"] = git_sha()
+    args.out.write_text(json.dumps(merged, indent=2) + "\n")
+    print(f"\nresults merged into {args.out}")
+
+
+if __name__ == "__main__":
+    main()

@@ -24,6 +24,7 @@ SUBSYSTEMS = [
     ("repro.simnet", "deterministic discrete-event simulation"),
     ("repro.context", "semantic entities, ARML, interpretation"),
     ("repro.datagen", "seeded workload generators"),
+    ("repro.store", "tiered serving store: hot + analytical tiers"),
     ("repro.apps", "retail/tourism/healthcare/public/education"),
 ]
 

@@ -196,6 +196,50 @@ class HealthcareApp:
         sinks = Executor(builder.build()).run()
         return list(sinks["matches"].values)
 
+    # -- tiered serving store ----------------------------------------------
+
+    def build_serving_store(self, *, parallelism: int = 1,
+                            ttl_s: float | None = None,
+                            injector=None):
+        """Stream the vitals topic into a tiered serving store, exactly
+        once: the hot tier answers "latest vitals for this patient" for
+        the bedside overlay, the analytical tier backs the ward
+        dashboard.  Returns the :class:`~repro.store.TieredStore`."""
+        from ..store import serve_topic
+
+        store, report = serve_topic(
+            self.pipeline.log, VITALS_TOPIC, parallelism=parallelism,
+            ttl_s=ttl_s, metric_fn=lambda v: v["value"],
+            injector=injector, name="health-serving")
+        self.serving_store = store
+        self.serving_report = report
+        return store
+
+    def latest_vitals(self, patient_id: str) -> dict[str, tuple]:
+        """Hot-tier point lookups: vital -> (timestamp, value) for the
+        bedside AR overlay.  Requires :meth:`build_serving_store`."""
+        store = getattr(self, "serving_store", None)
+        if store is None:
+            raise PipelineError("call build_serving_store() first")
+        if patient_id not in self.patients:
+            raise PipelineError(f"unknown patient {patient_id!r}")
+        out: dict[str, tuple] = {}
+        for vital in VITALS:
+            versions = store.latest(f"{patient_id}:{vital}", 1)
+            if versions:
+                ts, value = versions[0]
+                out[vital] = (ts, value["value"])
+        return out
+
+    def vitals_dashboard(self, window_s: float = 60.0,
+                         agg: str = "mean") -> dict:
+        """Analytical-tier ward dashboard: per-(patient, vital) tumbling
+        aggregate over the committed history."""
+        store = getattr(self, "serving_store", None)
+        if store is None:
+            raise PipelineError("call build_serving_store() first")
+        return store.tumbling(window_s, agg)
+
     # -- bedside overlay ----------------------------------------------------
 
     def publish_ehr_overlay(self, patient_id: str) -> int:

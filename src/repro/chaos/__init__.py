@@ -33,6 +33,8 @@ from .plan import (
     SITE_OPERATOR,
     SITE_RESCALE,
     SITE_STALL,
+    SITE_STORE,
+    STORE_PHASES,
     FaultEvent,
     FaultPlan,
     FaultSpec,
@@ -64,4 +66,6 @@ __all__ = [
     "SITE_STALL",
     "SITE_RESCALE",
     "RESCALE_PHASES",
+    "SITE_STORE",
+    "STORE_PHASES",
 ]

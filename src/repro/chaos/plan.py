@@ -25,7 +25,7 @@ from ..util.rng import make_rng
 __all__ = ["FaultSpec", "FaultPlan", "FaultEvent",
            "SITE_OPERATOR", "SITE_APPEND", "SITE_FETCH", "SITE_OFFLOAD",
            "SITE_CHANNEL", "SITE_BARRIER", "SITE_COORDINATOR", "SITE_STALL",
-           "SITE_RESCALE", "RESCALE_PHASES"]
+           "SITE_RESCALE", "RESCALE_PHASES", "SITE_STORE", "STORE_PHASES"]
 
 SITE_OPERATOR = "streaming.operator"
 SITE_APPEND = "eventlog.append"
@@ -41,10 +41,18 @@ SITE_COORDINATOR = "streaming.coordinator"
 SITE_STALL = "streaming.stall"
 #: one phase entry of a live-rescale attempt by the scaling supervisor
 SITE_RESCALE = "streaming.rescale"
+#: one phase entry of a serving-store epoch apply (StoreSink)
+SITE_STORE = "store.apply"
 
 #: the rescale state machine's phases, in order; ``rescale_crash``
 #: targets one of these (or None for the global phase-entry counter)
 RESCALE_PHASES = ("decide", "savepoint", "recompile", "restore")
+
+#: the store apply protocol's phases; ``store_crash`` targets one of
+#: these (or None for the global counter): ``stage`` builds the epoch's
+#: rows off to the side, ``apply`` installs them, ``compact`` merges
+#: sorted runs afterwards
+STORE_PHASES = ("stage", "apply", "compact")
 
 #: kind -> sites where it may be scheduled
 KIND_SITES = {
@@ -69,12 +77,14 @@ KIND_SITES = {
     "subtask_stall": {SITE_STALL},
     # supervisor death at one phase of a live rescale (target = phase)
     "rescale_crash": {SITE_RESCALE},
+    # serving-store death at one phase of an epoch apply (target = phase)
+    "store_crash": {SITE_STORE},
 }
 
 #: kinds that fire exactly once and then disarm (vs. window kinds that
 #: affect every occurrence in [at, at + count)).
 ONE_SHOT_KINDS = {"operator_crash", "torn_append", "barrier_crash",
-                  "coordinator_crash", "rescale_crash"}
+                  "coordinator_crash", "rescale_crash", "store_crash"}
 
 
 @dataclass(frozen=True)
@@ -117,6 +127,11 @@ class FaultSpec:
             raise ChaosError(
                 f"rescale_crash target must be a phase in "
                 f"{RESCALE_PHASES} or None, got {self.target!r}")
+        if self.kind == "store_crash" and \
+                self.target is not None and self.target not in STORE_PHASES:
+            raise ChaosError(
+                f"store_crash target must be a phase in "
+                f"{STORE_PHASES} or None, got {self.target!r}")
 
     @property
     def end(self) -> int:
@@ -176,6 +191,7 @@ class FaultPlan:
                coordinator_crashes: int = 0,
                stalls: int = 0,
                rescale_crashes: int = 0,
+               store_crashes: int = 0,
                name: str = "random") -> "FaultPlan":
         """Draw a deterministic schedule from ``seed``.
 
@@ -248,6 +264,13 @@ class FaultPlan:
             # crash lands on an attempt that actually happens
             specs.append(FaultSpec("rescale_crash", SITE_RESCALE,
                                    at=int(rng.integers(0, 3)),
+                                   target=phase))
+        for _ in range(store_crashes):
+            phase = STORE_PHASES[int(rng.integers(len(STORE_PHASES)))]
+            # an epoch apply happens once per finalized checkpoint —
+            # keep `at` small so the crash lands on a real apply
+            specs.append(FaultSpec("store_crash", SITE_STORE,
+                                   at=int(rng.integers(0, 4)),
                                    target=phase))
         if operators:
             for _ in range(stalls):

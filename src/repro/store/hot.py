@@ -1,0 +1,347 @@
+"""Log-structured hot store: the headset-facing point-lookup tier.
+
+The paper's serving split (Sec 4.1) needs "latest state for this key"
+answered in microseconds while ingest runs continuously.  This module
+is the write-optimized half of the tiered store:
+
+- **Shards** own contiguous key-group ranges (the same FNV key-group →
+  range assignment the streaming engine shuffles by, see
+  :mod:`repro.streaming.shuffle`), so a key's serving shard is as
+  deterministic as its processing subtask.
+- Each shard is a small LSM tree: an append-only **memtable** (dict of
+  per-key version lists) absorbing writes at O(1), flushed into
+  immutable **sorted runs** whose rows order by
+  ``(key, -timestamp, -seq)`` — reverse-timestamp row keys, so "latest
+  N versions of a key" is a prefix scan from one bisect.
+- **Size-tiered compaction** merges runs of similar size when a tier
+  collects ``tier_fanout`` of them, bounding run count (and therefore
+  lookup fan-out) logarithmically in total rows.
+- **TTL expiry** runs on :class:`~repro.util.clock.SimClock`: reads
+  filter expired versions, compaction drops them, and ``expire()``
+  forces a deterministic full sweep — no wall clock anywhere.
+
+Mutations enter **only** through :meth:`HotShard.apply_epoch`, the
+install half of the store's epoch-apply protocol (see
+:mod:`repro.store.sink`): all failure-prone work (key encoding, list
+building) happens while staging; the install is a short sequence of
+container mutations ending with ``last_applied_epoch = epoch``, so a
+crash at any injected fault site leaves the shard either fully at the
+old epoch or fully at the new one — never in between.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from typing import Any, Iterable
+
+from ..streaming.shuffle import (
+    DEFAULT_KEY_GROUPS,
+    key_group_for,
+    subtask_for_key_group,
+)
+from ..util.clock import SimClock
+from ..util.errors import StoreError
+
+__all__ = ["HotShard", "HotStore", "SortedRun", "key_repr"]
+
+
+def key_repr(key: Any) -> str:
+    """Canonical row-key form of a stream key: its ``repr``.
+
+    The same canonicalization :func:`key_group_for` hashes, so row
+    ordering and shard routing agree on what a key *is*.
+    """
+    return repr(key)
+
+
+class SortedRun:
+    """One immutable sorted run.
+
+    Rows are ``(key_repr, -timestamp, -seq, timestamp, value)`` tuples
+    sorted by their first three fields; values are never compared.  A
+    probe tuple ``(key_repr,)`` bisects to the first (newest) row of
+    the key — prefix scans from there are the whole read API.
+    """
+
+    __slots__ = ("rows",)
+
+    def __init__(self, rows: list[tuple]) -> None:
+        self.rows = rows
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def scan_key(self, kr: str, limit: int,
+                 min_ts: float | None) -> list[tuple[float, int, Any]]:
+        """Up to ``limit`` newest live versions of one key:
+        ``(timestamp, seq, value)`` tuples, newest first."""
+        rows = self.rows
+        i = bisect_left(rows, (kr,))
+        out: list[tuple[float, int, Any]] = []
+        while i < len(rows) and len(out) < limit:
+            row = rows[i]
+            if row[0] != kr:
+                break
+            ts = row[3]
+            if min_ts is None or ts >= min_ts:
+                out.append((ts, -row[2], row[4]))
+            i += 1
+        return out
+
+    def live_rows(self, min_ts: float | None) -> Iterable[tuple]:
+        if min_ts is None:
+            return iter(self.rows)
+        return (row for row in self.rows if row[3] >= min_ts)
+
+
+class HotShard:
+    """One key-range shard: memtable + sorted runs + compaction."""
+
+    def __init__(self, shard_id: int, *, clock: SimClock | None = None,
+                 ttl_s: float | None = None, memtable_limit: int = 4096,
+                 tier_fanout: int = 4) -> None:
+        if memtable_limit < 1:
+            raise StoreError("memtable_limit must be >= 1")
+        if tier_fanout < 2:
+            raise StoreError("tier_fanout must be >= 2")
+        self.shard_id = shard_id
+        self.clock = clock
+        self.ttl_s = ttl_s
+        self.memtable_limit = memtable_limit
+        self.tier_fanout = tier_fanout
+        #: epoch of the last applied commit; the double-apply guard
+        self.last_applied_epoch = 0
+        #: key_repr -> [(ts, seq, value), ...] in apply order
+        self._mem: dict[str, list[tuple[float, int, Any]]] = {}
+        self._mem_rows = 0
+        self._runs: list[SortedRun] = []
+        self._seq = 0
+        self.flushes = 0
+        self.compactions = 0
+
+    # -- TTL -----------------------------------------------------------------
+
+    def _min_ts(self) -> float | None:
+        if self.ttl_s is None or self.clock is None:
+            return None
+        return self.clock.now - self.ttl_s
+
+    # -- epoch apply (the only mutation path) --------------------------------
+
+    def stage_epoch(self, epoch: int, rows: list[tuple[str, float, Any]]
+                    ) -> tuple | None:
+        """Build everything the install needs, off to the side.
+
+        ``rows`` are ``(key_repr, timestamp, value)`` in commit order.
+        Returns an opaque staged token (or ``None`` when the epoch is
+        already applied — restore/rescale re-drives hit this guard).
+        Nothing observable changes; a crash after staging costs only
+        the scratch work.
+        """
+        if epoch <= self.last_applied_epoch:
+            return None
+        base = self._seq
+        merged: dict[str, list[tuple[float, int, Any]]] = {}
+        for offset, (kr, ts, value) in enumerate(rows):
+            bucket = merged.get(kr)
+            if bucket is None:
+                bucket = merged[kr] = list(self._mem.get(kr, ()))
+            bucket.append((ts, base + offset, value))
+        return (epoch, merged, len(rows), base + len(rows))
+
+    def install_epoch(self, staged: tuple | None) -> int:
+        """Install a staged epoch atomically: one dict update plus
+        counter flips.  Idempotent via the epoch guard."""
+        if staged is None:
+            return 0
+        epoch, merged, n_rows, next_seq = staged
+        if epoch <= self.last_applied_epoch:
+            return 0
+        self._mem.update(merged)
+        self._mem_rows += n_rows
+        self._seq = next_seq
+        self.last_applied_epoch = epoch
+        return n_rows
+
+    def apply_epoch(self, epoch: int,
+                    rows: list[tuple[str, float, Any]]) -> int:
+        """Stage + install in one call (unit tests and the facade)."""
+        return self.install_epoch(self.stage_epoch(epoch, rows))
+
+    # -- flush / compaction --------------------------------------------------
+
+    def maintain(self) -> None:
+        """Flush an over-limit memtable, then rebalance tiers."""
+        if self._mem_rows >= self.memtable_limit:
+            self.flush()
+        self.compact()
+
+    def flush(self) -> None:
+        """Freeze the memtable into one sorted run (atomic swap)."""
+        if not self._mem_rows:
+            return
+        rows = [(kr, -ts, -seq, ts, value)
+                for kr, versions in self._mem.items()
+                for ts, seq, value in versions]
+        rows.sort(key=lambda r: (r[0], r[1], r[2]))
+        run = SortedRun(rows)
+        self._runs = self._runs + [run]
+        self._mem = {}
+        self._mem_rows = 0
+        self.flushes += 1
+
+    def _tier_of(self, run: SortedRun) -> int:
+        tier, size = 0, len(run)
+        while size >= self.memtable_limit:
+            size //= self.tier_fanout
+            tier += 1
+        return tier
+
+    def compact(self) -> None:
+        """Size-tiered: when any tier holds ``tier_fanout`` runs, merge
+        them into one (dropping expired versions).  The merged run is
+        built fully before the run list is swapped, so a crash during
+        the merge leaves the old runs — and every answer — intact."""
+        while True:
+            tiers: dict[int, list[SortedRun]] = {}
+            for run in self._runs:
+                tiers.setdefault(self._tier_of(run), []).append(run)
+            victims = next((runs for runs in tiers.values()
+                            if len(runs) >= self.tier_fanout), None)
+            if victims is None:
+                return
+            min_ts = self._min_ts()
+            merged_rows = [row for run in victims
+                           for row in run.live_rows(min_ts)]
+            merged_rows.sort(key=lambda r: (r[0], r[1], r[2]))
+            merged = SortedRun(merged_rows)
+            dead = set(map(id, victims))
+            self._runs = [r for r in self._runs
+                          if id(r) not in dead] + [merged]
+            self.compactions += 1
+
+    def expire(self) -> None:
+        """Deterministic TTL sweep on the SimClock: flush, then rewrite
+        every run without expired versions (one atomic swap)."""
+        min_ts = self._min_ts()
+        if min_ts is None:
+            return
+        self.flush()
+        rewritten = []
+        for run in self._runs:
+            rows = [row for row in run.live_rows(min_ts)]
+            if rows:
+                rewritten.append(SortedRun(rows))
+        self._runs = rewritten
+
+    # -- reads ---------------------------------------------------------------
+
+    def latest(self, key: Any, n: int = 1) -> list[tuple[float, Any]]:
+        """Newest ``n`` live versions: ``[(timestamp, value), ...]``,
+        newest first.  Memtable first (it holds the newest writes),
+        then a bisected prefix scan per run; candidates merge by
+        ``(timestamp, seq)`` so same-timestamp writes resolve to the
+        latest applied."""
+        if n < 1:
+            raise StoreError("latest() needs n >= 1")
+        kr = key_repr(key)
+        min_ts = self._min_ts()
+        candidates: list[tuple[float, int, Any]] = []
+        versions = self._mem.get(kr)
+        if versions:
+            # All memtable versions compete: event time is not apply
+            # order, so the newest-by-timestamp version can sit
+            # anywhere in the list.
+            candidates.extend(
+                versions if min_ts is None else
+                (v for v in versions if v[0] >= min_ts))
+        for run in self._runs:
+            candidates.extend(run.scan_key(kr, n, min_ts))
+        candidates.sort(key=lambda c: (-c[0], -c[1]))
+        return [(ts, value) for ts, _seq, value in candidates[:n]]
+
+    def contents(self) -> dict[str, list[tuple[float, Any]]]:
+        """Canonical dump: key_repr -> all live versions newest-first.
+        The chaos suite compares this across crashed and fault-free
+        runs, so it must be independent of memtable/run structure."""
+        min_ts = self._min_ts()
+        acc: dict[str, list[tuple[float, int, Any]]] = {}
+        for kr, versions in self._mem.items():
+            for ts, seq, value in versions:
+                if min_ts is None or ts >= min_ts:
+                    acc.setdefault(kr, []).append((ts, seq, value))
+        for run in self._runs:
+            for row in run.live_rows(min_ts):
+                acc.setdefault(row[0], []).append((row[3], -row[2], row[4]))
+        out: dict[str, list[tuple[float, Any]]] = {}
+        for kr in sorted(acc):
+            versions = sorted(acc[kr], key=lambda c: (-c[0], -c[1]))
+            out[kr] = [(ts, value) for ts, _seq, value in versions]
+        return out
+
+    @property
+    def rows(self) -> int:
+        return self._mem_rows + sum(len(run) for run in self._runs)
+
+    def stats(self) -> dict[str, Any]:
+        return {"shard": self.shard_id, "rows": self.rows,
+                "memtable_rows": self._mem_rows, "runs": len(self._runs),
+                "flushes": self.flushes, "compactions": self.compactions,
+                "last_applied_epoch": self.last_applied_epoch}
+
+
+class HotStore:
+    """Sharded hot store: routes keys the way the engine does."""
+
+    def __init__(self, *, num_shards: int = 8,
+                 num_key_groups: int = DEFAULT_KEY_GROUPS,
+                 clock: SimClock | None = None, ttl_s: float | None = None,
+                 memtable_limit: int = 4096, tier_fanout: int = 4) -> None:
+        if num_shards < 1:
+            raise StoreError("need at least one shard")
+        if num_key_groups < num_shards:
+            raise StoreError("num_key_groups must be >= num_shards")
+        self.num_shards = num_shards
+        self.num_key_groups = num_key_groups
+        self.shards = [HotShard(i, clock=clock, ttl_s=ttl_s,
+                                memtable_limit=memtable_limit,
+                                tier_fanout=tier_fanout)
+                       for i in range(num_shards)]
+
+    def shard_for(self, key: Any) -> HotShard:
+        group = key_group_for(key, self.num_key_groups)
+        return self.shards[subtask_for_key_group(
+            group, self.num_key_groups, self.num_shards)]
+
+    def latest(self, key: Any, n: int = 1) -> list[tuple[float, Any]]:
+        return self.shard_for(key).latest(key, n)
+
+    def point(self, key: Any) -> Any | None:
+        """Newest live value for ``key`` (overlay binding), or None."""
+        versions = self.latest(key, 1)
+        return versions[0][1] if versions else None
+
+    def maintain(self) -> None:
+        for shard in self.shards:
+            shard.maintain()
+
+    def expire(self) -> None:
+        for shard in self.shards:
+            shard.expire()
+
+    def contents(self) -> dict[str, list[tuple[float, Any]]]:
+        out: dict[str, list[tuple[float, Any]]] = {}
+        for shard in self.shards:
+            out.update(shard.contents())
+        return dict(sorted(out.items()))
+
+    @property
+    def rows(self) -> int:
+        return sum(shard.rows for shard in self.shards)
+
+    def last_applied_epochs(self) -> list[int]:
+        return [shard.last_applied_epoch for shard in self.shards]
+
+    def stats(self) -> dict[str, Any]:
+        return {"shards": [s.stats() for s in self.shards],
+                "rows": self.rows}

@@ -1,0 +1,166 @@
+"""TieredStore: one facade over the hot and analytical tiers.
+
+The serving layer the apps talk to.  One committed epoch feeds both
+tiers in a single stage/install cycle — point-lookup state and scan
+history can never disagree about which epochs they contain — and the
+facade carries the query surface of both: ``latest``/``point`` for
+overlay binding, ``group_by``/``tumbling``/``filter`` for dashboards.
+
+:func:`serve_topic` is the standard wiring: build a coordinated job
+over an event-log topic, run it under the chaos harness's supervisor,
+and return the store fed exactly-once through a
+:class:`~repro.store.sink.StoreSink`.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from ..streaming.element import Element
+from ..streaming.shuffle import DEFAULT_KEY_GROUPS
+from ..util.clock import SimClock
+from .analytical import AnalyticalStore
+from .hot import HotStore, key_repr
+
+__all__ = ["TieredStore", "serve_topic", "canonical_contents"]
+
+
+class TieredStore:
+    """Hot point-lookup tier + columnar analytical tier, fed together."""
+
+    def __init__(self, *, num_shards: int = 8,
+                 num_key_groups: int = DEFAULT_KEY_GROUPS,
+                 clock: SimClock | None = None,
+                 ttl_s: float | None = None,
+                 memtable_limit: int = 4096, tier_fanout: int = 4,
+                 metric_fn: Callable[[Any], float] | None = None) -> None:
+        self.clock = clock
+        self.hot = HotStore(num_shards=num_shards,
+                            num_key_groups=num_key_groups,
+                            clock=clock, ttl_s=ttl_s,
+                            memtable_limit=memtable_limit,
+                            tier_fanout=tier_fanout)
+        self.analytical = AnalyticalStore(metric_fn=metric_fn)
+
+    # -- epoch protocol (driven by StoreSink) --------------------------------
+
+    def stage_epoch(self, epoch: int,
+                    elements: list[Element]) -> dict[str, Any]:
+        """Route one committed epoch: per-shard hot rows + one
+        analytical segment, staged but not installed."""
+        per_shard: dict[int, list[tuple[str, float, Any]]] = {}
+        hot = self.hot
+        for e in elements:
+            shard = hot.shard_for(e.key)
+            per_shard.setdefault(shard.shard_id, []).append(
+                (key_repr(e.key), e.timestamp, e.value))
+        return {
+            "epoch": epoch,
+            "shards": {sid: hot.shards[sid].stage_epoch(epoch, rows)
+                       for sid, rows in per_shard.items()},
+            "analytical": self.analytical.stage_epoch(epoch, elements),
+        }
+
+    def install_epoch(self, staged: dict[str, Any]) -> int:
+        """Install a staged epoch into every affected shard and the
+        analytical tier (each guarded by its own epoch)."""
+        installed = 0
+        for sid, st in staged["shards"].items():
+            installed += self.hot.shards[sid].install_epoch(st)
+        self.analytical.install_epoch(staged["analytical"])
+        return installed
+
+    def apply_epoch(self, epoch: int, elements: list[Element]) -> int:
+        return self.install_epoch(self.stage_epoch(epoch, elements))
+
+    # -- maintenance ---------------------------------------------------------
+
+    def maintain(self) -> None:
+        self.hot.maintain()
+
+    def expire(self) -> None:
+        """Deterministic TTL sweep of the hot tier (SimClock-driven);
+        analytical history is deliberately unexpiring — it is the
+        full-log tier."""
+        self.hot.expire()
+
+    # -- serving surface -----------------------------------------------------
+
+    def latest(self, key: Any, n: int = 1) -> list[tuple[float, Any]]:
+        return self.hot.latest(key, n)
+
+    def point(self, key: Any) -> Any | None:
+        return self.hot.point(key)
+
+    def group_by(self, *args: Any, **kwargs: Any) -> dict[Any, float]:
+        return self.analytical.group_by(*args, **kwargs)
+
+    def tumbling(self, *args: Any, **kwargs: Any) -> dict:
+        return self.analytical.tumbling(*args, **kwargs)
+
+    def filter(self, *args: Any, **kwargs: Any) -> dict[str, Any]:
+        return self.analytical.filter(*args, **kwargs)
+
+    def count(self, *args: Any, **kwargs: Any) -> int:
+        return self.analytical.count(*args, **kwargs)
+
+    # -- introspection -------------------------------------------------------
+
+    def contents(self) -> dict[str, list[tuple[float, Any]]]:
+        return self.hot.contents()
+
+    def stats(self) -> dict[str, Any]:
+        return {"hot": self.hot.stats(),
+                "analytical": self.analytical.stats()}
+
+
+def serve_topic(cluster: Any, topic: str, *,
+                store: TieredStore | None = None,
+                key_fn: Callable[[Any], Any] | None = None,
+                parallelism: int = 1, source_batch: int = 64,
+                interval_cycles: int = 4, injector: Any = None,
+                metric_fn: Callable[[Any], float] | None = None,
+                num_shards: int = 8, ttl_s: float | None = None,
+                memtable_limit: int = 4096,
+                name: str | None = None,
+                ) -> tuple[TieredStore, Any]:
+    """Stream an event-log topic into a tiered store, exactly once.
+
+    Builds ``source(topic) [-> key_by(key_fn)] -> sink``, runs it under
+    coordinated checkpoints with a :class:`StoreSink` listening on the
+    transactional sink's commits, and returns ``(store, report)``.
+    Records keep their log keys unless ``key_fn`` re-keys them.  The
+    run is chaos-ready: pass an ``injector`` and the store still comes
+    out bit-identical to the fault-free run.
+    """
+    from ..chaos.harness import run_coordinated
+    from ..chaos.injector import FaultInjector
+    from ..chaos.plan import FaultPlan
+    from ..streaming.connectors import log_source
+    from ..streaming.graph import JobBuilder
+    from .sink import StoreSink
+
+    if store is None:
+        store = TieredStore(num_shards=num_shards, ttl_s=ttl_s,
+                            memtable_limit=memtable_limit,
+                            metric_fn=metric_fn)
+    builder = JobBuilder(name or f"serve:{topic}")
+    stream = builder.source("events", log_source(cluster, topic))
+    if key_fn is not None:
+        stream = stream.key_by(key_fn)
+    stream.sink("store")
+    if injector is None:
+        injector = FaultInjector(FaultPlan(specs=()))
+    sink = StoreSink(store, sink_name="store", injector=injector)
+    report = run_coordinated(builder.build(), injector,
+                             parallelism=parallelism,
+                             source_batch=source_batch,
+                             interval_cycles=interval_cycles,
+                             on_coordinator=sink.attach)
+    return store, report
+
+
+def canonical_contents(store: TieredStore) -> list[tuple]:
+    """Order-stable dump for equivalence assertions: sorted
+    ``(key_repr, versions)`` pairs plus the analytical row count."""
+    return sorted(store.contents().items())

@@ -813,6 +813,7 @@ class ScalingSupervisor:
         self.current = new
         self.coordinator = self._build_coordinator()
         self.coordinator.listeners.extend(listeners)
+        self._retire_subtask_gauges(old, new)
         self.report.replayed_total += stats["replayed_elements"]
         # committed visibility was rewound to the savepoint's projected
         # output; re-sync the latency cursor so nothing double-counts
@@ -827,6 +828,21 @@ class ScalingSupervisor:
             old=old, new=new,
             replayed=stats["replayed_elements"],
             attempts=self._rescale_attempts_current)
+
+    def _retire_subtask_gauges(self, old: dict[str, int],
+                               new: dict[str, int]) -> None:
+        """Recompile keeps one MetricsRegistry across executors, so
+        per-subtask gauges of clones a narrowing rescale removed (e.g.
+        ``subtask.processed{op=window_sum[3]}`` after 4→2) would linger
+        at their last value in every later snapshot and skew skew/
+        utilization reads.  Retire exactly the removed indices; widened
+        operators re-instantiate lazily on the next publish."""
+        per_subtask = ("subtask.processed", "op.batch_size",
+                       "checkpoint.alignment_cycles", "checkpoint.unaligned")
+        for name, old_w in old.items():
+            for idx in range(new.get(name, old_w), old_w):
+                for family in per_subtask:
+                    self.metrics.retire(family, op=f"{name}[{idx}]")
 
     def _try_rescale(self, targets: dict[str, int]) -> None:
         self.report.rescale_attempts += 1

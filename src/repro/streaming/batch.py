@@ -154,28 +154,55 @@ class RecordBatch:
 
     # -- transforms (share unchanged columns) --------------------------------
 
+    def _narrowed_keys(self, codes: np.ndarray) -> tuple[np.ndarray, list]:
+        """Compact the key dictionary when a row subset can no longer
+        reference most of it.
+
+        Without this, every ``slice``/``compress`` inherits the full
+        dictionary, so a long-running keyed job drags every key it has
+        ever seen through every shuffle and spill.  When the surviving
+        rows number fewer than half the table (so live codes are
+        necessarily below half too), rebuild the table from the codes
+        actually present.  The new dictionary holds the *same key
+        objects* (no copies), so downstream identity-keyed caches and
+        ``is``-based fast paths stay correct — they just miss once on
+        the new, smaller dict.
+        """
+        kd = self.key_dict
+        if kd is None or 2 * len(codes) >= len(kd):
+            return codes, kd
+        live, inverse = np.unique(codes, return_inverse=True)
+        return inverse.astype(np.int64, copy=False), \
+            [kd[c] for c in live.tolist()]
+
     def slice(self, i: int, j: int) -> "RecordBatch":
-        """Zero-copy sub-range (numpy views; opaque lists are sliced)."""
+        """Zero-copy sub-range (numpy views; opaque lists are sliced).
+        Narrow slices of wide-key batches compact the dictionary."""
         values = self.values
         vals = values[i:j]
         codes = self.key_codes
+        kd = self.key_dict
+        if codes is not None:
+            codes, kd = self._narrowed_keys(codes[i:j])
         return RecordBatch(self.timestamps[i:j], vals,
                            py_values=self.py_values,
-                           key_codes=None if codes is None else codes[i:j],
-                           key_dict=self.key_dict)
+                           key_codes=codes, key_dict=kd)
 
     def compress(self, mask: np.ndarray) -> "RecordBatch":
-        """Keep rows where ``mask`` is True."""
+        """Keep rows where ``mask`` is True; a heavy filter also
+        compacts the key dictionary (see :meth:`_narrowed_keys`)."""
         values = self.values
         if isinstance(values, np.ndarray):
             vals: Any = values[mask]
         else:
             vals = [v for v, m in zip(values, mask) if m]
         codes = self.key_codes
+        kd = self.key_dict
+        if codes is not None:
+            codes, kd = self._narrowed_keys(codes[mask])
         return RecordBatch(self.timestamps[mask], vals,
                            py_values=self.py_values,
-                           key_codes=None if codes is None else codes[mask],
-                           key_dict=self.key_dict)
+                           key_codes=codes, key_dict=kd)
 
     def with_values(self, values: Any,
                     py_values: bool = False) -> "RecordBatch":

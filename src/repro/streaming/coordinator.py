@@ -100,6 +100,15 @@ class CheckpointStore:
     there is no observable state where the snapshot exists without its
     manifest.  Superseded snapshots are pruned (their manifests stay, as
     aborted/finalized history), so storage holds one live checkpoint.
+
+    **Retain watermark.**  Downstream consumers that apply committed
+    epochs asynchronously (a serving-store sink, regional recovery) may
+    still need to rewind to an old checkpoint.  They register here and
+    report ``last_applied_epoch``; pruning never deletes a snapshot at
+    or above the minimum of those watermarks, regardless of ``keep``.
+    Before this, a fast checkpoint cadence could prune the very
+    manifest a lagging consumer needed for replay, turning its next
+    restore into data loss.
     """
 
     def __init__(self, keep: int = 1) -> None:
@@ -109,6 +118,38 @@ class CheckpointStore:
         self._snapshots: dict[int, ParallelCheckpoint] = {}
         self.manifests: dict[int, CheckpointManifest] = {}
         self.pruned = 0
+        #: consumer name -> last checkpoint epoch it fully applied
+        self._consumers: dict[str, int] = {}
+
+    # -- consumer watermarks --------------------------------------------------
+
+    def register_consumer(self, name: str,
+                          last_applied_epoch: int = 0) -> None:
+        """A downstream consumer announces it may rewind to any
+        checkpoint >= its last applied epoch (0 = retain everything)."""
+        current = self._consumers.get(name)
+        if current is None or last_applied_epoch > current:
+            self._consumers[name] = int(last_applied_epoch)
+
+    def unregister_consumer(self, name: str) -> None:
+        self._consumers.pop(name, None)
+        self._prune()
+
+    def consumer_applied(self, name: str, checkpoint_id: int) -> None:
+        """Advance a consumer's watermark (monotonic) and re-run
+        pruning — an advancing consumer releases retained snapshots."""
+        if name not in self._consumers:
+            raise CheckpointError(f"unknown consumer {name!r}")
+        if checkpoint_id > self._consumers[name]:
+            self._consumers[name] = int(checkpoint_id)
+            self._prune()
+
+    def retain_watermark(self) -> int | None:
+        """Oldest epoch any registered consumer may still rewind to,
+        or ``None`` when no consumers are registered."""
+        if not self._consumers:
+            return None
+        return min(self._consumers.values())
 
     def record(self, manifest: CheckpointManifest) -> None:
         """Register a pending manifest (checkpoint attempt started)."""
@@ -133,6 +174,13 @@ class CheckpointStore:
             return None
         return self._snapshots[max(self._snapshots)]
 
+    def snapshot(self, checkpoint_id: int) -> ParallelCheckpoint | None:
+        """A specific retained snapshot (None once pruned)."""
+        return self._snapshots.get(checkpoint_id)
+
+    def retained_ids(self) -> list[int]:
+        return sorted(self._snapshots)
+
     def latest_manifest(self) -> CheckpointManifest | None:
         finalized = [m for m in self.manifests.values()
                      if m.status == FINALIZED]
@@ -147,8 +195,14 @@ class CheckpointStore:
 
     def _prune(self) -> None:
         live = sorted(self._snapshots)
+        watermark = self.retain_watermark()
         while len(live) > self.keep:
-            victim = live.pop(0)
+            victim = live[0]
+            if watermark is not None and victim >= watermark:
+                # A registered consumer may still rewind here; keep the
+                # snapshot (and everything newer) until it catches up.
+                break
+            live.pop(0)
             del self._snapshots[victim]
             self.pruned += 1
 

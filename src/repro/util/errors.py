@@ -118,6 +118,10 @@ class CoordinatorDown(StreamError):
     """
 
 
+class StoreError(ReproError):
+    """Tiered serving store misuse (bad shard config, rewound apply)."""
+
+
 class VisionError(ReproError):
     """Base class for computer-vision substrate errors."""
 

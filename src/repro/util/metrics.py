@@ -167,6 +167,25 @@ class MetricsRegistry:
         key = self._key("summary", name, labels)
         return self._summaries.setdefault(key, Summary())
 
+    def retire(self, name: str, **labels: object) -> bool:
+        """Drop one metric *instance* (family + exact label set) from
+        the registry, so it stops appearing in snapshots.
+
+        This exists for topology changes: after a live rescale narrows
+        an operator, the per-subtask instances of removed clones (e.g.
+        ``subtask.processed{op=window_sum[3]}`` after a 4→2 rescale)
+        would otherwise linger at their last value and skew any
+        consumer averaging over snapshot entries.  The family's kind
+        registration stays — the name can be re-instantiated later (a
+        scale back up).  Returns ``True`` if an instance was removed.
+        """
+        kind = self._kinds.get(name)
+        if kind is None:
+            return False
+        store = {"counter": self._counters, "gauge": self._gauges,
+                 "summary": self._summaries}[kind]
+        return store.pop(_render_key(name, labels), None) is not None
+
     def snapshot(self) -> dict[str, float]:
         """Flat name->value view.
 

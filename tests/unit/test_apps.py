@@ -322,3 +322,72 @@ class TestPublicServicesApp:
         assert views["plumber"].visible == 2
         assert views["electrician"].visible == 1
         assert views["electrician"].hidden == 2
+
+
+class TestServingStores:
+    """Tiered serving store wiring: hot overlays + analytical dashboards."""
+
+    def test_retail_overlay_and_engagement(self):
+        rng = make_rng(0)
+        world = RetailWorld.generate(rng, num_products=40,
+                                     num_categories=4, num_shoppers=10,
+                                     preference_concentration=0.2)
+        app = RetailApp(_pipeline(0), world)
+        with pytest.raises(PipelineError):
+            app.overlay_state("s-0000")
+        shopper = world.shoppers[0]
+        events = world.gaze_stream(rng, shopper, n_events=12)
+        app.ingest_gaze(events)
+        app.build_serving_store()
+        overlay = app.overlay_state(shopper.shopper_id, n=3)
+        assert len(overlay) == 3
+        assert overlay[0]["ts"] >= overlay[1]["ts"] >= overlay[2]["ts"]
+        dash = app.engagement_dashboard()
+        total = sum(dash.values())
+        assert total == pytest.approx(sum(e.dwell_s for e in events))
+
+    def test_tourism_recent_visits_and_footfall(self):
+        rng = make_rng(1)
+        pois = PoiDatabase(Rect(0, 0, 100, 100))
+        for i in range(4):
+            pois.add(Poi(poi_id=f"p-{i}", name=f"POI {i}",
+                         category="museum", x=float(i * 10), y=5.0))
+        app = TourismApp(_pipeline(1), pois)
+        for t in range(10):
+            app.record_visit(f"u-{t % 3}", f"p-{t % 4}",
+                             timestamp=float(t * 100))
+        app.build_serving_store()
+        recent = app.recent_visits("u-0", 3)
+        assert [poi for _ts, poi in recent] == ["p-1", "p-2", "p-3"]
+        footfall = app.footfall_dashboard()
+        assert sum(footfall.values()) == 10
+        assert footfall["p-0"] == 3.0
+        # time-bounded dashboard sees only the window
+        early = app.footfall_dashboard(start=0.0, end=300.0)
+        assert sum(early.values()) == 3
+
+    def test_healthcare_latest_vitals_and_dashboard(self):
+        rng = make_rng(2)
+        patients = generate_patients(rng, n=3, episode_rate=0.0,
+                                     horizon_s=120.0)
+        app = HealthcareApp(_pipeline(2), patients)
+        streams = {p.patient_id: vitals_stream(p, rng, horizon_s=60.0,
+                                               period_s=10.0)
+                   for p in patients}
+        for samples in streams.values():
+            app.ingest_vitals(samples)
+        app.build_serving_store()
+        pid = patients[0].patient_id
+        latest = app.latest_vitals(pid)
+        # every vital present, each matching the newest ingested sample
+        newest = {}
+        for s in streams[pid]:
+            if s.vital not in newest or s.timestamp >= newest[s.vital][0]:
+                newest[s.vital] = (s.timestamp, s.value)
+        assert latest == newest
+        with pytest.raises(PipelineError):
+            app.latest_vitals("pt-999")
+        dash = app.vitals_dashboard(window_s=30.0)
+        rows = sum(len(v) for v in streams.values())
+        assert app.serving_store.analytical.rows == rows
+        assert dash  # per (patient:vital, window) means

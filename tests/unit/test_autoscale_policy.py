@@ -243,3 +243,37 @@ class TestSupervisorSmoke:
                     [(e.eval_index, e.savepoint_id, e.old, e.new)
                      for e in report.rescales])
         assert once() == once()
+
+
+class TestGaugeRetirementOnRescale:
+    """Regression: a scale-down must retire the removed clones' gauges.
+
+    Before the fix, ``subtask.processed{op=window_sum[1]}`` survived a
+    2→1 rescale at its last value, so any snapshot consumer averaging
+    per-subtask throughput kept seeing a ghost subtask.
+    """
+
+    def test_scale_down_then_snapshot_has_no_ghost_subtasks(self):
+        events = reference_events(seed=7, n=300, keys=4)
+        supervisor = ScalingSupervisor(
+            reference_job(events, splits=4),
+            SchedulePolicy({1: {"window_sum": 1}}),
+            parallelism=2, source_batch=32)
+        report = supervisor.run()
+        assert len(report.rescales) == 1
+        assert report.rescales[0].old["window_sum"] == 2
+        assert report.rescales[0].new["window_sum"] == 1
+        snap = supervisor.metrics.snapshot()
+        assert not any("window_sum[1]" in name for name in snap), \
+            f"ghost subtask gauges survived the rescale: {sorted(snap)}"
+
+    def test_scale_up_retires_nothing(self):
+        events = reference_events(seed=7, n=300, keys=4)
+        supervisor = ScalingSupervisor(
+            reference_job(events, splits=4),
+            SchedulePolicy({1: {"window_sum": 2}}),
+            parallelism=1, source_batch=32)
+        report = supervisor.run()
+        assert report.rescales[0].new["window_sum"] == 2
+        snap = supervisor.metrics.snapshot()
+        assert any("window_sum[1]" in name for name in snap)

@@ -139,3 +139,30 @@ class TestSummaryMinMaxCache:
         summary = Summary()
         assert math.isnan(summary.minimum)
         assert math.isnan(summary.maximum)
+
+
+class TestRetire:
+    def test_retire_drops_one_instance_keeps_family(self):
+        registry = MetricsRegistry()
+        registry.gauge("subtask.processed", op="win[0]").set(10.0)
+        registry.gauge("subtask.processed", op="win[1]").set(20.0)
+        assert registry.retire("subtask.processed", op="win[1]") is True
+        snap = registry.snapshot()
+        assert 'subtask.processed{op=win[0]}' in snap
+        assert 'subtask.processed{op=win[1]}' not in snap
+        # the family survives: the name can be re-instantiated
+        registry.gauge("subtask.processed", op="win[1]").set(5.0)
+        assert registry.snapshot()['subtask.processed{op=win[1]}'] == 5.0
+
+    def test_retire_unknown_is_false(self):
+        registry = MetricsRegistry()
+        assert registry.retire("never.seen", op="x") is False
+        registry.counter("hits").inc()
+        assert registry.retire("hits", op="wrong-labels") is False
+        assert registry.retire("hits") is True
+
+    def test_retire_respects_kind(self):
+        registry = MetricsRegistry()
+        registry.counter("events", op="a").inc(3.0)
+        assert registry.retire("events", op="a") is True
+        assert "events{op=a}" not in registry.snapshot()

@@ -1,0 +1,160 @@
+"""Columnar analytical store: query layer pinned against brute force.
+
+Every aggregate (sum/mean/count/min/max), plain and windowed, keyed and
+callable-regrouped, is compared to a per-row Python model over the same
+elements — the numpy bincount paths must be an optimization, never a
+semantic.
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.store import AnalyticalStore
+from repro.streaming.element import Element
+from repro.util.errors import StoreError
+from repro.util.rng import make_rng
+
+AGGS = ("sum", "mean", "count", "min", "max")
+
+
+def _scalar(agg, vals):
+    if agg == "count":
+        return float(len(vals))
+    if agg == "sum":
+        return float(sum(vals))
+    if agg == "mean":
+        return float(sum(vals) / len(vals))
+    return float(min(vals) if agg == "min" else max(vals))
+
+
+def _elements(rng, n, keys):
+    return [Element(value={"m": float(rng.uniform(-50, 50)),
+                           "tag": f"t-{int(rng.integers(3))}"},
+                    timestamp=float(rng.uniform(0, 500)),
+                    key=f"k-{int(rng.integers(keys))}")
+            for _ in range(n)]
+
+
+def _store_with(elements, epochs=4):
+    store = AnalyticalStore(metric_fn=lambda v: v["m"])
+    chunk = max(1, len(elements) // epochs)
+    for i in range(0, len(elements), chunk):
+        store.append_epoch(i // chunk + 1, elements[i:i + chunk])
+    return store
+
+
+class TestQueries:
+    def setup_method(self):
+        self.rng = make_rng(5)
+        self.elements = _elements(self.rng, 200, keys=7)
+        self.store = _store_with(self.elements)
+
+    def test_group_by_matches_model_for_every_agg(self):
+        for agg in AGGS:
+            expected = {}
+            for e in self.elements:
+                expected.setdefault(e.key, []).append(e.value["m"])
+            expected = {k: _scalar(agg, v) for k, v in expected.items()}
+            got = self.store.group_by(agg)
+            assert got.keys() == expected.keys()
+            for k in expected:
+                assert got[k] == pytest.approx(expected[k])
+
+    def test_group_by_with_key_and_time_filters(self):
+        keys = {"k-1", "k-3"}
+        start, end = 100.0, 400.0
+        sel = [e for e in self.elements
+               if e.key in keys and start <= e.timestamp < end]
+        expected = {}
+        for e in sel:
+            expected.setdefault(e.key, []).append(e.value["m"])
+        got = self.store.group_by("sum", keys=keys, start=start, end=end)
+        assert got.keys() == expected.keys()
+        for k in expected:
+            assert got[k] == pytest.approx(sum(expected[k]))
+        assert self.store.count(keys=keys, start=start, end=end) == len(sel)
+
+    def test_group_by_callable_regroups_raw_values(self):
+        expected = {}
+        for e in self.elements:
+            expected.setdefault(e.value["tag"], []).append(e.value["m"])
+        got = self.store.group_by("mean", by=lambda v: v["tag"])
+        assert got.keys() == expected.keys()
+        for tag, vals in expected.items():
+            assert got[tag] == pytest.approx(_scalar("mean", vals))
+
+    def test_tumbling_matches_model_for_every_agg(self):
+        window = 60.0
+        for agg in AGGS:
+            expected = {}
+            for e in self.elements:
+                w = math.floor(e.timestamp / window) * window
+                expected.setdefault((e.key, w), []).append(e.value["m"])
+            expected = {kw: _scalar(agg, v) for kw, v in expected.items()}
+            got = self.store.tumbling(window, agg)
+            assert got.keys() == expected.keys()
+            for kw in expected:
+                assert got[kw] == pytest.approx(expected[kw])
+
+    def test_filter_returns_aligned_columns(self):
+        out = self.store.filter(start=200.0)
+        sel = [e for e in self.elements if e.timestamp >= 200.0]
+        assert len(out["ts"]) == len(out["metric"]) \
+            == len(out["codes"]) == len(out["raw"]) == len(sel)
+        # raw values line up with the metric column row by row
+        for value, m in zip(out["raw"], out["metric"].tolist()):
+            assert value["m"] == pytest.approx(m)
+
+    def test_empty_results(self):
+        assert self.store.group_by("sum", keys=["nope"]) == {}
+        assert self.store.tumbling(60.0, "sum", keys=["nope"]) == {}
+        assert self.store.count(start=1e9) == 0
+        empty = AnalyticalStore()
+        assert empty.group_by("sum") == {}
+        assert empty.tumbling(10.0) == {}
+        assert empty.count() == 0
+
+
+class TestEpochProtocol:
+    def test_stale_epoch_stages_none_and_installs_zero(self):
+        store = AnalyticalStore(metric_fn=lambda v: v["m"])
+        els = _elements(make_rng(1), 10, keys=2)
+        assert store.append_epoch(3, els) == 10
+        assert store.stage_epoch(3, els) is None
+        assert store.stage_epoch(2, els) is None
+        assert store.append_epoch(3, els) == 0
+        assert store.rows == 10
+        assert store.last_applied_epoch == 3
+
+    def test_stage_is_side_effect_free_on_rows(self):
+        store = AnalyticalStore(metric_fn=lambda v: v["m"])
+        els = _elements(make_rng(2), 8, keys=2)
+        staged = store.stage_epoch(1, els)
+        assert store.rows == 0 and store.appends == 0
+        store.install_epoch(staged)
+        assert store.rows == 8 and store.last_applied_epoch == 1
+
+    def test_default_metric_is_nan_for_objects(self):
+        store = AnalyticalStore()
+        store.append_epoch(1, [
+            Element(value={"not": "numeric"}, timestamp=1.0, key="a"),
+            Element(value=4.5, timestamp=2.0, key="a"),
+        ])
+        cols = store.columns()
+        assert math.isnan(cols["metric"][0])
+        assert cols["metric"][1] == 4.5
+
+
+class TestValidation:
+    def test_unknown_aggregate_raises(self):
+        store = AnalyticalStore()
+        with pytest.raises(StoreError):
+            store.group_by("median")
+        with pytest.raises(StoreError):
+            store.tumbling(10.0, "p99")
+
+    def test_nonpositive_window_raises(self):
+        with pytest.raises(StoreError):
+            AnalyticalStore().tumbling(0.0)

@@ -1,0 +1,175 @@
+#!/usr/bin/env python
+"""Serving-store gate: exactly-once state, fast lookups, determinism.
+
+Runs the store-marked chaos suite, then three direct checks over the
+tiered serving store (:mod:`repro.store`):
+
+1. **exactly-once under chaos** — a serving job crashed mid-stage,
+   mid-apply and during compaction (plus a coordinator crash) converges
+   to hot-store contents and analytical row counts bit-identical to the
+   fault-free run, at parallelism 1 and 2;
+2. **lookup tail under ingest** — the ``benchmarks/bench_p8_store.py``
+   experiment (>= 1M distinct keys, point lookups interleaved with
+   sustained columnar ingest) holds p99 point-lookup latency under the
+   committed floor, and its results merge into
+   ``benchmarks/BENCH_streaming.json``;
+3. **determinism** — the same seeded chaos schedule reproduces the
+   same store state and fault trace on a second run.
+
+Exit 0 when all hold, 1 otherwise.
+
+Usage:  python tools/check_store.py [--skip-tests] [--skip-bench]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO / "src"))
+sys.path.insert(0, str(REPO / "benchmarks"))
+
+from repro.chaos import (  # noqa: E402
+    SITE_COORDINATOR,
+    SITE_STORE,
+    FaultInjector,
+    FaultPlan,
+    FaultSpec,
+)
+from repro.eventlog import LogCluster, Producer, TopicConfig  # noqa: E402
+from repro.store import canonical_contents, serve_topic  # noqa: E402
+from repro.util.rng import make_rng  # noqa: E402
+
+N_RECORDS = 300
+KEYS = 7
+
+CHAOS_PLANS = {
+    "mid-stage": FaultPlan(specs=(
+        FaultSpec("store_crash", SITE_STORE, at=1, target="stage"),)),
+    "mid-apply": FaultPlan(specs=(
+        FaultSpec("store_crash", SITE_STORE, at=1, target="apply"),)),
+    "during-compaction": FaultPlan(specs=(
+        FaultSpec("store_crash", SITE_STORE, at=0, target="compact"),)),
+    "mid-commit": FaultPlan(specs=(
+        FaultSpec("coordinator_crash", SITE_COORDINATOR, at=1),)),
+}
+
+
+def _env() -> dict[str, str]:
+    env = dict(os.environ)
+    src = str(REPO / "src")
+    existing = env.get("PYTHONPATH")
+    env["PYTHONPATH"] = f"{src}:{existing}" if existing else src
+    return env
+
+
+def run_store_suite() -> bool:
+    print("== store test suite ==", flush=True)
+    proc = subprocess.run(
+        [sys.executable, "-m", "pytest", "-q", "-m", "store"],
+        cwd=REPO, env=_env())
+    return proc.returncode == 0
+
+
+def _cluster() -> LogCluster:
+    cluster = LogCluster(num_brokers=1)
+    cluster.create_topic(TopicConfig(name="gate.events", partitions=2))
+    producer = Producer(cluster)
+    rng = make_rng(17)
+    for i in range(N_RECORDS):
+        producer.send("gate.events",
+                      {"m": float(rng.uniform(0, 100)), "u": f"u-{i % KEYS}"},
+                      key=f"u-{i % KEYS}", timestamp=float(i))
+    return cluster
+
+
+def _run(plan: FaultPlan | None, parallelism: int):
+    injector = FaultInjector(plan) if plan is not None else None
+    store, report = serve_topic(
+        _cluster(), "gate.events", key_fn=lambda v: v["u"],
+        metric_fn=lambda v: v["m"], parallelism=parallelism,
+        source_batch=32, interval_cycles=1, injector=injector)
+    trace = injector.trace_tuples() if injector is not None else ()
+    return (canonical_contents(store), store.analytical.rows), report, trace
+
+
+def check_exactly_once() -> bool:
+    print("\n== exactly-once under chaos ==")
+    ok = True
+    for parallelism in (1, 2):
+        golden, golden_report, _ = _run(None, parallelism)
+        for label, plan in CHAOS_PLANS.items():
+            state, report, _ = _run(plan, parallelism)
+            fired = report.crashes + report.coordinator_crashes
+            identical = state == golden
+            ok &= identical and fired >= 1
+            print(f"  p={parallelism} {label:<18} crashes={fired} "
+                  f"restores={report.full_restores} "
+                  f"{'IDENTICAL' if identical else 'DIVERGED'}")
+    return ok
+
+
+def check_latency_floor() -> bool:
+    print("\n== lookup tail under sustained columnar ingest ==")
+    from bench_p8_store import P99_FLOOR_US, run_experiment
+
+    results = run_experiment()
+    stats = results["store"]
+    p99 = stats["lookup_p99_us"]
+    print(f"  {results['config']['keys']:,} keys, "
+          f"{stats['ingest_rows']:,} rows ingested concurrently: "
+          f"p50={stats['lookup_p50_us']} us p99={p99} us "
+          f"(floor {P99_FLOOR_US:.0f} us)")
+    out = REPO / "benchmarks" / "BENCH_streaming.json"
+    merged = json.loads(out.read_text()) if out.exists() else {}
+    merged["store"] = results["store"]
+    merged["store_config"] = results["config"]
+    from platform_stamp import git_sha, platform_stamp
+    merged["platform"] = platform_stamp()
+    merged["git_sha"] = git_sha()
+    out.write_text(json.dumps(merged, indent=2) + "\n")
+    print(f"  results merged into {out}")
+    return p99 < P99_FLOOR_US
+
+
+def check_determinism() -> bool:
+    print("\n== determinism (same seeded schedule, second run) ==")
+    plan = CHAOS_PLANS["mid-apply"]
+    first = _run(plan, 2)
+    second = _run(plan, 2)
+    same = (first[0], first[2]) == (second[0], second[2])
+    print(f"  store state + fault trace {'MATCH' if same else 'DIFFER'}")
+    return same
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--skip-tests", action="store_true",
+                        help="skip the store-marked pytest suite")
+    parser.add_argument("--skip-bench", action="store_true",
+                        help="skip the 1M-key latency benchmark")
+    args = parser.parse_args()
+
+    if not args.skip_tests and not run_store_suite():
+        print("\ncheck_store: FAIL (store suite)")
+        return 1
+    if not check_exactly_once():
+        print("\ncheck_store: FAIL (state diverged or faults unfired)")
+        return 1
+    if not args.skip_bench and not check_latency_floor():
+        print("\ncheck_store: FAIL (p99 point lookup above floor)")
+        return 1
+    if not check_determinism():
+        print("\ncheck_store: FAIL (state not reproducible)")
+        return 1
+    print("\ncheck_store: OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
