@@ -4,7 +4,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test chaos chaos-parallel perf robustness obs elasticity store verify
+.PHONY: test chaos chaos-parallel perf robustness obs elasticity store geo verify
 
 test:  ## tier-1: fast unit/integration/property tests
 	$(PYTHON) -m pytest -x -q
@@ -35,5 +35,8 @@ elasticity:  ## autoscale chaos suite + live-rescale SLO/replay gate
 store:  ## serving-store chaos suite + exactly-once/latency gate
 	$(PYTHON) tools/check_store.py
 
-verify: test perf obs chaos chaos-parallel robustness elasticity store
+geo:  ## geo chaos suite + edge-vs-cloud latency / failover gate
+	$(PYTHON) tools/check_geo.py
+
+verify: test perf obs chaos chaos-parallel robustness elasticity store geo
 	@echo "verify: all gates passed"

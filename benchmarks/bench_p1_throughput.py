@@ -30,8 +30,6 @@ backing the "<5% enabled, ~0% disabled" budget that
 ``tools/check_obs.py`` gates.
 """
 
-import argparse
-import json
 import sys
 import time
 from pathlib import Path
@@ -45,6 +43,7 @@ from repro.obs import Tracer
 from repro.streaming import Element, Executor, JobBuilder, TumblingWindows
 from repro.util.metrics import MetricsRegistry, Summary
 
+import benchlib
 from platform_stamp import git_sha, platform_stamp
 from tableprint import print_table
 
@@ -288,17 +287,14 @@ def bench_p1_throughput(benchmark):
 
 
 def main() -> None:
-    parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("--events", type=int, default=N_EVENTS)
-    parser.add_argument("--out", type=Path,
-                        default=Path(__file__).parent / "BENCH_streaming.json")
+    parser = benchlib.bench_parser(__doc__, events_default=N_EVENTS)
     args = parser.parse_args()
     if args.events < 1:
         parser.error("--events must be >= 1")
     results = run_experiment(args.events)
     report(results)
-    args.out.write_text(json.dumps(results, indent=2) + "\n")
-    print(f"\nwrote {args.out}")
+    # P1 owns the whole baseline file the other benches merge into.
+    benchlib.write_full(args.out, results)
 
 
 if __name__ == "__main__":

@@ -21,8 +21,6 @@ By default results merge into ``BENCH_streaming.json`` under the
 ``"parallel"`` key, alongside the P1 throughput sections.
 """
 
-import argparse
-import json
 import sys
 import time
 from pathlib import Path
@@ -38,7 +36,7 @@ from repro.streaming import (
     TumblingWindows,
 )
 
-from platform_stamp import git_sha, platform_stamp
+import benchlib
 from tableprint import print_table
 
 N_EVENTS = 60_000
@@ -132,28 +130,13 @@ def bench_p4_parallel(benchmark):
 
 
 def main() -> None:
-    parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("--events", type=int, default=N_EVENTS)
-    parser.add_argument("--out", type=Path,
-                        default=Path(__file__).parent
-                        / "BENCH_streaming.json")
-    args = parser.parse_args()
+    args = benchlib.bench_parser(__doc__,
+                                 events_default=N_EVENTS).parse_args()
     results = run_experiment(args.events)
     report(results)
-    # Merge into the shared baseline file: the P1 sections are owned by
-    # bench_p1_throughput.py, this bench owns only the "parallel" key.
-    merged: dict = {}
-    if args.out.exists():
-        merged = json.loads(args.out.read_text())
-    merged["parallel"] = results["parallel"]
-    merged.setdefault("config", {})
-    merged["parallel_config"] = results["config"]
-    # Provenance: whichever bench ran last stamped the file; both
-    # record the same interpreter/numpy/CPU and commit.
-    merged["platform"] = platform_stamp()
-    merged["git_sha"] = git_sha()
-    args.out.write_text(json.dumps(merged, indent=2) + "\n")
-    print(f"\nresults merged into {args.out}")
+    # The P1 sections are owned by bench_p1_throughput.py; this bench
+    # owns only the "parallel" key.
+    benchlib.merge_section(args.out, "parallel", results)
 
 
 if __name__ == "__main__":

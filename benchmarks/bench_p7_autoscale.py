@@ -26,8 +26,6 @@ Results merge into ``BENCH_streaming.json`` under the ``"autoscale"``
 key.
 """
 
-import argparse
-import json
 import sys
 from pathlib import Path
 
@@ -50,7 +48,7 @@ from repro.streaming import (
     UtilizationTargetPolicy,
 )
 
-from platform_stamp import git_sha, platform_stamp
+import benchlib
 from tableprint import print_table
 
 SEED = 3
@@ -181,22 +179,10 @@ def bench_p7_autoscale(benchmark):
 
 
 def main() -> None:
-    parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("--out", type=Path,
-                        default=Path(__file__).parent
-                        / "BENCH_streaming.json")
-    args = parser.parse_args()
+    args = benchlib.bench_parser(__doc__).parse_args()
     results = run_experiment()
     report(results)
-    merged: dict = {}
-    if args.out.exists():
-        merged = json.loads(args.out.read_text())
-    merged["autoscale"] = results["autoscale"]
-    merged["autoscale_config"] = results["config"]
-    merged["platform"] = platform_stamp()
-    merged["git_sha"] = git_sha()
-    args.out.write_text(json.dumps(merged, indent=2) + "\n")
-    print(f"\nresults merged into {args.out}")
+    benchlib.merge_section(args.out, "autoscale", results)
 
 
 if __name__ == "__main__":

@@ -19,8 +19,6 @@ degrading to full-run scans) trips it.
 Results merge into ``BENCH_streaming.json`` under the ``"store"`` key.
 """
 
-import argparse
-import json
 import sys
 import time
 from pathlib import Path
@@ -32,7 +30,7 @@ sys.path.insert(0, str(Path(__file__).parent))
 from repro.store import HotStore, TieredStore, key_repr
 from repro.streaming.element import Element
 
-from platform_stamp import git_sha, platform_stamp
+import benchlib
 from tableprint import print_table
 
 SEED = 8
@@ -157,22 +155,10 @@ def report(results: dict) -> None:
 
 
 def main() -> None:
-    parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("--out", type=Path,
-                        default=Path(__file__).parent
-                        / "BENCH_streaming.json")
-    args = parser.parse_args()
+    args = benchlib.bench_parser(__doc__).parse_args()
     results = run_experiment()
     report(results)
-    merged: dict = {}
-    if args.out.exists():
-        merged = json.loads(args.out.read_text())
-    merged["store"] = results["store"]
-    merged["store_config"] = results["config"]
-    merged["platform"] = platform_stamp()
-    merged["git_sha"] = git_sha()
-    args.out.write_text(json.dumps(merged, indent=2) + "\n")
-    print(f"\nresults merged into {args.out}")
+    benchlib.merge_section(args.out, "store", results)
 
 
 if __name__ == "__main__":

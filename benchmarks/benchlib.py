@@ -1,0 +1,73 @@
+"""Shared plumbing for the ``BENCH_streaming.json`` bench family.
+
+Every streaming bench (p1 throughput, p4 parallel, p7 autoscale, p8
+store, p9 geo) reports into one baseline file that the ``tools/check_*``
+gates floor-check.  The merge discipline lives here so the benches
+cannot drift apart:
+
+- each bench owns exactly one *section* key (plus ``{section}_config``);
+  merging never clobbers a sibling bench's section;
+- whichever bench ran last stamps ``platform`` and ``git_sha`` — both
+  record the same interpreter/numpy/CPU and commit;
+- ``bench_parser`` standardizes the ``--out`` / ``--events`` flags.
+
+``bench_p1_throughput.py`` predates the merge discipline and owns the
+whole file (it writes the baseline the others merge into); it uses
+:func:`write_full`.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+from pathlib import Path
+
+from platform_stamp import git_sha, platform_stamp
+
+__all__ = ["DEFAULT_OUT", "bench_parser", "load_baseline",
+           "merge_section", "write_full"]
+
+DEFAULT_OUT = Path(__file__).parent / "BENCH_streaming.json"
+
+
+def bench_parser(description: str | None,
+                 *, events_default: int | None = None,
+                 ) -> argparse.ArgumentParser:
+    """The standard bench CLI: ``--out`` always, ``--events`` when the
+    bench scales with stream length."""
+    parser = argparse.ArgumentParser(description=description)
+    parser.add_argument("--out", type=Path, default=DEFAULT_OUT)
+    if events_default is not None:
+        parser.add_argument("--events", type=int, default=events_default)
+    return parser
+
+
+def load_baseline(out: Path) -> dict:
+    """The current merged baseline, or an empty one."""
+    if out.exists():
+        return json.loads(out.read_text())
+    return {}
+
+
+def merge_section(out: Path, section: str, results: dict) -> dict:
+    """Merge one bench's ``results`` into the shared baseline.
+
+    ``results`` must carry the bench's own data under ``results[section]``
+    and its knobs under ``results["config"]``.  Only this bench's keys
+    are replaced; the P1 sections (and every sibling's) survive.
+    """
+    merged = load_baseline(out)
+    merged[section] = results[section]
+    merged.setdefault("config", {})
+    merged[f"{section}_config"] = results.get("config", {})
+    merged["platform"] = platform_stamp()
+    merged["git_sha"] = git_sha()
+    out.write_text(json.dumps(merged, indent=2) + "\n")
+    print(f"\nresults merged into {out}")
+    return merged
+
+
+def write_full(out: Path, results: dict) -> None:
+    """Write the whole baseline file (bench_p1 only)."""
+    out.write_text(json.dumps(results, indent=2) + "\n")
+    print(f"\nwrote {out}")

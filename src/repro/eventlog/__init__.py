@@ -2,6 +2,7 @@
 
 from .broker import Broker, LogCluster, PartitionState, TopicConfig
 from .consumer import Consumer, ConsumerGroup
+from .mirror import ReplicatedTopic
 from .partition import Partition
 from .producer import Producer, stable_hash
 from .record import ConsumedRecord, Record, estimate_size
@@ -11,6 +12,7 @@ __all__ = [
     "LogCluster",
     "PartitionState",
     "TopicConfig",
+    "ReplicatedTopic",
     "Consumer",
     "ConsumerGroup",
     "Partition",

@@ -1,0 +1,34 @@
+"""Geo-distributed control plane: region health, session handoff,
+whole-region failover.
+
+The streaming engine, event log, and simnet each gained a region
+dimension; this package is the controller that ties them together:
+
+- :class:`RegionController` — a deadline failure detector over
+  *regions* (reusing the engine's
+  :class:`~repro.streaming.coordinator.HeartbeatMonitor`), fed from
+  live simnet topology observations.
+- :class:`GeoDeployment` — supervises a parallel job placed across
+  regions, pumps the cross-region log mirror, performs stop-with-
+  savepoint session handoff when users cross zone boundaries, and
+  fails the whole deployment over to a surviving region from the
+  replicated log plus the newest finalized checkpoint the replica
+  covers — reporting exactly how much replay that saved versus a
+  cold restart.
+"""
+
+from .controller import RegionController
+from .deployment import (
+    FailoverReport,
+    GeoDeployment,
+    GeoReport,
+    HandoffReport,
+)
+
+__all__ = [
+    "RegionController",
+    "GeoDeployment",
+    "GeoReport",
+    "FailoverReport",
+    "HandoffReport",
+]

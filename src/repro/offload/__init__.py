@@ -13,6 +13,7 @@ from .policies import (
 )
 from .runner import OffloadAttempt, OffloadResult, OffloadRunner
 from .tasks import Pipeline, TaskStage, vision_pipeline
+from .tiers import LiveTierSelector, TierDecision
 
 __all__ = [
     "Battery",
@@ -33,4 +34,6 @@ __all__ = [
     "Pipeline",
     "TaskStage",
     "vision_pipeline",
+    "LiveTierSelector",
+    "TierDecision",
 ]

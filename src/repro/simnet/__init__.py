@@ -1,6 +1,7 @@
 """Discrete-event simulation kernel, network model, topology, failures."""
 
-from .failures import FailureEvent, FailureInjector
+from .builders import region_topology
+from .failures import FailureEvent, FailureInjector, RegionFailureEvent
 from .kernel import ScheduledEvent, Simulator
 from .network import LINK_PRESETS, Link, LinkSpec
 from .queueing import ProcessingQueue, QueuedTask
@@ -14,8 +15,10 @@ __all__ = [
     "LINK_PRESETS",
     "NodeSpec",
     "Topology",
+    "region_topology",
     "ProcessingQueue",
     "QueuedTask",
     "FailureEvent",
+    "RegionFailureEvent",
     "FailureInjector",
 ]

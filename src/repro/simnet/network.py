@@ -66,6 +66,10 @@ LINK_PRESETS: dict[str, LinkSpec] = {
                    loss_rate=0.003),
     "wan": LinkSpec(latency_s=50e-3, bandwidth_bps=12.5e6, jitter_s=5e-3,
                     loss_rate=0.002),
+    # metro fibre between edge regions of the same city: far below WAN
+    # latency, the reason edge placement wins the geo benchmark
+    "metro": LinkSpec(latency_s=4e-3, bandwidth_bps=60e6, jitter_s=0.8e-3,
+                      loss_rate=0.001),
 }
 
 

@@ -28,6 +28,10 @@ class NodeSpec:
     role        'device' | 'edge' | 'cloud' | 'broker' | arbitrary label
     cores       parallel task slots (queueing model uses this)
     power_w     active power draw, used by the energy model
+    region      geographic region this node lives in (failure domain;
+                whole-region loss and partitions act on this tag)
+    zone        optional sub-region locality tag (an edge zone a mobile
+                user can roam between); None for region-wide nodes
     """
 
     name: str
@@ -36,6 +40,11 @@ class NodeSpec:
     cores: int = 1
     power_w: float = 1.0
     up: bool = field(default=True)
+    region: str = "default"
+    zone: str | None = None
+    #: whether this node relays transit traffic; client endpoints set
+    #: False so routes never bounce through somebody's handset
+    forwards: bool = True
 
     def __post_init__(self) -> None:
         if self.cpu_hz <= 0:
@@ -57,6 +66,9 @@ class Topology:
         self._graph = nx.Graph()
         self._rng = rng
         self._links: dict[frozenset[str], Link] = {}
+        #: directed (src, dst) pairs whose traffic is blocked — how
+        #: asymmetric partitions are expressed over undirected links
+        self._blocked: set[tuple[str, str]] = set()
 
     # -- construction -----------------------------------------------------
 
@@ -96,11 +108,21 @@ class Topology:
         except KeyError:
             raise NetworkError(f"unknown node {name!r}") from None
 
-    def nodes(self, role: str | None = None) -> list[NodeSpec]:
+    def nodes(self, role: str | None = None,
+              region: str | None = None) -> list[NodeSpec]:
         specs = [data["spec"] for _n, data in self._graph.nodes(data=True)]
         if role is not None:
             specs = [s for s in specs if s.role == role]
+        if region is not None:
+            specs = [s for s in specs if s.region == region]
         return specs
+
+    def regions(self) -> list[str]:
+        """Distinct region tags, sorted."""
+        return sorted({s.region for s in self.nodes()})
+
+    def region_of(self, name: str) -> str:
+        return self.node(name).region
 
     def link(self, a: str, b: str) -> Link:
         try:
@@ -116,6 +138,76 @@ class Topology:
     def recover_node(self, name: str) -> None:
         self.node(name).up = True
 
+    def fail_region(self, region: str) -> list[str]:
+        """Take every node in ``region`` down (whole-region loss).
+        Returns the affected node names."""
+        names = self._region_node_names(region)
+        for name in names:
+            self.fail_node(name)
+        return names
+
+    def recover_region(self, region: str) -> list[str]:
+        names = self._region_node_names(region)
+        for name in names:
+            self.recover_node(name)
+        return names
+
+    def _region_node_names(self, region: str) -> list[str]:
+        names = [s.name for s in self.nodes(region=region)]
+        if not names:
+            raise NetworkError(f"unknown region {region!r}")
+        return names
+
+    # -- directional blocking (partitions) --------------------------------
+
+    def block_direction(self, src: str, dst: str) -> None:
+        """Drop all traffic flowing ``src -> dst`` on their link.  The
+        reverse direction keeps working — asymmetric partitions."""
+        if frozenset((src, dst)) not in self._links:
+            raise ConfigError(f"no link between {src!r} and {dst!r}")
+        self._blocked.add((src, dst))
+
+    def unblock_direction(self, src: str, dst: str) -> None:
+        self._blocked.discard((src, dst))
+
+    def blocked_directions(self) -> set[tuple[str, str]]:
+        return set(self._blocked)
+
+    def partition_region(self, region: str,
+                         direction: str = "both") -> int:
+        """Block links crossing the ``region`` boundary.
+
+        ``direction`` is ``"both"`` (full partition), ``"out"`` (traffic
+        leaving the region is dropped; inbound still flows) or ``"in"``
+        — the two one-sided modes model asymmetric partitions.  Returns
+        the number of directed pairs blocked.
+        """
+        if direction not in ("both", "out", "in"):
+            raise ConfigError(f"bad partition direction {direction!r}")
+        members = set(self._region_node_names(region))
+        blocked = 0
+        for pair in self._links:
+            a, b = tuple(pair)
+            if (a in members) == (b in members):
+                continue  # internal or fully external link
+            inside, outside = (a, b) if a in members else (b, a)
+            if direction in ("both", "out"):
+                self._blocked.add((inside, outside))
+                blocked += 1
+            if direction in ("both", "in"):
+                self._blocked.add((outside, inside))
+                blocked += 1
+        return blocked
+
+    def heal_region(self, region: str) -> int:
+        """Unblock every directed pair touching ``region`` (the inverse
+        of :meth:`partition_region`); link state is fully restored."""
+        members = set(self._region_node_names(region))
+        stale = {(a, b) for a, b in self._blocked
+                 if a in members or b in members}
+        self._blocked -= stale
+        return len(stale)
+
     def _alive_subgraph(self) -> nx.Graph:
         alive = [n for n, d in self._graph.nodes(data=True) if d["spec"].up]
         return self._graph.subgraph(alive)
@@ -123,15 +215,40 @@ class Topology:
     # -- routing ----------------------------------------------------------
 
     def route(self, src: str, dst: str) -> list[str]:
-        """Node names along the minimum-propagation-latency path."""
+        """Node names along the minimum-propagation-latency path.
+
+        Non-forwarding nodes (``NodeSpec.forwards=False``, i.e. client
+        devices) can be endpoints of a route but not intermediate hops.
+        """
         self.node(src), self.node(dst)  # validate both exist
-        graph = self._alive_subgraph()
+        graph: nx.Graph | nx.DiGraph = self._alive_subgraph()
         if src not in graph or dst not in graph:
             raise NetworkError(f"route {src!r}->{dst!r}: endpoint down")
+        transit = [n for n in graph.nodes
+                   if n in (src, dst) or self.node(n).forwards]
+        graph = graph.subgraph(transit)
+        if self._blocked:
+            directed = nx.DiGraph()
+            directed.add_nodes_from(graph.nodes)
+            for a, b, data in graph.edges(data=True):
+                if (a, b) not in self._blocked:
+                    directed.add_edge(a, b, **data)
+                if (b, a) not in self._blocked:
+                    directed.add_edge(b, a, **data)
+            graph = directed
         try:
             return nx.shortest_path(graph, src, dst, weight="weight")
         except nx.NetworkXNoPath:
             raise NetworkError(f"no path from {src!r} to {dst!r}") from None
+
+    def reachable(self, src: str, dst: str) -> bool:
+        """True when a route currently exists (endpoints up, no
+        partition in the way)."""
+        try:
+            self.route(src, dst)
+        except NetworkError:
+            return False
+        return True
 
     def transfer_time(self, src: str, dst: str, size_bytes: float) -> float:
         """Sampled time to move ``size_bytes`` from src to dst (store-and-

@@ -37,6 +37,7 @@ from .execution import (
 )
 from .graph import JobBuilder, JobGraph, SourceSpec
 from .join import IntervalJoinOperator, Joined
+from .placement import RegionPlacement, placement_from_topology
 from .operators import (
     FilterOperator,
     FlatMapOperator,
@@ -114,6 +115,8 @@ __all__ = [
     "ParallelCheckpoint",
     "ParallelExecutor",
     "compile_execution_graph",
+    "RegionPlacement",
+    "placement_from_topology",
     "DEFAULT_KEY_GROUPS",
     "key_group_for",
     "key_group_range",

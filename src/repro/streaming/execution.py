@@ -113,6 +113,11 @@ class PhysicalEdge:
     down: str
     side: str | None
     mode: str  # forward | hash | rebalance | merge
+    #: endpoints placed in different regions; must have been declared on
+    #: the job graph (cross-region edges are never inferred)
+    cross_region: bool = False
+    #: one-way inter-region link latency charged per delivered packet
+    link_cost_s: float = 0.0
 
 
 @dataclass
@@ -123,6 +128,8 @@ class PhysicalNode:
     members: list[str]  # logical operator names (len > 1 for chains)
     parallelism: int
     keyed: bool
+    #: region this node's subtasks are pinned to (None: no placement)
+    region: str | None = None
 
 
 @dataclass
@@ -137,26 +144,38 @@ class ExecutionGraph:
     source_parallelism: dict[str, int]
     source_splits: dict[str, int]
     rename: dict[str, str]  # logical node -> execution node
+    #: the region placement this plan was compiled under (None: flat)
+    placement: Any = None
+    #: logical node -> region, resolved at compile time (empty: flat)
+    node_regions: dict[str, str] = field(default_factory=dict)
 
     def max_parallelism(self) -> int:
         widths = [n.parallelism for n in self.nodes.values()]
         widths += list(self.source_parallelism.values())
         return max(widths, default=1)
 
+    def cross_region_edges(self) -> list[PhysicalEdge]:
+        return [e for e in self.edges if e.cross_region]
+
     def describe(self) -> str:
         """Human-readable plan, one line per node/edge (debug aid)."""
         lines = [f"plan for job {self.job.name!r} "
                  f"(key groups: {self.num_key_groups})"]
         for name, p in sorted(self.source_parallelism.items()):
+            where = (f" @{self.node_regions[name]}"
+                     if name in self.node_regions else "")
             lines.append(f"  source {name} x{p} "
-                         f"({self.source_splits[name]} splits)")
+                         f"({self.source_splits[name]} splits){where}")
         for name in self.topo:
             node = self.nodes[name]
             kind = "keyed" if node.keyed else "stateless"
-            lines.append(f"  op {name} x{node.parallelism} ({kind})")
+            where = f" @{node.region}" if node.region is not None else ""
+            lines.append(f"  op {name} x{node.parallelism} ({kind}){where}")
         for e in self.edges:
             tag = f" [{e.side}]" if e.side else ""
-            lines.append(f"  edge {e.up} -> {e.down}{tag}: {e.mode}")
+            cross = (f" x-region +{e.link_cost_s * 1e3:.0f}ms"
+                     if e.cross_region else "")
+            lines.append(f"  edge {e.up} -> {e.down}{tag}: {e.mode}{cross}")
         return "\n".join(lines)
 
 
@@ -169,7 +188,8 @@ def _parallelism_of(parallelism: int | dict[str, int], node: str) -> int:
 def compile_execution_graph(job: JobGraph,
                             parallelism: int | dict[str, int] = 1,
                             *, num_key_groups: int = DEFAULT_KEY_GROUPS,
-                            chaining: bool = True) -> ExecutionGraph:
+                            chaining: bool = True,
+                            placement: Any = None) -> ExecutionGraph:
     """Lower a logical job graph to a physical execution graph.
 
     ``parallelism`` is either one width for every node or a per-node
@@ -178,8 +198,29 @@ def compile_execution_graph(job: JobGraph,
     parallelism (the extra gate threaded into
     :func:`~repro.streaming.runtime.build_chains`), so a parallelism
     change is always a channel — exactly like a shuffle.
+
+    ``placement`` (a :class:`~repro.streaming.placement.RegionPlacement`)
+    adds region affinity: placement pins override the job's own region
+    pins, operators in different regions never fuse, and every edge the
+    placement stretches across regions must have been declared via
+    :meth:`~repro.streaming.graph.JobBuilder.declare_cross_region` —
+    such edges carry the inter-region link cost into the runtime's
+    modelled makespan.  A job with region pins and no placement is
+    compiled under an implicit default placement.
     """
     job.validate()
+    if placement is None and job.regions:
+        from .placement import RegionPlacement
+        placement = RegionPlacement()
+    node_regions: dict[str, str] = {}
+    if placement is not None:
+        merged = {**job.regions, **dict(placement.regions)}
+        all_nodes = (list(job.sources) + list(job.operators)
+                     + list(job.sinks))
+        node_regions = {
+            n: merged.get(n, placement.default_region) for n in all_nodes
+        }
+    reg = node_regions.get
     p_of = lambda n: _parallelism_of(parallelism, n)  # noqa: E731
     for name in list(job.operators) + list(job.sources):
         if p_of(name) < 1:
@@ -192,14 +233,17 @@ def compile_execution_graph(job: JobGraph,
                 f"num_key_groups {num_key_groups}")
 
     chains = build_chains(
-        job, compatible=lambda u, d: p_of(u) == p_of(d)) if chaining else {}
+        job, compatible=lambda u, d: (p_of(u) == p_of(d)
+                                      and reg(u) == reg(d))
+    ) if chaining else {}
     rename: dict[str, str] = {}
     nodes: dict[str, PhysicalNode] = {}
     in_chain: set[str] = set()
     for head, members in chains.items():
         name = "chain(" + "+".join(members) + ")"
         nodes[name] = PhysicalNode(name=name, members=list(members),
-                                   parallelism=p_of(head), keyed=False)
+                                   parallelism=p_of(head), keyed=False,
+                                   region=reg(head))
         for m in members:
             rename[m] = name
             in_chain.add(m)
@@ -207,7 +251,7 @@ def compile_execution_graph(job: JobGraph,
         if name not in in_chain:
             nodes[name] = PhysicalNode(
                 name=name, members=[name], parallelism=p_of(name),
-                keyed=bool(op.requires_shuffle))
+                keyed=bool(op.requires_shuffle), region=reg(name))
             rename[name] = name
 
     source_parallelism: dict[str, int] = {}
@@ -235,6 +279,14 @@ def compile_execution_graph(job: JobGraph,
         new_down = rename.get(down, down)
         if new_up == new_down:  # edge internal to a chain
             continue
+        cross = (placement is not None
+                 and node_regions[up] != node_regions[down])
+        if cross and (up, down) not in job.cross_region_edges:
+            raise JobGraphError(
+                f"edge {up!r} -> {down!r} crosses regions "
+                f"{node_regions[up]!r} -> {node_regions[down]!r} but was "
+                "never declared cross-region; declare it with "
+                "declare_cross_region() or co-locate the nodes")
         if (new_up, new_down, side) in seen_edges:
             continue
         seen_edges.add((new_up, new_down, side))
@@ -246,8 +298,11 @@ def compile_execution_graph(job: JobGraph,
             mode = FORWARD
         else:
             mode = REBALANCE
+        cost = (placement.link_cost_s(node_regions[up], node_regions[down])
+                if cross else 0.0)
         edges.append(PhysicalEdge(up=new_up, down=new_down, side=side,
-                                  mode=mode))
+                                  mode=mode, cross_region=cross,
+                                  link_cost_s=cost))
 
     seen: set[str] = set()
     topo: list[str] = []
@@ -259,7 +314,8 @@ def compile_execution_graph(job: JobGraph,
     return ExecutionGraph(job=job, num_key_groups=num_key_groups,
                           nodes=nodes, edges=edges, topo=topo,
                           source_parallelism=source_parallelism,
-                          source_splits=source_splits, rename=rename)
+                          source_splits=source_splits, rename=rename,
+                          placement=placement, node_regions=node_regions)
 
 
 @dataclass
@@ -311,10 +367,12 @@ class ParallelExecutor:
                  tracer: Any = None, metrics: Any = None,
                  profiler: Any = None,
                  transactional_sinks: bool = False,
-                 unaligned_after: int | None = None) -> None:
+                 unaligned_after: int | None = None,
+                 placement: Any = None) -> None:
         self.graph = compile_execution_graph(
             job, parallelism, num_key_groups=num_key_groups,
-            chaining=chaining and batch_mode)
+            chaining=chaining and batch_mode, placement=placement)
+        self.placement = self.graph.placement
         self.job = job
         self.num_key_groups = num_key_groups
         self.channel_capacity = channel_capacity
@@ -335,6 +393,10 @@ class ParallelExecutor:
         self.unaligned_after = unaligned_after
         self.backpressure_events = 0
         self.dropped_overflow = 0
+        #: cross-region traffic accounting: packets that traversed an
+        #: inter-region link and the modelled latency they paid
+        self.cross_region_packets = 0
+        self.cross_region_transfer_s = 0.0
         #: elements dropped by the load-shedding tier (a subset of
         #: ``dropped_overflow``: shed counts flow through the same
         #: drop-accounting total the equivalence suites reconcile)
@@ -1046,12 +1108,26 @@ class ParallelExecutor:
     def _transport_pending(self) -> bool:
         return bool(self._held) or any(self._ooo.values())
 
+    def _charge_cross_region(self, edge: PhysicalEdge,
+                             lanes: Iterable[int]) -> None:
+        """Model one packet traversing an inter-region link per
+        receiving lane: the link's one-way latency lands on the
+        receiver's lane clock, so cross-region shuffles stretch the
+        modelled makespan exactly like slow subtasks do."""
+        for lane in lanes:
+            self.cross_region_packets += 1
+            self.cross_region_transfer_s += edge.link_cost_s
+            self._lane_cycle[lane] += edge.link_cost_s
+
     def _emit(self, up: str, up_idx: int, items: list[StreamItem]) -> None:
         """Route one subtask's output batch down every out-edge."""
         if not items:
             return
         for edge_idx, edge in self._down.get(up, ()):
             if edge.mode == MERGE:
+                if edge.cross_region:
+                    self.cross_region_packets += 1
+                    self.cross_region_transfer_s += edge.link_cost_s
                 sink = self.sinks[edge.down]
                 if self.transactional_sinks:
                     self._deliver_transactional(sink, edge.down,
@@ -1067,6 +1143,8 @@ class ParallelExecutor:
                             sink=edge.down).inc(len(delivered))
                 continue
             if edge.mode == FORWARD:
+                if edge.cross_region:
+                    self._charge_cross_region(edge, (up_idx,))
                 self._offer((edge.down, up_idx, edge.side), (up, up_idx),
                             items)
                 continue
@@ -1107,6 +1185,9 @@ class ParallelExecutor:
                         buckets[cursor % p_down].append(item)
                         cursor += 1
                 self._rr[rr_key] = cursor
+            if edge.cross_region:
+                self._charge_cross_region(
+                    edge, (j for j, b in enumerate(buckets) if b))
             for j, bucket in enumerate(buckets):
                 if bucket:
                     self._offer((edge.down, j, edge.side), (up, up_idx),

@@ -96,6 +96,14 @@ class JobGraph:
     #: edges as (upstream, downstream, side); side is None or left/right
     edges: list[tuple[str, str, str | None]]
     sinks: set[str] = field(default_factory=set)
+    #: optional region pins declared on the job itself (merged under any
+    #: compile-time placement; node -> region tag)
+    regions: dict[str, str] = field(default_factory=dict)
+    #: (up, down) pairs *declared* as allowed to cross regions.  The
+    #: compiler rejects any placement that makes an undeclared edge span
+    #: two regions: a WAN hop in a dataflow is an explicit design
+    #: decision, never an inference (see CONTRIBUTING.md).
+    cross_region_edges: set[tuple[str, str]] = field(default_factory=set)
 
     def validate(self) -> None:
         graph = nx.DiGraph()
@@ -142,6 +150,17 @@ class JobGraph:
         for sink in self.sinks:
             if not any(d == sink for _u, d, _s in self.edges):
                 raise JobGraphError(f"sink {sink!r} has no input")
+        known = set(self.sources) | set(self.operators) | set(self.sinks)
+        for node in self.regions:
+            if node not in known:
+                raise JobGraphError(
+                    f"region pin references unknown node {node!r}")
+        edge_pairs = {(u, d) for u, d, _s in self.edges}
+        for up, down in self.cross_region_edges:
+            if (up, down) not in edge_pairs:
+                raise JobGraphError(
+                    f"declared cross-region edge {up!r} -> {down!r} does "
+                    "not exist in the job graph")
         self._topo_order = [n for n in nx.topological_sort(graph)]
 
     def topological_operators(self) -> list[str]:
@@ -224,6 +243,12 @@ class _StreamHandle:
         """Attach a custom operator instance."""
         return self._attach(operator)
 
+    def in_region(self, region: str) -> "_StreamHandle":
+        """Pin the current node to a region (fluent form of
+        :meth:`JobBuilder.pin_region`)."""
+        self._builder.pin_region(self._node, region)
+        return self
+
     def sink(self, name: str) -> "JobBuilder":
         self._builder._add_sink(name)
         self._builder._add_edge(self._node, name, None)
@@ -251,6 +276,8 @@ class JobBuilder:
         self._edges: list[tuple[str, str, str | None]] = []
         self._sinks: set[str] = set()
         self._counters: dict[str, int] = {}
+        self._regions: dict[str, str] = {}
+        self._cross_region: set[tuple[str, str]] = set()
 
     def _auto(self, name: str | None, kind: str) -> str:
         if name is not None:
@@ -300,9 +327,24 @@ class JobBuilder:
             )
         self._sinks.add(name)
 
+    def pin_region(self, node: str, region: str) -> "JobBuilder":
+        """Pin a named node to a region."""
+        self._regions[node] = region
+        return self
+
+    def declare_cross_region(self, up: str, down: str) -> "JobBuilder":
+        """Declare that the edge ``up -> down`` is allowed to cross
+        regions.  Cross-region edges are never inferred: an undeclared
+        edge that a placement would stretch across regions fails
+        compilation."""
+        self._cross_region.add((up, down))
+        return self
+
     def build(self) -> JobGraph:
         job = JobGraph(name=self.name, sources=dict(self._sources),
                        operators=dict(self._operators),
-                       edges=list(self._edges), sinks=set(self._sinks))
+                       edges=list(self._edges), sinks=set(self._sinks),
+                       regions=dict(self._regions),
+                       cross_region_edges=set(self._cross_region))
         job.validate()
         return job

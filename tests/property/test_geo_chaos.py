@@ -1,0 +1,262 @@
+"""Geo chaos suite: exactly-once session output across zone handoff
+and whole-region loss.
+
+The property (the PR's acceptance bar): a keyed windowed job pinned to
+an edge region — with its input topic asynchronously mirrored to the
+core region — is subjected to (a) session handoffs that migrate keyed
+operators across a zone boundary mid-job, with operator and
+coordinator crashes landing before, during, and after the move, and
+(b) a whole-region loss that the :class:`~repro.geo.RegionController`
+must detect from simnet heartbeats and survive by failing over to the
+replica cluster.  At parallelism 1, 2 and 4 the committed sink output
+is **bit-identical** to the fault-free run, and failover restores from
+a finalized checkpoint so it replays **strictly less** than a full
+restart of the replica.
+
+Marked ``geo``: run via ``make geo`` / ``tools/check_geo.py``,
+excluded from tier 1.  The fast placement/controller seams stay
+covered in tier 1 by ``tests/unit/test_geo_placement.py`` and
+``tests/unit/test_offload_tiers.py``.
+"""
+
+import pytest
+
+from repro.chaos import (
+    SITE_COORDINATOR,
+    SITE_OPERATOR,
+    FaultInjector,
+    FaultPlan,
+    FaultSpec,
+    canonical_sinks,
+    fault_free_sinks,
+)
+from repro.eventlog import LogCluster, Producer, TopicConfig
+from repro.geo import GeoDeployment
+from repro.simnet import (
+    FailureInjector,
+    RegionFailureEvent,
+    Simulator,
+    region_topology,
+)
+from repro.streaming import JobBuilder, parallel_log_source
+from repro.streaming.placement import placement_from_topology
+from repro.streaming.windows import TumblingWindows
+from repro.util.rng import make_rng
+
+pytestmark = pytest.mark.geo
+
+TOPIC = "geo.events"
+N_RECORDS = 240
+KEYS = 8
+PINS = {TOPIC: "edge-a", "by_key": "edge-a",
+        "window_sum": "edge-a", "out": "edge-a"}
+MOVABLE = ("by_key", "window_sum", "out")
+
+
+def _fill(cluster: LogCluster) -> None:
+    cluster.create_topic(TopicConfig(name=TOPIC, partitions=4))
+    producer = Producer(cluster, idempotent=True)
+    for i in range(N_RECORDS):
+        producer.send(TOPIC, {"k": i % KEYS, "v": float(i)},
+                      key=f"k-{i % KEYS}", timestamp=float(i))
+
+
+def _build_job(cluster: LogCluster):
+    builder = JobBuilder("geo-chaos")
+    factory, splits = parallel_log_source(cluster, TOPIC)
+    (builder.source(TOPIC, splits=splits, split_factory=factory)
+            .key_by(lambda v: v["k"], name="by_key")
+            .window(TumblingWindows(20.0), "sum",
+                    value_fn=lambda v: v["v"], name="window_sum")
+            .sink("out"))
+    for node, region in PINS.items():
+        builder.pin_region(node, region)
+    # the edge a zone handoff may stretch across regions — declared up
+    # front, per the job-graph contract (cross-region is never inferred)
+    builder.declare_cross_region(TOPIC, "by_key")
+    return builder.build()
+
+
+def _golden(parallelism: int):
+    primary = LogCluster(num_brokers=1)
+    _fill(primary)
+    return canonical_sinks(fault_free_sinks(
+        lambda: _build_job(primary), parallelism=parallelism))
+
+
+def _deployment(parallelism: int, *, injector=None,
+                region_event: RegionFailureEvent | None = None,
+                region_timeout_s: float = 2.0) -> GeoDeployment:
+    primary = LogCluster(num_brokers=1)
+    standby = LogCluster(num_brokers=1)
+    _fill(primary)
+    topo = region_topology(make_rng(11))
+    sim = Simulator()
+    if region_event is not None:
+        FailureInjector(sim, topo).schedule_region(region_event)
+    placement = placement_from_topology(topo, dict(PINS),
+                                        default_region="core")
+    return GeoDeployment(
+        _build_job,
+        primary_cluster=primary, standby_cluster=standby, topic=TOPIC,
+        primary_region="edge-a", standby_region="core",
+        placement=placement, parallelism=parallelism,
+        source_batch=8, step_cycles=2, interval_cycles=2,
+        region_timeout_s=region_timeout_s,
+        injector=injector, topology=topo, simulator=sim,
+        observer="core")
+
+
+class TestZoneHandoff:
+    """Keyed state follows the user across the zone boundary."""
+
+    @pytest.mark.parametrize("parallelism", [1, 2, 4])
+    def test_handoff_is_exactly_once(self, parallelism):
+        golden = _golden(parallelism)
+        deployment = _deployment(parallelism)
+
+        def cross_zone(dep, step):
+            if step == 1:
+                dep.handoff(MOVABLE, "edge-b")
+
+        report = deployment.run(on_step=cross_zone)
+        assert canonical_sinks(report.sink_values) == golden
+        assert len(report.handoffs) == 1
+        handoff = report.handoffs[0]
+        assert handoff.to_region == "edge-b"
+        assert handoff.nodes == MOVABLE
+        # the moved plan pays the declared cross-region link
+        assert deployment.executor.cross_region_packets > 0
+
+    @pytest.mark.parametrize("parallelism", [1, 2, 4])
+    def test_handoff_under_crashes(self, parallelism):
+        golden = _golden(parallelism)
+        plan = FaultPlan(specs=(
+            FaultSpec("operator_crash", SITE_OPERATOR, at=5,
+                      target="window_sum"),
+            FaultSpec("operator_crash", SITE_OPERATOR, at=40,
+                      target="by_key"),
+            FaultSpec("coordinator_crash", SITE_COORDINATOR, at=2),
+        ))
+        deployment = _deployment(parallelism,
+                                 injector=FaultInjector(plan))
+
+        def cross_zone(dep, step):
+            if step == 2:
+                dep.handoff(MOVABLE, "edge-b")
+
+        report = deployment.run(on_step=cross_zone)
+        assert canonical_sinks(report.sink_values) == golden
+        assert report.crashes + report.coordinator_crashes > 0
+        assert len(report.handoffs) == 1
+
+    def test_handoff_back_and_forth(self):
+        golden = _golden(2)
+        deployment = _deployment(2)
+
+        def roam(dep, step):
+            if step == 1:
+                dep.handoff(MOVABLE, "edge-b")
+            elif step == 3:
+                dep.handoff(MOVABLE, "edge-a")
+
+        report = deployment.run(on_step=roam)
+        assert canonical_sinks(report.sink_values) == golden
+        assert [h.to_region for h in report.handoffs] == \
+            ["edge-b", "edge-a"]
+
+
+class TestRegionFailover:
+    """Whole-region loss: detected by heartbeat, survived from the
+    replica plus the newest covered checkpoint."""
+
+    @pytest.mark.parametrize("parallelism", [1, 2, 4])
+    def test_failover_is_exactly_once(self, parallelism):
+        golden = _golden(parallelism)
+        deployment = _deployment(
+            parallelism,
+            region_event=RegionFailureEvent("edge-a", down_at=4.0,
+                                            up_at=1e9))
+        report = deployment.run()
+        assert canonical_sinks(report.sink_values) == golden
+        failover = report.failover
+        assert failover is not None
+        assert failover.lost_region == "edge-a"
+        assert failover.to_region == "core"
+        assert deployment.active_region == "core"
+
+    @pytest.mark.parametrize("parallelism", [1, 2, 4])
+    def test_failover_replays_strictly_less_than_restart(
+            self, parallelism):
+        deployment = _deployment(
+            parallelism,
+            region_event=RegionFailureEvent("edge-a", down_at=4.0,
+                                            up_at=1e9))
+        report = deployment.run()
+        failover = report.failover
+        assert failover is not None
+        assert failover.checkpoint_id is not None
+        assert failover.full_restart_equiv == N_RECORDS
+        assert failover.replayed < failover.full_restart_equiv
+        assert failover.mttr_s > 0.0
+
+    def test_failover_under_crashes(self):
+        golden = _golden(2)
+        plan = FaultPlan(specs=(
+            FaultSpec("operator_crash", SITE_OPERATOR, at=8,
+                      target="window_sum"),
+            FaultSpec("coordinator_crash", SITE_COORDINATOR, at=1),
+        ))
+        deployment = _deployment(
+            2, injector=FaultInjector(plan),
+            region_event=RegionFailureEvent("edge-a", down_at=4.0,
+                                            up_at=1e9))
+        report = deployment.run()
+        assert canonical_sinks(report.sink_values) == golden
+        assert report.failover is not None
+        assert report.crashes + report.coordinator_crashes > 0
+
+    def test_mirror_caught_up_before_loss(self):
+        deployment = _deployment(
+            2, region_event=RegionFailureEvent("edge-a", down_at=4.0,
+                                               up_at=1e9))
+        report = deployment.run()
+        # bounded-lag pumping had fully mirrored the topic
+        assert report.mirror_pumped == N_RECORDS
+        assert report.failover.mirror_lag in (
+            None, {p: 0 for p in range(4)})
+
+    def test_deterministic_across_runs(self):
+        def once():
+            deployment = _deployment(
+                2, region_event=RegionFailureEvent("edge-a", down_at=4.0,
+                                                   up_at=1e9))
+            report = deployment.run()
+            failover = report.failover
+            return (canonical_sinks(report.sink_values),
+                    failover.checkpoint_id, failover.replayed,
+                    failover.mttr_s, report.steps)
+
+        assert once() == once()
+
+
+class TestHandoffThenFailover:
+    def test_zone_move_then_region_loss(self):
+        """A session roams to edge-b, then edge-a (source region) is
+        lost: the failover must still be exactly-once."""
+        golden = _golden(2)
+        deployment = _deployment(
+            2, region_event=RegionFailureEvent("edge-a", down_at=8.0,
+                                               up_at=1e9))
+
+        def roam(dep, step):
+            if step == 0:
+                dep.handoff(MOVABLE, "edge-b")
+
+        report = deployment.run(on_step=roam)
+        assert canonical_sinks(report.sink_values) == golden
+        assert len(report.handoffs) == 1
+        assert report.failover is not None
+        # failover consolidates everything in the surviving region
+        regions = set(deployment.executor.graph.node_regions.values())
+        assert regions == {"core"}

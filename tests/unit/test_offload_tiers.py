@@ -1,0 +1,116 @@
+"""Live edge-vs-core tier selection: link conditions, not static
+config, decide where a session is served."""
+
+import pytest
+
+from repro.core.session import ARSession, SharedDataset
+from repro.offload import LiveTierSelector
+from repro.render.compositor import Compositor
+from repro.simnet import region_topology
+from repro.util.errors import OffloadError, PipelineError
+from repro.util.rng import make_rng
+from repro.vision.camera import CameraIntrinsics
+
+INTR = CameraIntrinsics(fx=400, fy=400, cx=160, cy=120, width=320,
+                        height=240)
+
+
+@pytest.fixture()
+def topo():
+    return region_topology(make_rng(3))
+
+
+@pytest.fixture()
+def selector(topo):
+    return LiveTierSelector(topo)
+
+
+class TestLiveSelection:
+    def test_prefers_local_edge_when_healthy(self, selector):
+        decision = selector.select("edge-a-dev0")
+        assert decision.node == "edge-a-edge"
+        assert decision.region == "edge-a"
+        assert decision.rtt_s < selector.rtt_s("edge-a-dev0", "core")
+
+    def test_edge_down_degrades_to_core(self, topo, selector):
+        topo.fail_node("edge-a-edge")
+        decision = selector.select("edge-a-dev0", current="edge-a-edge")
+        assert decision.node != "edge-a-edge"
+        assert decision.switched
+
+    def test_partition_degrades_to_core(self, topo, selector):
+        # local access outage: the edge is only reachable the long way
+        # around (through core), so serving from core wins outright
+        topo.block_direction("edge-a-dev0", "edge-a-edge")
+        topo.block_direction("edge-a-edge", "edge-a-dev0")
+        decision = selector.select("edge-a-dev0", current="edge-a-edge")
+        assert decision.node == "core"
+        assert decision.candidates["edge-a-edge"] > decision.rtt_s
+
+    def test_heal_restores_edge(self, topo, selector):
+        topo.fail_node("edge-a-edge")
+        degraded = selector.select("edge-a-dev0", current="edge-a-edge")
+        topo.recover_node("edge-a-edge")
+        restored = selector.select("edge-a-dev0", current=degraded.node)
+        assert restored.node == "edge-a-edge"
+        assert restored.switched
+
+    def test_saturated_tier_priced_out(self, topo, selector):
+        selector.set_load("edge-a-edge", 1.0)
+        decision = selector.select("edge-a-dev0")
+        assert decision.node != "edge-a-edge"
+
+    def test_congestion_inflates_compute_share(self, selector):
+        idle = selector.rtt_s("edge-a-dev0", "edge-a-edge")
+        selector.set_load("edge-a-edge", 0.9)
+        assert selector.rtt_s("edge-a-dev0", "edge-a-edge") > idle
+
+    def test_hysteresis_keeps_incumbent(self, topo):
+        # hysteresis=0.5: the edge is better than core, but only a
+        # >2x improvement justifies leaving an incumbent
+        selector = LiveTierSelector(topo, hysteresis=0.5)
+        edge = selector.rtt_s("edge-a-dev0", "edge-a-edge")
+        core = selector.rtt_s("edge-a-dev0", "core")
+        if edge >= 0.5 * core:
+            decision = selector.select("edge-a-dev0", current="core")
+            assert decision.node == "core"
+            assert not decision.switched
+
+    def test_all_tiers_down_raises(self, topo, selector):
+        for spec in topo.nodes():
+            if spec.role in ("edge", "cloud"):
+                topo.fail_node(spec.name)
+        with pytest.raises(OffloadError, match="reachable"):
+            selector.select("edge-a-dev0")
+
+
+class TestSessionRehoming:
+    def _session(self, device="edge-a-dev0"):
+        return ARSession("u1", SharedDataset(), Compositor(INTR),
+                         device=device)
+
+    def test_rehome_binds_serving_tier(self, selector):
+        session = self._session()
+        decision = session.rehome(selector)
+        assert session.serving_node == decision.node == "edge-a-edge"
+        assert session.serving_region == "edge-a"
+        assert session.tier_switches == 0
+
+    def test_rehome_counts_switches(self, topo, selector):
+        session = self._session()
+        session.rehome(selector)
+        topo.fail_node("edge-a-edge")
+        session.rehome(selector)
+        assert session.serving_node != "edge-a-edge"
+        assert session.tier_switches == 1
+
+    def test_stable_network_means_no_switch(self, selector):
+        session = self._session()
+        for _ in range(3):
+            session.rehome(selector)
+        assert session.tier_switches == 0
+
+    def test_rehome_without_device_rejected(self, selector):
+        session = ARSession("u2", SharedDataset(), Compositor(INTR))
+        with pytest.raises(PipelineError, match="no device"):
+            session.rehome(selector)

@@ -26,14 +26,11 @@ Usage:  python tools/check_elasticity.py [--skip-tests]
 from __future__ import annotations
 
 import argparse
-import os
-import subprocess
 import sys
-from pathlib import Path
 
-REPO = Path(__file__).resolve().parent.parent
-sys.path.insert(0, str(REPO / "src"))
-sys.path.insert(0, str(REPO / "benchmarks"))
+from gatelib import Gate, ensure_paths, run_suite
+
+ensure_paths()
 
 from bench_p7_autoscale import run_experiment  # noqa: E402
 
@@ -52,22 +49,6 @@ from repro.streaming import SchedulePolicy, ScalingSupervisor  # noqa: E402
 SOURCE_BATCH = 32
 INTERVAL_CYCLES = 4
 SPLITS = 4
-
-
-def _env() -> dict[str, str]:
-    env = dict(os.environ)
-    src = str(REPO / "src")
-    existing = env.get("PYTHONPATH")
-    env["PYTHONPATH"] = f"{src}:{existing}" if existing else src
-    return env
-
-
-def run_autoscale_suite() -> bool:
-    print("== autoscale test suite ==", flush=True)
-    proc = subprocess.run(
-        [sys.executable, "-m", "pytest", "-q", "-m", "autoscale"],
-        cwd=REPO, env=_env())
-    return proc.returncode == 0
 
 
 def check_demo() -> bool:
@@ -146,22 +127,18 @@ def main() -> int:
                         help="skip the autoscale-marked pytest suite")
     args = parser.parse_args()
 
-    if not args.skip_tests and not run_autoscale_suite():
-        print("\ncheck_elasticity: FAIL (autoscale suite)")
-        return 1
+    gate = Gate("check_elasticity")
+    if not args.skip_tests and not run_suite("autoscale test suite",
+                                             "autoscale"):
+        return gate.fail("autoscale suite")
     if not check_demo():
-        print("\ncheck_elasticity: FAIL (end-to-end demo)")
-        return 1
+        return gate.fail("end-to-end demo")
     bounded, first = check_bounded_replay(args.seed)
     if not bounded:
-        print("\ncheck_elasticity: FAIL (replay unbounded or output "
-              "diverged)")
-        return 1
+        return gate.fail("replay unbounded or output diverged")
     if not check_determinism(args.seed, first):
-        print("\ncheck_elasticity: FAIL (trajectory not reproducible)")
-        return 1
-    print("\ncheck_elasticity: OK")
-    return 0
+        return gate.fail("trajectory not reproducible")
+    return gate.ok()
 
 
 if __name__ == "__main__":

@@ -1,0 +1,101 @@
+#!/usr/bin/env python
+"""Geo gate: exactly-once geo failover + the edge latency advantage.
+
+Runs the ``geo``-marked chaos suite (zone handoff and whole-region
+loss must be exactly-once at parallelism 1/2/4, with failover
+replaying strictly less than a full restart), then the
+``benchmarks/bench_p9_geo.py`` experiment and asserts:
+
+1. **edge beats all-cloud** — overlay-update p99 latency under edge
+   placement beats the all-cloud placement by at least the committed
+   advantage floor on the million-session diurnal trace;
+2. **bounded failover replay** — the live region-loss run restored
+   from a covered checkpoint (replay fraction < 1) with a positive,
+   finite MTTR, and the mirror had fully caught up;
+3. **determinism** — a second failover run reproduces the same MTTR
+   and replay volume.
+
+Exit 0 when all hold, 1 otherwise.
+
+Usage:  python tools/check_geo.py [--skip-tests] [--skip-bench]
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from gatelib import Gate, ensure_paths, run_bench, run_suite
+
+ensure_paths()
+
+from bench_p9_geo import (  # noqa: E402
+    MIN_EDGE_P99_ADVANTAGE,
+    run_failover_experiment,
+)
+
+
+def check_bench(sessions: int | None) -> bool:
+    args = () if sessions is None else ("--sessions", str(sessions))
+    print("\n== geo bench (edge vs all-cloud + live failover) ==",
+          flush=True)
+    merged = run_bench("bench_p9_geo.py", *args)
+    if merged is None:
+        print("  bench crashed")
+        return False
+    geo = merged["geo"]
+    ok = True
+    advantage = geo["p99_edge_advantage"]
+    good = advantage >= MIN_EDGE_P99_ADVANTAGE
+    ok &= good
+    print(f"  overlay p99: edge {geo['edge_p99_ms']:.1f} ms vs cloud "
+          f"{geo['cloud_p99_ms']:.1f} ms — {advantage:.1f}x "
+          f"(floor {MIN_EDGE_P99_ADVANTAGE:.1f}x)  "
+          f"{'ok' if good else 'BELOW FLOOR'}")
+    bounded = (0 <= geo["failover_replay_fraction"] < 1.0
+               and geo["failover_mttr_s"] > 0.0
+               and geo["failover_mirror_pumped"]
+               == geo["failover_records"])
+    ok &= bounded
+    print(f"  failover: mttr={geo['failover_mttr_s']:.2f} s "
+          f"replayed={geo['failover_replayed']}/"
+          f"{geo['failover_full_restart_equiv']} "
+          f"mirror_pumped={geo['failover_mirror_pumped']}  "
+          f"{'ok' if bounded else 'UNBOUNDED'}")
+    return ok
+
+
+def check_determinism() -> bool:
+    print("\n== determinism (live failover, second run) ==", flush=True)
+    first = run_failover_experiment()
+    second = run_failover_experiment()
+    same = first == second
+    print(f"  mttr={first['mttr_s']:.2f} s "
+          f"replayed={first['replayed']}  "
+          f"{'MATCH' if same else 'DIFFER'}")
+    return same
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--sessions", type=int, default=None,
+                        help="diurnal trace size (default: the bench's "
+                             "1M reference)")
+    parser.add_argument("--skip-tests", action="store_true",
+                        help="skip the geo-marked pytest suite")
+    parser.add_argument("--skip-bench", action="store_true",
+                        help="skip the diurnal latency benchmark")
+    args = parser.parse_args()
+
+    gate = Gate("check_geo")
+    if not args.skip_tests and not run_suite("geo test suite", "geo"):
+        return gate.fail("geo suite")
+    if not args.skip_bench and not check_bench(args.sessions):
+        return gate.fail("edge advantage or failover bound")
+    if not check_determinism():
+        return gate.fail("failover not reproducible")
+    return gate.ok()
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -33,10 +33,10 @@ import statistics
 import sys
 import time
 from collections import Counter
-from pathlib import Path
 
-REPO = Path(__file__).resolve().parent.parent
-sys.path.insert(0, str(REPO / "src"))
+from gatelib import Gate, ensure_paths
+
+ensure_paths()
 
 from repro.chaos.harness import (  # noqa: E402
     reference_events,
@@ -185,11 +185,11 @@ def main() -> int:
     parser.add_argument("--skip-overhead", action="store_true")
     args = parser.parse_args()
 
+    gate = Gate("check_obs")
     ok = check_completeness(args.events)
     if not args.skip_overhead:
         ok = check_overhead(args.overhead_events, args.repeats) and ok
-    print(f"\ncheck_obs: {'OK' if ok else 'FAIL'}")
-    return 0 if ok else 1
+    return gate.verdict(ok, "trace incomplete or overhead above budget")
 
 
 if __name__ == "__main__":

@@ -30,11 +30,9 @@ from __future__ import annotations
 
 import argparse
 import json
-import os
-import subprocess
 import sys
-import tempfile
-from pathlib import Path
+
+from gatelib import REPO, Gate, ensure_paths, run_bench, run_suite
 
 try:
     import numpy  # noqa: F401  (presence check only)
@@ -44,7 +42,6 @@ except ImportError:  # pragma: no cover - environment guard
              "install it with `pip install numpy>=1.24` and re-run "
              "`make perf`.")
 
-REPO = Path(__file__).resolve().parent.parent
 BASELINE = REPO / "benchmarks" / "BENCH_streaming.json"
 GATED = ["batched_eps", "chained_eps"]
 #: Absolute floors for a committed baseline measured on the reference
@@ -55,46 +52,14 @@ FLOOR_CHAINED_EPS = 1_000_000
 FLOOR_LANE_OVERLAP_P4 = 3.2
 
 
-def _env() -> dict[str, str]:
-    env = dict(os.environ)
-    src = str(REPO / "src")
-    existing = env.get("PYTHONPATH")
-    env["PYTHONPATH"] = f"{src}:{existing}" if existing else src
-    return env
-
-
-def run_tests() -> bool:
-    print("== tier-1 test suite ==", flush=True)
-    proc = subprocess.run([sys.executable, "-m", "pytest", "-x", "-q"],
-                          cwd=REPO, env=_env())
-    return proc.returncode == 0
-
-
 def run_bench_smoke(events: int) -> dict | None:
     print(f"\n== throughput smoke ({events} events) ==", flush=True)
-    with tempfile.TemporaryDirectory() as tmp:
-        out = Path(tmp) / "bench.json"
-        proc = subprocess.run(
-            [sys.executable, str(REPO / "benchmarks" / "bench_p1_throughput.py"),
-             "--events", str(events), "--out", str(out)],
-            cwd=REPO, env=_env())
-        if proc.returncode != 0:
-            return None
-        return json.loads(out.read_text())
+    return run_bench("bench_p1_throughput.py", "--events", str(events))
 
 
 def run_parallel_smoke(events: int) -> dict | None:
     print(f"\n== parallel scaling smoke ({events} events) ==", flush=True)
-    with tempfile.TemporaryDirectory() as tmp:
-        out = Path(tmp) / "bench.json"
-        proc = subprocess.run(
-            [sys.executable,
-             str(REPO / "benchmarks" / "bench_p4_parallel.py"),
-             "--events", str(events), "--out", str(out)],
-            cwd=REPO, env=_env())
-        if proc.returncode != 0:
-            return None
-        return json.loads(out.read_text())
+    return run_bench("bench_p4_parallel.py", "--events", str(events))
 
 
 def check_parallel_speedup(current: dict, minimum: float,
@@ -119,8 +84,7 @@ def check_columnar_equivalence(events: int = 5_000) -> bool:
     against the same chained job run with ``columnar=False``."""
     print(f"\n== columnar equivalence smoke ({events} events) ==",
           flush=True)
-    sys.path.insert(0, str(REPO / "src"))
-    sys.path.insert(0, str(REPO / "benchmarks"))
+    ensure_paths()
     from bench_p1_throughput import SOURCE_BATCH, _build_job, _elements
     from repro.streaming import Executor
 
@@ -241,32 +205,26 @@ def main() -> int:
     parser.add_argument("--skip-tests", action="store_true")
     args = parser.parse_args()
 
-    if not args.skip_tests and not run_tests():
-        print("\ncheck_perf: FAIL (tier-1 tests)")
-        return 1
+    gate = Gate("check_perf")
+    if not args.skip_tests and not run_suite("tier-1 test suite",
+                                             fail_fast=True):
+        return gate.fail("tier-1 tests")
     if not check_columnar_equivalence():
-        print("\ncheck_perf: FAIL (columnar execution diverged)")
-        return 1
+        return gate.fail("columnar execution diverged")
     if not check_committed_floors():
-        print("\ncheck_perf: FAIL (committed baseline below floor)")
-        return 1
+        return gate.fail("committed baseline below floor")
     current = run_bench_smoke(args.events)
     if current is None:
-        print("\ncheck_perf: FAIL (benchmark crashed)")
-        return 1
+        return gate.fail("benchmark crashed")
     if not check_regression(current, args.tolerance):
-        print("\ncheck_perf: FAIL (throughput regression)")
-        return 1
+        return gate.fail("throughput regression")
     parallel = run_parallel_smoke(args.parallel_events)
     if parallel is None:
-        print("\ncheck_perf: FAIL (parallel benchmark crashed)")
-        return 1
+        return gate.fail("parallel benchmark crashed")
     if not check_parallel_speedup(parallel, args.min_parallel_speedup,
                                   args.min_lane_overlap):
-        print("\ncheck_perf: FAIL (parallel scaling below floor)")
-        return 1
-    print("\ncheck_perf: OK")
-    return 0
+        return gate.fail("parallel scaling below floor")
+    return gate.ok()
 
 
 if __name__ == "__main__":

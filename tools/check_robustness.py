@@ -22,13 +22,11 @@ Usage:  python tools/check_robustness.py [--seed N] [--skip-tests]
 from __future__ import annotations
 
 import argparse
-import os
-import subprocess
 import sys
-from pathlib import Path
 
-REPO = Path(__file__).resolve().parent.parent
-sys.path.insert(0, str(REPO / "src"))
+from gatelib import Gate, ensure_paths, run_suite
+
+ensure_paths()
 
 from repro.chaos import (  # noqa: E402
     SITE_FETCH,
@@ -57,22 +55,6 @@ from repro.util.clock import SimClock  # noqa: E402
 from repro.util.rng import RngRegistry  # noqa: E402
 
 MODES = [(False, False), (True, False), (True, True)]
-
-
-def _env() -> dict[str, str]:
-    env = dict(os.environ)
-    src = str(REPO / "src")
-    existing = env.get("PYTHONPATH")
-    env["PYTHONPATH"] = f"{src}:{existing}" if existing else src
-    return env
-
-
-def run_chaos_suite() -> bool:
-    print("== chaos test suite ==", flush=True)
-    proc = subprocess.run(
-        [sys.executable, "-m", "pytest", "-q", "-m", "chaos or slow"],
-        cwd=REPO, env=_env())
-    return proc.returncode == 0
 
 
 def the_schedule(seed: int) -> FaultPlan:
@@ -218,25 +200,20 @@ def main() -> int:
                         help="skip the chaos-marked pytest suite")
     args = parser.parse_args()
 
-    if not args.skip_tests and not run_chaos_suite():
-        print("\ncheck_robustness: FAIL (chaos suite)")
-        return 1
+    gate = Gate("check_robustness")
+    if not args.skip_tests and not run_suite("chaos test suite",
+                                             "chaos or slow"):
+        return gate.fail("chaos suite")
     recovered, traces = check_streaming_recovery(args.seed)
     if not recovered:
-        print("\ncheck_robustness: FAIL (recovered sinks diverged)")
-        return 1
+        return gate.fail("recovered sinks diverged")
     if not check_offload_timeout(args.seed):
-        print("\ncheck_robustness: FAIL (offload frame not served)")
-        return 1
+        return gate.fail("offload frame not served")
     if not check_trace_reproducibility(args.seed, traces):
-        print("\ncheck_robustness: FAIL (fault trace not reproducible)")
-        return 1
+        return gate.fail("fault trace not reproducible")
     if not check_recovery_mttr(args.seed):
-        print("\ncheck_robustness: FAIL (regional recovery did not beat "
-              "a full restart)")
-        return 1
-    print("\ncheck_robustness: OK")
-    return 0
+        return gate.fail("regional recovery did not beat a full restart")
+    return gate.ok()
 
 
 if __name__ == "__main__":

@@ -24,15 +24,11 @@ Usage:  python tools/check_store.py [--skip-tests] [--skip-bench]
 from __future__ import annotations
 
 import argparse
-import json
-import os
-import subprocess
 import sys
-from pathlib import Path
 
-REPO = Path(__file__).resolve().parent.parent
-sys.path.insert(0, str(REPO / "src"))
-sys.path.insert(0, str(REPO / "benchmarks"))
+from gatelib import Gate, ensure_paths, run_suite
+
+ensure_paths()
 
 from repro.chaos import (  # noqa: E402
     SITE_COORDINATOR,
@@ -58,22 +54,6 @@ CHAOS_PLANS = {
     "mid-commit": FaultPlan(specs=(
         FaultSpec("coordinator_crash", SITE_COORDINATOR, at=1),)),
 }
-
-
-def _env() -> dict[str, str]:
-    env = dict(os.environ)
-    src = str(REPO / "src")
-    existing = env.get("PYTHONPATH")
-    env["PYTHONPATH"] = f"{src}:{existing}" if existing else src
-    return env
-
-
-def run_store_suite() -> bool:
-    print("== store test suite ==", flush=True)
-    proc = subprocess.run(
-        [sys.executable, "-m", "pytest", "-q", "-m", "store"],
-        cwd=REPO, env=_env())
-    return proc.returncode == 0
 
 
 def _cluster() -> LogCluster:
@@ -116,6 +96,7 @@ def check_exactly_once() -> bool:
 
 def check_latency_floor() -> bool:
     print("\n== lookup tail under sustained columnar ingest ==")
+    import benchlib
     from bench_p8_store import P99_FLOOR_US, run_experiment
 
     results = run_experiment()
@@ -125,15 +106,7 @@ def check_latency_floor() -> bool:
           f"{stats['ingest_rows']:,} rows ingested concurrently: "
           f"p50={stats['lookup_p50_us']} us p99={p99} us "
           f"(floor {P99_FLOOR_US:.0f} us)")
-    out = REPO / "benchmarks" / "BENCH_streaming.json"
-    merged = json.loads(out.read_text()) if out.exists() else {}
-    merged["store"] = results["store"]
-    merged["store_config"] = results["config"]
-    from platform_stamp import git_sha, platform_stamp
-    merged["platform"] = platform_stamp()
-    merged["git_sha"] = git_sha()
-    out.write_text(json.dumps(merged, indent=2) + "\n")
-    print(f"  results merged into {out}")
+    benchlib.merge_section(benchlib.DEFAULT_OUT, "store", results)
     return p99 < P99_FLOOR_US
 
 
@@ -155,20 +128,16 @@ def main() -> int:
                         help="skip the 1M-key latency benchmark")
     args = parser.parse_args()
 
-    if not args.skip_tests and not run_store_suite():
-        print("\ncheck_store: FAIL (store suite)")
-        return 1
+    gate = Gate("check_store")
+    if not args.skip_tests and not run_suite("store test suite", "store"):
+        return gate.fail("store suite")
     if not check_exactly_once():
-        print("\ncheck_store: FAIL (state diverged or faults unfired)")
-        return 1
+        return gate.fail("state diverged or faults unfired")
     if not args.skip_bench and not check_latency_floor():
-        print("\ncheck_store: FAIL (p99 point lookup above floor)")
-        return 1
+        return gate.fail("p99 point lookup above floor")
     if not check_determinism():
-        print("\ncheck_store: FAIL (state not reproducible)")
-        return 1
-    print("\ncheck_store: OK")
-    return 0
+        return gate.fail("state not reproducible")
+    return gate.ok()
 
 
 if __name__ == "__main__":

@@ -1,0 +1,107 @@
+"""Shared scaffolding for the ``tools/check_*`` gate family.
+
+Every gate follows the same shape: optionally run a marked pytest
+suite in a subprocess, run some in-process acceptance checks (often
+reusing a ``benchmarks/`` experiment), and report ``check_X: OK`` /
+``check_X: FAIL (reason)`` with exit code 0/1.  The shape lives here
+so the gates cannot drift apart:
+
+- :data:`REPO` / :func:`ensure_paths` — one definition of where the
+  repo root, ``src/`` and ``benchmarks/`` are;
+- :func:`repo_env` — the PYTHONPATH prepend every subprocess needs;
+- :func:`run_suite` — marked pytest suites (``-m store``, ``-m geo``,
+  tier 1 with ``-x``) with the ``== label ==`` banner;
+- :func:`run_bench` — a bench script in a subprocess writing to a
+  throwaway ``--out``, returning the parsed JSON (``None`` on crash);
+- :class:`Gate` — the FAIL/OK print-and-exit-code convention.
+
+Gates stay thin argparse ``main()``s on top; the domain checks they
+gate remain their own.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+import tempfile
+from pathlib import Path
+
+__all__ = ["REPO", "Gate", "ensure_paths", "repo_env", "run_bench",
+           "run_suite"]
+
+REPO = Path(__file__).resolve().parent.parent
+
+
+def ensure_paths() -> None:
+    """Put ``src/`` and ``benchmarks/`` on ``sys.path`` so gates can
+    import the library and the bench experiments in-process."""
+    for sub in ("benchmarks", "src"):
+        path = str(REPO / sub)
+        if path not in sys.path:
+            sys.path.insert(0, path)
+
+
+def repo_env() -> dict[str, str]:
+    """A copy of the environment with ``src/`` prepended to PYTHONPATH
+    — what every pytest/bench subprocess runs under."""
+    env = dict(os.environ)
+    src = str(REPO / "src")
+    existing = env.get("PYTHONPATH")
+    env["PYTHONPATH"] = f"{src}:{existing}" if existing else src
+    return env
+
+
+def run_suite(label: str, marker: str | None = None, *,
+              fail_fast: bool = False) -> bool:
+    """Run a pytest suite in a subprocess.
+
+    ``marker`` selects with ``-m`` (``None`` runs the default tier-1
+    selection from ``pyproject.toml``); ``fail_fast`` adds ``-x``.
+    """
+    print(f"== {label} ==", flush=True)
+    cmd = [sys.executable, "-m", "pytest", "-q"]
+    if fail_fast:
+        cmd.append("-x")
+    if marker is not None:
+        cmd += ["-m", marker]
+    proc = subprocess.run(cmd, cwd=REPO, env=repo_env())
+    return proc.returncode == 0
+
+
+def run_bench(script: str, *args: str) -> dict | None:
+    """Run ``benchmarks/<script>`` in a subprocess against a throwaway
+    ``--out`` file and return the JSON it wrote (``None`` on crash) —
+    gates must never clobber the committed baseline."""
+    with tempfile.TemporaryDirectory() as tmp:
+        out = Path(tmp) / "bench.json"
+        proc = subprocess.run(
+            [sys.executable, str(REPO / "benchmarks" / script),
+             *args, "--out", str(out)],
+            cwd=REPO, env=repo_env())
+        if proc.returncode != 0:
+            return None
+        return json.loads(out.read_text())
+
+
+class Gate:
+    """The reporting convention: ``gate.fail(reason)`` prints
+    ``check_X: FAIL (reason)`` and returns 1, ``gate.ok()`` prints
+    ``check_X: OK`` and returns 0 — both ready to hand to
+    ``sys.exit`` from ``main()``."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+
+    def fail(self, reason: str) -> int:
+        print(f"\n{self.name}: FAIL ({reason})")
+        return 1
+
+    def ok(self) -> int:
+        print(f"\n{self.name}: OK")
+        return 0
+
+    def verdict(self, passed: bool, reason: str) -> int:
+        """One-shot form for gates that accumulate a boolean."""
+        return self.ok() if passed else self.fail(reason)
