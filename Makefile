@@ -4,7 +4,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test chaos chaos-parallel perf robustness obs elasticity store geo verify
+.PHONY: test chaos chaos-parallel perf robustness datafault obs elasticity store geo verify
 
 test:  ## tier-1: fast unit/integration/property tests
 	$(PYTHON) -m pytest -x -q
@@ -29,6 +29,9 @@ perf:  ## throughput regression gate vs committed baseline
 robustness:  ## fixed-schedule crash-recovery smoke + recovery-MTTR gate
 	$(PYTHON) tools/check_robustness.py --skip-tests
 
+datafault:  ## data-fault tolerance: DLQ exactly-once, checkpoint integrity, restart budget
+	$(PYTHON) tools/check_robustness.py --datafault
+
 elasticity:  ## autoscale chaos suite + live-rescale SLO/replay gate
 	$(PYTHON) tools/check_elasticity.py
 
@@ -38,5 +41,5 @@ store:  ## serving-store chaos suite + exactly-once/latency gate
 geo:  ## geo chaos suite + edge-vs-cloud latency / failover gate
 	$(PYTHON) tools/check_geo.py
 
-verify: test perf obs chaos chaos-parallel robustness elasticity store geo
+verify: test perf obs chaos chaos-parallel robustness datafault elasticity store geo
 	@echo "verify: all gates passed"

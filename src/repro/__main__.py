@@ -9,6 +9,12 @@ end: a keyed job pinned to an edge region, its input log mirrored to
 the core, the whole edge region lost mid-stream, and the deployment
 failing over to the replica — with the committed output checked
 bit-identical to a fault-free run.
+
+``python -m repro demo-datafault`` runs the data-fault tolerance
+story: a hospital vitals stream with poisoned and corrupted records
+dead-lettered under a per-operator policy, an operator crash layered
+on top, and the committed sink + DLQ checked invariant against the
+crash-free run with the same poison.
 """
 
 from __future__ import annotations
@@ -150,6 +156,95 @@ def _demo_geo() -> int:
     return 0 if identical else 1
 
 
+def _demo_datafault() -> int:
+    """A poisoned hospital vitals stream surviving on its error
+    policies: dead letters to a transactional DLQ, a crash layered on
+    top, committed output invariant — with the DLQ inspectable."""
+    from repro.chaos import (
+        SITE_DATA,
+        SITE_OPERATOR,
+        FaultInjector,
+        FaultPlan,
+        FaultSpec,
+        run_with_recovery,
+    )
+    from repro.datagen.health import generate_patients, vitals_stream
+    from repro.streaming import DEAD_LETTER, DLQ_SINK, Element, JobBuilder
+    from repro.streaming.windows import TumblingWindows
+    from repro.util.rng import RngRegistry
+
+    registry = RngRegistry(seed=17)
+    patients = generate_patients(registry.get("patients"), n=4,
+                                 horizon_s=600.0)
+    samples = []
+    for patient in patients:
+        samples.extend(vitals_stream(
+            patient, registry.get(f"vitals-{patient.patient_id}"),
+            horizon_s=600.0, period_s=10.0))
+    samples.sort(key=lambda s: (s.timestamp, s.patient_id, s.vital))
+    events = [Element({"patient": s.patient_id, "vital": s.vital,
+                       "value": s.value}, timestamp=s.timestamp)
+              for s in samples]
+
+    def build_job():
+        builder = JobBuilder("demo-datafault")
+        (builder.source("vitals", list(events))
+                .map(lambda v: {"patient": v["patient"],
+                                "vital": v["vital"],
+                                "value": float(v["value"])},
+                     name="featurize")
+                .on_error(DEAD_LETTER)
+                .key_by(lambda v: v["patient"], name="by_patient")
+                .window(TumblingWindows(60.0), "sum",
+                        value_fn=lambda v: v["value"], name="ward_load")
+                .sink("out"))
+        return builder.build()
+
+    data_specs = (
+        FaultSpec("udf_exception", SITE_DATA, at=40, count=3,
+                  target="featurize"),
+        FaultSpec("corrupt_value", SITE_DATA, at=220, count=2,
+                  param="wrong_type", target="featurize"),
+    )
+    crash_spec = FaultSpec("operator_crash", SITE_OPERATOR,
+                           at=len(events) // 2, target="ward_load")
+
+    def run(specs, name):
+        return run_with_recovery(
+            build_job(),
+            FaultInjector(FaultPlan(specs=specs, seed=17, name=name)))
+
+    print(f"demo-datafault: {len(events)} vitals samples from "
+          f"{len(patients)} patients; 5 records poisoned, operator "
+          "crash layered on top")
+    golden = run(data_specs, "demo-data-only")
+    report = run(data_specs + (crash_spec,), "demo-layered")
+
+    letters = report.sink_values.get(DLQ_SINK, [])
+    print(f"  committed windows: {len(report.sink_values['out'])}, "
+          f"dead letters: {len(letters)}, crashes survived: "
+          f"{report.crashes}, restores: {report.restores}")
+    print("  dead-letter queue (committed transactionally with the sink):")
+    for letter in letters:
+        value = letter.value
+        what = (f"{value['patient']}/{value['vital']}"
+                if isinstance(value, dict) and "patient" in value
+                else repr(value)[:40])
+        print(f"    t={letter.timestamp:7.1f} {what:24s} "
+              f"op={letter.operator} fault={letter.fault} "
+              f"error={letter.error_type}")
+    identical = all(
+        [repr(v) for v in report.sink_values[name]]
+        == [repr(v) for v in golden.sink_values[name]]
+        for name in golden.sink_values)
+    print(f"  committed sink+DLQ vs crash-free run with the same "
+          f"poison: {'IDENTICAL' if identical else 'DIVERGED'}")
+    if not letters or not identical:
+        print("demo-datafault FAILED")
+        return 1
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro",
@@ -161,10 +256,16 @@ def main(argv: list[str] | None = None) -> int:
     sub.add_parser("demo-geo",
                    help="two-region failover demo: edge loss, mirror "
                         "replay, exactly-once output")
+    sub.add_parser("demo-datafault",
+                   help="data-fault tolerance demo: poisoned vitals "
+                        "stream, transactional DLQ, crash-invariant "
+                        "committed output")
     args = parser.parse_args(argv)
 
     if args.command == "demo-geo":
         return _demo_geo()
+    if args.command == "demo-datafault":
+        return _demo_datafault()
 
     import repro
     print(f"repro {repro.__version__}")

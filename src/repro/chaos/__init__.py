@@ -23,11 +23,16 @@ from .harness import (
 )
 from .injector import ChaosLogCluster, FaultInjector
 from .plan import (
+    CORRUPT_TS_MODES,
+    CORRUPT_VALUE_MODES,
+    DATA_FAULT_KINDS,
     RESCALE_PHASES,
     SITE_APPEND,
     SITE_BARRIER,
     SITE_CHANNEL,
+    SITE_CHECKPOINT,
     SITE_COORDINATOR,
+    SITE_DATA,
     SITE_FETCH,
     SITE_OFFLOAD,
     SITE_OPERATOR,
@@ -68,4 +73,9 @@ __all__ = [
     "RESCALE_PHASES",
     "SITE_STORE",
     "STORE_PHASES",
+    "SITE_DATA",
+    "SITE_CHECKPOINT",
+    "DATA_FAULT_KINDS",
+    "CORRUPT_VALUE_MODES",
+    "CORRUPT_TS_MODES",
 ]

@@ -30,6 +30,7 @@ from ..util.errors import (
     ChaosError,
     CheckpointError,
     CoordinatorDown,
+    DataFaultError,
     OperatorCrash,
 )
 from ..util.rng import make_rng
@@ -49,13 +50,16 @@ class RecoveryReport:
     sink_values: dict[str, list[Any]]
     crashes: int = 0
     broker_faults: int = 0
+    #: escalated data faults (FAIL/RETRY policy exhausted) the
+    #: supervisor restarted from — the flapping-detection feedstock
+    data_failures: int = 0
     checkpoints: int = 0
     restores: int = 0
     trace: list = field(default_factory=list)
 
     @property
     def failures(self) -> int:
-        return self.crashes + self.broker_faults
+        return self.crashes + self.broker_faults + self.data_failures
 
 
 def run_with_recovery(job: JobGraph, injector: FaultInjector | None = None,
@@ -63,8 +67,8 @@ def run_with_recovery(job: JobGraph, injector: FaultInjector | None = None,
                       parallelism: int | dict[str, int] | None = None,
                       source_batch: int = 64, checkpoint_every: int = 1,
                       max_failures: int = 1000, tracer: Any = None,
-                      metrics: Any = None,
-                      profiler: Any = None) -> RecoveryReport:
+                      metrics: Any = None, profiler: Any = None,
+                      restart_budget: Any = None) -> RecoveryReport:
     """Run ``job`` to completion, checkpointing and restoring on faults.
 
     Catches :class:`OperatorCrash` (injected or organic operator death)
@@ -86,6 +90,14 @@ def run_with_recovery(job: JobGraph, injector: FaultInjector | None = None,
     event per crash/broker fault, so a chaos trace shows recovery
     structure, and reuses the profiler's registry for ``chaos.*``
     counters.
+
+    ``restart_budget`` (a :class:`~repro.streaming.errors.RestartBudget`)
+    is consulted before every restore: it accounts the attempt, sleeps a
+    seeded backoff, and raises
+    :class:`~repro.util.errors.RestartsExhausted` once the budget is
+    spent or the job is flapping (repeated restarts with no new
+    checkpoint) — the supervisor then terminates instead of masking a
+    permanently poisoned job.
     """
     if parallelism is None:
         executor: Any = Executor(job, batch_mode=batch_mode,
@@ -115,6 +127,17 @@ def run_with_recovery(job: JobGraph, injector: FaultInjector | None = None,
         if metrics is not None:
             metrics.counter("chaos.faults", kind=kind).inc()
 
+    progress_mark = {"checkpoints": 0}
+
+    def _account(exc: Exception) -> None:
+        """Consume one restart attempt; raises RestartsExhausted when
+        the budget is spent or the job is flapping."""
+        if restart_budget is None:
+            return
+        made = report.checkpoints > progress_mark["checkpoints"]
+        progress_mark["checkpoints"] = report.checkpoints
+        restart_budget.on_failure(exc, made_progress=made)
+
     def _restore(checkpoint: Any) -> None:
         # Restoring a log-backed source re-reads the log, so the restore
         # itself can land in an unavailability window; the counters only
@@ -122,10 +145,11 @@ def run_with_recovery(job: JobGraph, injector: FaultInjector | None = None,
         while True:
             try:
                 executor.restore(checkpoint)
-            except BrokerDown:
+            except BrokerDown as exc:
                 report.broker_faults += 1
                 _fault("broker")
                 _check_budget()
+                _account(exc)
                 continue
             report.restores += 1
             return
@@ -140,16 +164,32 @@ def run_with_recovery(job: JobGraph, injector: FaultInjector | None = None,
             try:
                 executor.run(source_batch=source_batch,
                              max_cycles=checkpoint_every)
-            except OperatorCrash:
+            except OperatorCrash as exc:
                 report.crashes += 1
                 _fault("crash")
                 _check_budget()
+                _account(exc)
                 _restore(last)
                 continue
-            except BrokerDown:
+            except DataFaultError as exc:
+                # An injected data fault escalated through a FAIL or
+                # exhausted RETRY policy: the task died on a poisoned
+                # record.  Restoring rewinds the data-fault counters, so
+                # replay re-poisons the *same* record — a persistent
+                # fault loops here until the restart budget's flapping
+                # detection (no new checkpoint between failures) makes
+                # it terminal.
+                report.data_failures += 1
+                _fault("data")
+                _check_budget()
+                _account(exc)
+                _restore(last)
+                continue
+            except BrokerDown as exc:
                 report.broker_faults += 1
                 _fault("broker")
                 _check_budget()
+                _account(exc)
                 # The source fetch hit a fault window; restoring resets
                 # in-flight state, then the retry re-reads the log.
                 _restore(last)
@@ -187,11 +227,15 @@ class CoordinatedReport:
     crashes: int = 0
     coordinator_crashes: int = 0
     broker_faults: int = 0
+    #: escalated data faults the supervisor restarted from
+    data_failures: int = 0
     dead_detected: int = 0
     checkpoints: int = 0
     aborted: int = 0
     regional_restores: int = 0
     full_restores: int = 0
+    #: checkpoints the store quarantined for failing integrity checks
+    integrity_failures: int = 0
     #: elements actually replayed across all recoveries
     replayed_total: int = 0
     #: of which, by regional restores only
@@ -204,7 +248,8 @@ class CoordinatedReport:
     @property
     def failures(self) -> int:
         return (self.crashes + self.coordinator_crashes
-                + self.broker_faults + self.dead_detected)
+                + self.broker_faults + self.data_failures
+                + self.dead_detected)
 
     @property
     def restores(self) -> int:
@@ -221,8 +266,8 @@ def run_coordinated(job: JobGraph, injector: FaultInjector | None = None,
                     replayable: frozenset | set = frozenset(),
                     store: Any = None, max_failures: int = 1000,
                     tracer: Any = None, metrics: Any = None,
-                    profiler: Any = None,
-                    on_coordinator: Any = None) -> CoordinatedReport:
+                    profiler: Any = None, on_coordinator: Any = None,
+                    restart_budget: Any = None) -> CoordinatedReport:
     """Supervise a parallel job under coordinated checkpoints.
 
     Unlike :func:`run_with_recovery` — which only checkpoints when the
@@ -244,6 +289,17 @@ def run_coordinated(job: JobGraph, injector: FaultInjector | None = None,
     construction — the place to register commit listeners such as
     :class:`~repro.streaming.txn_sink.TransactionalLogSink`.  Listeners
     survive coordinator rebuilds.
+
+    ``restart_budget`` bounds recovery exactly as in
+    :func:`run_with_recovery` (backoff runs on this supervisor's
+    simulated clock; "progress" means a newly finalized checkpoint).
+
+    When the plan carries data faults, or the job dead-letters into the
+    transactional DLQ, recovery always restores the *whole* job: a
+    regional restore cannot rewind data-fault counters outside the
+    region, and the DLQ's committed projection spans every dead-letter
+    feeder — partial rewinds would break the exactly-once accounting
+    between sink, DLQ and fault windows.
     """
     from ..streaming.coordinator import (
         CheckpointCoordinator,
@@ -261,6 +317,12 @@ def run_coordinated(job: JobGraph, injector: FaultInjector | None = None,
                                 unaligned_after=unaligned_after)
     store = store if store is not None else CheckpointStore()
     clock = SimClock()
+    if restart_budget is not None:
+        restart_budget.bind_clock(clock)
+    from ..streaming.errors import DLQ_SINK
+    force_full = (DLQ_SINK in executor.sinks
+                  or (injector is not None
+                      and getattr(injector, "has_data_faults", False)))
 
     def _build_coordinator() -> CheckpointCoordinator:
         return CheckpointCoordinator(
@@ -293,6 +355,18 @@ def run_coordinated(job: JobGraph, injector: FaultInjector | None = None,
         if metrics is not None:
             metrics.counter("chaos.faults", kind=kind).inc()
 
+    progress_mark = {"finalized": 0}
+
+    def _account(exc: Exception) -> None:
+        """Consume one restart attempt against the budget; progress
+        means a checkpoint finalized since the previous failure."""
+        if restart_budget is None:
+            return
+        finalized = prior["finalized"] + coordinator.finalized
+        made = finalized > progress_mark["finalized"]
+        progress_mark["finalized"] = finalized
+        restart_budget.on_failure(exc, made_progress=made)
+
     def _full_equiv(checkpoint: Any) -> int:
         """What a whole-job restart to ``checkpoint`` would replay."""
         total = 0
@@ -319,7 +393,8 @@ def run_coordinated(job: JobGraph, injector: FaultInjector | None = None,
         target = checkpoint if checkpoint is not None else initial
         full_equiv = _full_equiv(target)
         region = None
-        if checkpoint is not None and op_name is not None:
+        if checkpoint is not None and op_name is not None \
+                and not force_full:
             try:
                 candidate = failover_region_of(executor.graph, op_name,
                                                replayable)
@@ -348,10 +423,11 @@ def run_coordinated(job: JobGraph, injector: FaultInjector | None = None,
                     replayed = full_equiv
                     report.full_restores += 1
                     coordinator.monitor.reset_all()
-            except BrokerDown:
+            except BrokerDown as exc:
                 report.broker_faults += 1
                 _fault("broker")
                 _check_budget()
+                _account(exc)
                 continue
             break
         report.replayed_total += replayed
@@ -373,18 +449,31 @@ def run_coordinated(job: JobGraph, injector: FaultInjector | None = None,
                 report.crashes += 1
                 _fault("crash")
                 _check_budget()
+                _account(crash)
                 _recover(getattr(crash, "op_name", None))
                 continue
-            except CoordinatorDown:
+            except DataFaultError as exc:
+                # Escalated poisoned record (see run_with_recovery):
+                # restore rewinds data-fault counters, so a persistent
+                # fault re-fires until the budget escalates.
+                report.data_failures += 1
+                _fault("data")
+                _check_budget()
+                _account(exc)
+                _recover(None)
+                continue
+            except CoordinatorDown as exc:
                 report.coordinator_crashes += 1
                 _fault("coordinator")
                 _check_budget()
+                _account(exc)
                 _rebuild_coordinator()
                 continue
-            except BrokerDown:
+            except BrokerDown as exc:
                 report.broker_faults += 1
                 _fault("broker")
                 _check_budget()
+                _account(exc)
                 _recover(None)
                 continue
             dead = coordinator.dead_subtasks()
@@ -392,6 +481,8 @@ def run_coordinated(job: JobGraph, injector: FaultInjector | None = None,
                 report.dead_detected += 1
                 _fault("dead")
                 _check_budget()
+                _account(OperatorCrash(f"fail-silent subtask {dead[0]!r}",
+                                       op_name=dead[0]))
                 _recover(dead[0])
 
     if supervised is not None:
@@ -408,6 +499,7 @@ def run_coordinated(job: JobGraph, injector: FaultInjector | None = None,
         _supervise()
     report.checkpoints = prior["finalized"] + coordinator.finalized
     report.aborted = prior["aborted"] + coordinator.aborted
+    report.integrity_failures = getattr(store, "integrity_failures", 0)
     report.sink_values = {name: list(sink.values)
                           for name, sink in executor.sinks.items()}
     if injector is not None:

@@ -26,9 +26,9 @@ from typing import Any, Callable, Iterable
 
 from ..eventlog.broker import LogCluster
 from ..eventlog.record import Record
-from ..streaming.batch import items_weight, take_prefix
+from ..streaming.batch import RecordBatch, items_weight, take_prefix
 from ..streaming.chain import ChainedOperator
-from ..streaming.element import StreamItem
+from ..streaming.element import Element, StreamItem
 from ..streaming.operators import Operator
 from ..util.errors import (
     BrokerDown,
@@ -41,7 +41,9 @@ from .plan import (
     SITE_APPEND,
     SITE_BARRIER,
     SITE_CHANNEL,
+    SITE_CHECKPOINT,
     SITE_COORDINATOR,
+    SITE_DATA,
     SITE_FETCH,
     SITE_OFFLOAD,
     SITE_OPERATOR,
@@ -75,6 +77,8 @@ class FaultInjector:
             s.site == SITE_CHANNEL for s in plan.specs)
         self.has_stalls = any(
             s.kind == "subtask_stall" for s in plan.specs)
+        self.has_data_faults = any(
+            s.site == SITE_DATA for s in plan.specs)
         #: stall specs that already logged their window-entry event
         self._stalls_fired: set[int] = set()
 
@@ -206,6 +210,90 @@ class FaultInjector:
                 f"injected crash in {op.name!r} at item index {c}",
                 op_name=op.name)
         self._counts[key] = c + 1
+
+    # -- data-fault site -----------------------------------------------------
+
+    def data_directives(self, op: Operator, items: Iterable[StreamItem],
+                        ) -> dict[int, tuple[str, Any, str]] | None:
+        """Hook on each batch of items entering one (member) operator.
+
+        Returns ``{element offset within this call: (kind, param,
+        detail)}`` for records a :data:`~repro.chaos.plan.SITE_DATA`
+        spec poisons, or ``None`` for a clean batch.  The counter is per
+        physical operator clone and counts *elements* (a columnar batch
+        advances it by its row count; watermarks and markers weigh
+        nothing), so per-item, batched, chained and columnar execution
+        poison the same records.  Chains call this once per member, so
+        a fault targeting a fused operator lands on that member's input
+        exactly as it would unfused.
+
+        Unlike crash counters, data counters rewind with checkpoints
+        (see :meth:`data_counts` / :meth:`restore_data_counts`): a fault
+        window names *records*, not wall-clock occurrences, so replay
+        after a crash must re-poison the same records — that is what
+        keeps committed output identical to a crash-free run under the
+        same data faults.
+        """
+        key = (SITE_DATA, op.name)
+        c = self._counts.get(key, 0)
+        total = 0
+        for item in items:
+            if type(item) is RecordBatch:
+                total += len(item)
+            elif isinstance(item, Element):
+                total += 1
+        self._counts[key] = c + total
+        if total == 0:
+            return None
+        idents = self._member_names(op)
+        directives: dict[int, tuple[str, Any, str]] = {}
+        for spec in self._armed:
+            if spec.site != SITE_DATA:
+                continue
+            if spec.target is not None and spec.target not in idents:
+                continue
+            lo = max(spec.at, c)
+            hi = min(spec.end, c + total)
+            for occurrence in range(lo, hi):
+                local = occurrence - c
+                if local in directives:
+                    continue
+                detail = (f"injected {spec.kind} in {op.name!r} at "
+                          f"element {occurrence}")
+                directives[local] = (spec.kind, spec.param, detail)
+                self._fire(spec, identity=op.name,
+                           occurrence=occurrence, detail=detail)
+        return directives or None
+
+    def data_counts(self) -> dict[str, int]:
+        """The data-site counters, for inclusion in a checkpoint."""
+        return {ident: count
+                for (site, ident), count in self._counts.items()
+                if site == SITE_DATA and ident is not None}
+
+    def restore_data_counts(self, counts: dict[str, int]) -> None:
+        """Rewind the data-site counters to a checkpoint's cut."""
+        for key in [k for k in self._counts if k[0] == SITE_DATA]:
+            del self._counts[key]
+        for ident, count in counts.items():
+            self._counts[(SITE_DATA, ident)] = count
+
+    # -- checkpoint-storage site ---------------------------------------------
+
+    def after_finalize(self, store: Any, checkpoint_id: int) -> None:
+        """Hook after the coordinator's atomic commit of a checkpoint.
+        A ``checkpoint_corruption`` spec silently damages the *stored*
+        checkpoint — payload or manifest per ``param`` — leaving
+        detection to the store's verification at restore time."""
+        before = self._advance(SITE_CHECKPOINT, (None,))
+        spec = self._matching(SITE_CHECKPOINT, "checkpoint_corruption",
+                              before)
+        if spec is not None:
+            mode = spec.param if spec.param is not None else "payload"
+            self._fire(spec, identity="store",
+                       occurrence=before[spec.target],
+                       detail=f"checkpoint {checkpoint_id} {mode}")
+            store.corrupt(checkpoint_id, str(mode))
 
     # -- checkpoint-protocol sites -------------------------------------------
 

@@ -25,7 +25,9 @@ from ..util.rng import make_rng
 __all__ = ["FaultSpec", "FaultPlan", "FaultEvent",
            "SITE_OPERATOR", "SITE_APPEND", "SITE_FETCH", "SITE_OFFLOAD",
            "SITE_CHANNEL", "SITE_BARRIER", "SITE_COORDINATOR", "SITE_STALL",
-           "SITE_RESCALE", "RESCALE_PHASES", "SITE_STORE", "STORE_PHASES"]
+           "SITE_RESCALE", "RESCALE_PHASES", "SITE_STORE", "STORE_PHASES",
+           "SITE_DATA", "SITE_CHECKPOINT", "DATA_FAULT_KINDS",
+           "CORRUPT_VALUE_MODES", "CORRUPT_TS_MODES"]
 
 SITE_OPERATOR = "streaming.operator"
 SITE_APPEND = "eventlog.append"
@@ -43,6 +45,11 @@ SITE_STALL = "streaming.stall"
 SITE_RESCALE = "streaming.rescale"
 #: one phase entry of a serving-store epoch apply (StoreSink)
 SITE_STORE = "store.apply"
+#: one data element entering an operator (data-fault site; counted in
+#: *elements*, so columnar batches advance it by their row count)
+SITE_DATA = "streaming.data"
+#: one checkpoint finalized into the store (storage-rot site)
+SITE_CHECKPOINT = "streaming.checkpoint"
 
 #: the rescale state machine's phases, in order; ``rescale_crash``
 #: targets one of these (or None for the global phase-entry counter)
@@ -79,7 +86,22 @@ KIND_SITES = {
     "rescale_crash": {SITE_RESCALE},
     # serving-store death at one phase of an epoch apply (target = phase)
     "store_crash": {SITE_STORE},
+    # data faults: poison individual records entering an operator
+    # (param picks the flavour; see CORRUPT_VALUE_MODES / CORRUPT_TS_MODES)
+    "udf_exception": {SITE_DATA},
+    "corrupt_value": {SITE_DATA},
+    "corrupt_timestamp": {SITE_DATA},
+    # storage rot: damage a checkpoint *after* its atomic commit
+    # (param = "payload" | "manifest")
+    "checkpoint_corruption": {SITE_CHECKPOINT},
 }
+
+#: kinds scheduled at the data site (element-counted)
+DATA_FAULT_KINDS = ("udf_exception", "corrupt_value", "corrupt_timestamp")
+#: corrupt_value flavours (spec.param; None = wrong_type)
+CORRUPT_VALUE_MODES = ("nan", "oversized", "wrong_type")
+#: corrupt_timestamp flavours (spec.param; None = garbage)
+CORRUPT_TS_MODES = ("backwards", "garbage")
 
 #: kinds that fire exactly once and then disarm (vs. window kinds that
 #: affect every occurrence in [at, at + count)).
@@ -99,7 +121,9 @@ class FaultSpec:
             ``"topic[partition]"`` / ``"topic"`` string, a tier name —
             ``None`` matches the site's global counter
     param   kind-specific knob: broker id for ``broker_down``, rewind
-            depth for ``duplicate_delivery``
+            depth for ``duplicate_delivery``, corruption flavour for
+            ``corrupt_value`` / ``corrupt_timestamp`` /
+            ``checkpoint_corruption``
     """
 
     kind: str
@@ -107,7 +131,7 @@ class FaultSpec:
     at: int
     count: int = 1
     target: str | None = None
-    param: int | None = None
+    param: int | str | None = None
 
     def __post_init__(self) -> None:
         if self.kind not in KIND_SITES:
@@ -132,6 +156,21 @@ class FaultSpec:
             raise ChaosError(
                 f"store_crash target must be a phase in "
                 f"{STORE_PHASES} or None, got {self.target!r}")
+        if self.kind == "corrupt_value" and self.param is not None \
+                and self.param not in CORRUPT_VALUE_MODES:
+            raise ChaosError(
+                f"corrupt_value param must be one of "
+                f"{CORRUPT_VALUE_MODES} or None, got {self.param!r}")
+        if self.kind == "corrupt_timestamp" and self.param is not None \
+                and self.param not in CORRUPT_TS_MODES:
+            raise ChaosError(
+                f"corrupt_timestamp param must be one of "
+                f"{CORRUPT_TS_MODES} or None, got {self.param!r}")
+        if self.kind == "checkpoint_corruption" and self.param is not None \
+                and self.param not in ("payload", "manifest"):
+            raise ChaosError(
+                f"checkpoint_corruption param must be 'payload', "
+                f"'manifest' or None, got {self.param!r}")
 
     @property
     def end(self) -> int:
@@ -192,6 +231,8 @@ class FaultPlan:
                stalls: int = 0,
                rescale_crashes: int = 0,
                store_crashes: int = 0,
+               data_faults: int = 0,
+               checkpoint_corruptions: int = 0,
                name: str = "random") -> "FaultPlan":
         """Draw a deterministic schedule from ``seed``.
 
@@ -279,5 +320,29 @@ class FaultPlan:
                                        at=_at(),
                                        count=int(rng.integers(2, 6)),
                                        target=target))
+        if operators:
+            for _ in range(data_faults):
+                kind = DATA_FAULT_KINDS[
+                    int(rng.integers(len(DATA_FAULT_KINDS)))]
+                if kind == "corrupt_value":
+                    param: str | None = CORRUPT_VALUE_MODES[
+                        int(rng.integers(len(CORRUPT_VALUE_MODES)))]
+                elif kind == "corrupt_timestamp":
+                    param = CORRUPT_TS_MODES[
+                        int(rng.integers(len(CORRUPT_TS_MODES)))]
+                else:
+                    param = None
+                target = str(operators[int(rng.integers(len(operators)))])
+                specs.append(FaultSpec(kind, SITE_DATA, at=_at(),
+                                       count=int(rng.integers(1, 4)),
+                                       target=target, param=param))
+        for _ in range(checkpoint_corruptions):
+            mode = "payload" if rng.random() < 0.5 else "manifest"
+            # checkpoints finalize a handful of times per run — keep
+            # `at` small so the rot lands on one that actually commits
+            specs.append(FaultSpec("checkpoint_corruption",
+                                   SITE_CHECKPOINT,
+                                   at=int(rng.integers(0, 4)),
+                                   param=mode))
         specs.sort(key=lambda s: (s.site, s.at, s.kind, s.target or ""))
         return cls(specs=tuple(specs), seed=int(seed), name=name)

@@ -33,6 +33,7 @@ from typing import Any, Iterable, Sequence
 
 from ..util.errors import StreamError
 from .element import StreamItem
+from .errors import FAIL, guard_batch, guard_item
 from .operators import Operator
 
 __all__ = ["ChainedOperator"]
@@ -53,6 +54,20 @@ class ChainedOperator(Operator):
     #: the executor — the chain times each member so per-operator wall
     #: time survives fusion.
     profiler: Any = None
+    #: per-member error policies (logical member name ->
+    #: :class:`~repro.streaming.errors.ErrorPolicy`), set by the
+    #: executor when the job declares any.  Fusion must not change what
+    #: happens to a poisoned record, so the chain enforces each
+    #: member's policy exactly where the unchained executor would.
+    policies: dict[str, Any] | None = None
+    #: shared dead-letter list the owning executor drains and routes to
+    #: the DLQ sink after each call into the chain.
+    dead_letters: list | None = None
+    #: optional callable ``(member_op, items) -> {offset: fault}`` from
+    #: the chaos injector — injected data faults are counted per
+    #: *member* input so chained and unchained runs poison the same
+    #: records.
+    fault_source: Any = None
 
     def __init__(self, operators: Sequence[Operator]) -> None:
         if len(operators) < 2:
@@ -68,14 +83,38 @@ class ChainedOperator(Operator):
         crash-site targeting)."""
         return [op.name for op in self.operators]
 
+    def _member_policy(self, op: Operator) -> Any:
+        if self.policies is None:
+            return None
+        name = op.name
+        if name.endswith("]"):
+            cut = name.rfind("[")
+            if cut > 0:
+                name = name[:cut]
+        return self.policies.get(name)
+
+    def _guarded(self) -> bool:
+        return self.policies is not None or self.fault_source is not None
+
     def handle(self, item: StreamItem) -> list[StreamItem]:
         pending: list[StreamItem] = [item]
+        guarded = self._guarded()
         for op in self.operators:
             if not pending:
                 break
             nxt: list[StreamItem] = []
-            for it in pending:
-                nxt.extend(op.handle(it))
+            if not guarded:
+                for it in pending:
+                    nxt.extend(op.handle(it))
+            else:
+                policy = self._member_policy(op) or FAIL
+                source = self.fault_source
+                for it in pending:
+                    faults = (source(op, (it,))
+                              if source is not None else None)
+                    nxt.extend(guard_item(
+                        op, it, policy, self.dead_letters,
+                        faults.get(0) if faults else None))
             pending = nxt
         return pending
 
@@ -86,9 +125,23 @@ class ChainedOperator(Operator):
 
     def process_batch(self, items: Iterable[StreamItem]) -> list[StreamItem]:
         profiler = self.profiler
+        guarded = self._guarded()
         pending: list[StreamItem] | Iterable[StreamItem] = items
         for op in self.operators:
-            if profiler is None:
+            if guarded:
+                policy = self._member_policy(op) or FAIL
+                pending = (list(pending)
+                           if not isinstance(pending, list) else pending)
+                faults = (self.fault_source(op, pending)
+                          if self.fault_source is not None else None)
+                started = (profiler.timer()
+                           if profiler is not None else 0.0)
+                pending = guard_batch(op, pending, policy,
+                                      op.process_batch,
+                                      self.dead_letters, faults)
+                if profiler is not None:
+                    profiler.record("op.wall_s", started, op=op.name)
+            elif profiler is None:
                 pending = op.process_batch(pending)
             else:
                 started = profiler.timer()

@@ -38,11 +38,17 @@ The module also houses the two failure-handling companions:
 
 from __future__ import annotations
 
+import hashlib
+import pickle
 from dataclasses import dataclass, field
 from typing import Any, Callable
 
 from ..util.clock import SimClock
-from ..util.errors import CheckpointError, CoordinatorDown
+from ..util.errors import (
+    CheckpointError,
+    CheckpointIntegrityError,
+    CoordinatorDown,
+)
 from .execution import ExecutionGraph, ParallelCheckpoint
 
 __all__ = [
@@ -57,6 +63,31 @@ __all__ = [
 PENDING = "pending"
 FINALIZED = "finalized"
 ABORTED = "aborted"
+
+
+def _digest(obj: Any) -> str:
+    """Content digest of a snapshot payload.
+
+    Pickle gives a stable byte encoding for ordinary checkpoint state
+    (dicts keep insertion order, so re-digesting the same object
+    reproduces the bytes); state holding unpicklable objects (bound
+    lambdas in exotic operator snapshots) falls back to ``repr``, which
+    is equally stable within one process — the only scope where a
+    digest is ever re-checked.
+    """
+    try:
+        payload = pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL)
+    except Exception:
+        payload = repr(obj).encode("utf-8", "replace")
+    return hashlib.sha256(payload).hexdigest()
+
+
+def _manifest_checksum(manifest: "CheckpointManifest") -> str:
+    """Checksum over every manifest field except the checksum itself."""
+    record = manifest.as_dict()
+    record.pop("checksum", None)
+    encoded = repr(sorted(record.items())).encode("utf-8", "replace")
+    return hashlib.sha256(encoded).hexdigest()
 
 
 @dataclass
@@ -77,6 +108,11 @@ class CheckpointManifest:
     acked_subtasks: list[str] = field(default_factory=list)
     acked_sinks: list[str] = field(default_factory=list)
     spilled_items: int = 0
+    #: sha256 of the snapshot payload, recorded at finalize — restore
+    #: re-derives it to detect bit-rot/truncation before trusting state
+    payload_digest: str | None = None
+    #: sha256 over the manifest's own fields (metadata self-check)
+    checksum: str | None = None
 
     def as_dict(self) -> dict[str, Any]:
         return {
@@ -89,6 +125,8 @@ class CheckpointManifest:
             "acked_subtasks": list(self.acked_subtasks),
             "acked_sinks": list(self.acked_sinks),
             "spilled_items": self.spilled_items,
+            "payload_digest": self.payload_digest,
+            "checksum": self.checksum,
         }
 
 
@@ -118,6 +156,11 @@ class CheckpointStore:
         self._snapshots: dict[int, ParallelCheckpoint] = {}
         self.manifests: dict[int, CheckpointManifest] = {}
         self.pruned = 0
+        #: checkpoint ids that failed verification: never restore
+        #: targets again, never counted against ``keep``
+        self.quarantined: set[int] = set()
+        #: verification failures detected (each id counted once)
+        self.integrity_failures = 0
         #: consumer name -> last checkpoint epoch it fully applied
         self._consumers: dict[str, int] = {}
 
@@ -159,7 +202,18 @@ class CheckpointStore:
                  manifest: CheckpointManifest) -> None:
         if manifest.checkpoint_id != checkpoint.checkpoint_id:
             raise CheckpointError("manifest/checkpoint id mismatch")
+        recorded = self.manifests.get(manifest.checkpoint_id)
+        if manifest.status == ABORTED or (recorded is not None
+                                          and recorded.status == ABORTED):
+            # The 2PC abort already demoted the sinks' pre-commits;
+            # committing the snapshot now would resurrect a transaction
+            # everyone else rolled back.
+            raise CheckpointError(
+                f"checkpoint {manifest.checkpoint_id} was aborted and "
+                "cannot be finalized")
         manifest.status = FINALIZED
+        manifest.payload_digest = _digest(checkpoint)
+        manifest.checksum = _manifest_checksum(manifest)
         self.manifests[manifest.checkpoint_id] = manifest
         self._snapshots[checkpoint.checkpoint_id] = checkpoint
         self._prune()
@@ -169,10 +223,71 @@ class CheckpointStore:
         if manifest is not None and manifest.status == PENDING:
             manifest.status = ABORTED
 
+    # -- integrity -----------------------------------------------------------
+
+    def verify(self, checkpoint_id: int) -> bool:
+        """Does this retained checkpoint still match what was committed?
+
+        Checks the manifest's self-checksum and re-derives the snapshot
+        payload digest.  A checkpoint without both records (never
+        finalized, pruned, or pre-integrity legacy data) fails closed.
+        """
+        manifest = self.manifests.get(checkpoint_id)
+        snapshot = self._snapshots.get(checkpoint_id)
+        if manifest is None or snapshot is None:
+            return False
+        if manifest.status != FINALIZED:
+            return False
+        if manifest.checksum != _manifest_checksum(manifest):
+            return False
+        return manifest.payload_digest == _digest(snapshot)
+
+    def require(self, checkpoint_id: int) -> ParallelCheckpoint:
+        """A specific snapshot, verified — or
+        :class:`~repro.util.errors.CheckpointIntegrityError`."""
+        if not self.verify(checkpoint_id):
+            if checkpoint_id not in self.quarantined:
+                self.quarantined.add(checkpoint_id)
+                self.integrity_failures += 1
+            raise CheckpointIntegrityError(
+                f"checkpoint {checkpoint_id} failed verification")
+        return self._snapshots[checkpoint_id]
+
+    def corrupt(self, checkpoint_id: int, mode: str = "payload") -> None:
+        """Chaos helper: silently damage a retained checkpoint.
+
+        ``payload`` mangles the snapshot object (models bit-rot in the
+        state blob); ``manifest`` overwrites the manifest checksum
+        (models a torn metadata write).  Detection happens at restore,
+        exactly like real corruption.
+        """
+        if checkpoint_id not in self._snapshots:
+            raise CheckpointError(
+                f"no retained snapshot for checkpoint {checkpoint_id}")
+        if mode == "payload":
+            self._snapshots[checkpoint_id] = (  # type: ignore[assignment]
+                "\x00corrupt", self._snapshots[checkpoint_id])
+        elif mode == "manifest":
+            self.manifests[checkpoint_id].checksum = "0" * 64
+        else:
+            raise CheckpointError(f"unknown corruption mode {mode!r}")
+
     def latest(self) -> ParallelCheckpoint | None:
-        if not self._snapshots:
-            return None
-        return self._snapshots[max(self._snapshots)]
+        """Newest retained checkpoint that passes verification.
+
+        A corrupt newest checkpoint is quarantined (counted once) and
+        recovery falls back to the next-newest verifiable snapshot —
+        the reason ``keep >= 2`` matters on deployments that fear
+        storage rot.  Returns ``None`` only when nothing verifies.
+        """
+        for cid in sorted(self._snapshots, reverse=True):
+            if cid in self.quarantined:
+                continue
+            if self.verify(cid):
+                return self._snapshots[cid]
+            self.quarantined.add(cid)
+            self.integrity_failures += 1
+        return None
 
     def snapshot(self, checkpoint_id: int) -> ParallelCheckpoint | None:
         """A specific retained snapshot (None once pruned)."""
@@ -194,17 +309,28 @@ class CheckpointStore:
         return max(self.manifests, default=0) + 1
 
     def _prune(self) -> None:
-        live = sorted(self._snapshots)
         watermark = self.retain_watermark()
-        while len(live) > self.keep:
-            victim = live[0]
+        # Quarantined snapshots never count against ``keep``: pruning
+        # must not let a corrupt newest checkpoint push out the healthy
+        # fallback that recovery would need.
+        healthy = [cid for cid in sorted(self._snapshots)
+                   if cid not in self.quarantined]
+        while len(healthy) > self.keep:
+            victim = healthy[0]
             if watermark is not None and victim >= watermark:
                 # A registered consumer may still rewind here; keep the
                 # snapshot (and everything newer) until it catches up.
                 break
-            live.pop(0)
+            healthy.pop(0)
             del self._snapshots[victim]
             self.pruned += 1
+        if healthy:
+            # Quarantined debris older than the oldest healthy snapshot
+            # can never be a restore target; reclaim it.
+            for cid in [c for c in self._snapshots
+                        if c in self.quarantined and c < healthy[0]]:
+                del self._snapshots[cid]
+                self.pruned += 1
 
 
 class HeartbeatMonitor:
@@ -268,6 +394,10 @@ class _Pending:
         #: shed-tier state captured at the cut (plans + counts), so the
         #: finalized checkpoint rewinds shed accounting with positions
         self.shed_state: dict[str, Any] = {}
+        #: chaos data-fault counters at each subtask's cut (physical
+        #: clone name -> records seen); restores rewind them so replay
+        #: re-poisons the same records
+        self.data_counts: dict[str, int] = {}
 
     @property
     def complete(self) -> bool:
@@ -451,6 +581,14 @@ class CheckpointCoordinator:
         if self._pending is not None:
             self._pending.rr[key] = cursor
 
+    def capture_data_counts(self, checkpoint_id: int,
+                            counts: dict[str, int]) -> None:
+        """A subtask's data-fault counters at its barrier cut (only
+        reported when the injector carries data-fault specs)."""
+        pending = self._pending_for(checkpoint_id)
+        if pending is not None:
+            pending.data_counts.update(counts)
+
     # -- finalize / abort ----------------------------------------------------
 
     def maybe_finalize(self) -> ParallelCheckpoint | None:
@@ -499,6 +637,7 @@ class CheckpointCoordinator:
             in_flight={k: list(v) for k, v in pending.in_flight.items()
                        if v},
             shed_state=dict(pending.shed_state),
+            data_counts=dict(pending.data_counts),
         )
         manifest = self.store.manifests[cid]
         manifest.finalized_at = self.clock.now
@@ -511,6 +650,13 @@ class CheckpointCoordinator:
         # nothing — recovery restores checkpoint N and the sinks'
         # recorded (projected) output already includes transaction N.
         self.store.finalize(checkpoint, manifest)
+        if self.injector is not None:
+            # Storage-rot chaos site: the checkpoint committed cleanly,
+            # then the stored bytes went bad.  Detection is restore's
+            # job, so the hook fires after the atomic commit.
+            after = getattr(self.injector, "after_finalize", None)
+            if after is not None:
+                after(self.store, cid)
         self._pending = None
         self.finalized += 1
         for name, sink in executor.sinks.items():

@@ -1,0 +1,485 @@
+"""Per-operator error policies, dead letters, and restart budgets.
+
+The data plane is a fault domain: AR/big-data ingest is noisy mobile
+sensor traffic, and a single malformed record or throwing UDF must not
+take down an otherwise healthy job.  This module defines what happens
+when an operator fails *on a record*:
+
+- :data:`FAIL` — propagate the exception (the default; exactly the
+  pre-policy behaviour, so jobs without declared policies are
+  untouched);
+- :data:`SKIP` — drop the record and continue;
+- :func:`RETRY` — re-invoke the operator on the record up to ``n``
+  more times, then escalate to another policy;
+- :data:`DEAD_LETTER` — divert the record (with operator, exception and
+  fault provenance) to the job's dead-letter queue.
+
+Policies are declared per *logical* operator on the
+:class:`~repro.streaming.graph.JobBuilder` and enforced by both
+executors and by :class:`~repro.streaming.chain.ChainedOperator` for
+fused members, through the two guards here:
+
+- :func:`guard_batch` wraps a batch kernel.  The hot path is a bare
+  ``try``: a clean batch pays nothing.  Injected data faults (known
+  row offsets from the chaos injector) partition the batch — clean
+  slices keep the vectorized kernel, only poisoned rows fall back to
+  per-item isolation.  A *genuine* mid-batch exception rolls the
+  operator back to a pre-batch snapshot and replays the batch
+  per-item, so exactly the poisoned records are isolated.
+- :func:`guard_item` wraps one item in per-item execution mode.
+
+Dead-lettered records become :class:`Element`\\ s wrapping a
+:class:`DeadLetter` value, delivered to the reserved sink
+:data:`DLQ_SINK`.  In coordinated runs that sink is a 2PC
+:class:`~repro.streaming.txn_sink.TransactionalSink`, so committed DLQ
+contents obey the same exactly-once guarantee as committed output:
+under any crash schedule, ``committed sink + committed DLQ`` accounts
+for every input record exactly once.
+
+:class:`RestartBudget` is the supervisor-side complement: bounded
+restart attempts with seeded backoff on a
+:class:`~repro.util.clock.SimClock`, plus flapping detection, so a
+permanently-poisoned job escalates to
+:class:`~repro.util.errors.RestartsExhausted` instead of crash-looping
+forever.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Iterable
+
+from ..util.clock import SimClock
+from ..util.errors import (
+    BrokerDown,
+    ChaosError,
+    ConfigError,
+    CoordinatorDown,
+    DataFaultError,
+    OperatorCrash,
+    RestartsExhausted,
+)
+from ..util.rng import make_rng
+from .batch import RecordBatch
+from .element import Element, StreamItem, Watermark
+
+__all__ = [
+    "DEAD_LETTER",
+    "DLQ_SINK",
+    "FAIL",
+    "RETRY",
+    "SKIP",
+    "DeadLetter",
+    "ErrorPolicy",
+    "RestartBudget",
+    "dead_letter_element",
+    "guard_batch",
+    "guard_item",
+]
+
+#: Reserved name of the dead-letter sink an executor adds when any
+#: operator declares a policy that can dead-letter.  User sinks may not
+#: take this name.
+DLQ_SINK = "__dlq__"
+
+_KINDS = ("fail", "skip", "retry", "dead_letter")
+_ESCALATIONS = ("fail", "skip", "dead_letter")
+
+#: Failures the policy machinery must never swallow: injected
+#: infrastructure faults and harness errors are the *supervisor's*
+#: problem, not a property of the record being processed.
+_PASSTHROUGH = (OperatorCrash, CoordinatorDown, BrokerDown, ChaosError,
+                KeyboardInterrupt, SystemExit)
+
+
+@dataclass(frozen=True)
+class ErrorPolicy:
+    """What an operator does when processing a record raises.
+
+    ``attempts`` is the number of *re*-invocations a ``retry`` policy
+    makes after the first failure; once exhausted the ``escalate``
+    policy kind applies.  Non-retry kinds ignore both fields.
+    """
+
+    kind: str = "fail"
+    attempts: int = 0
+    escalate: str = "fail"
+
+    def __post_init__(self) -> None:
+        if self.kind not in _KINDS:
+            raise ConfigError(f"unknown error-policy kind {self.kind!r}; "
+                              f"expected one of {_KINDS}")
+        if self.escalate not in _ESCALATIONS:
+            raise ConfigError(
+                f"error policy may escalate to one of {_ESCALATIONS}, "
+                f"not {self.escalate!r}")
+        if self.kind == "retry" and self.attempts < 1:
+            raise ConfigError("RETRY needs attempts >= 1")
+        if self.kind != "retry" and self.attempts != 0:
+            raise ConfigError(
+                f"policy kind {self.kind!r} takes no attempts")
+
+    @property
+    def can_dead_letter(self) -> bool:
+        """Whether this policy can ever emit to the DLQ."""
+        return (self.kind == "dead_letter"
+                or (self.kind == "retry"
+                    and self.escalate == "dead_letter"))
+
+
+FAIL = ErrorPolicy("fail")
+SKIP = ErrorPolicy("skip")
+DEAD_LETTER = ErrorPolicy("dead_letter")
+
+
+def RETRY(attempts: int, escalate: str = "fail") -> ErrorPolicy:
+    """Retry the record ``attempts`` more times, then escalate."""
+    return ErrorPolicy("retry", attempts=attempts, escalate=escalate)
+
+
+@dataclass(frozen=True)
+class DeadLetter:
+    """One dead-lettered record: the original element plus provenance.
+
+    ``operator`` is the *logical* operator name (subtask suffixes
+    stripped) so DLQ contents compare across execution modes and
+    parallelisms.  ``error`` is the stringified exception — storing the
+    exception object itself would break the bit-identical equality the
+    chaos invariants assert on.  ``fault`` names the injected fault
+    kind when chaos poisoned the record (``"udf_exception"``,
+    ``"corrupt_value"``, ``"corrupt_timestamp"``) and ``"error"`` for
+    organic UDF failures.
+    """
+
+    value: Any
+    timestamp: float
+    key: Any
+    operator: str
+    error_type: str
+    error: str
+    fault: str = "error"
+    attempts: int = 0
+
+
+def _base_name(name: str) -> str:
+    """``"double[1]" -> "double"`` — subtask clone to logical name."""
+    if name.endswith("]"):
+        cut = name.rfind("[")
+        if cut > 0:
+            return name[:cut]
+    return name
+
+
+def dead_letter_element(element: Element, op_name: str,
+                        exc: BaseException, fault: str = "error",
+                        attempts: int = 0) -> Element:
+    """Wrap a failed record for delivery to the DLQ sink."""
+    letter = DeadLetter(
+        value=element.value, timestamp=element.timestamp,
+        key=element.key, operator=_base_name(op_name),
+        error_type=type(exc).__name__, error=str(exc),
+        fault=fault, attempts=attempts)
+    return Element(letter, timestamp=element.timestamp, key=element.key)
+
+
+# -- injected data corruption ------------------------------------------------
+
+#: Oversized payload: a corrupt reading orders of magnitude past any
+#: plausible sensor range — UDFs that validate ranges reject it, UDFs
+#: that subscript it crash on the type change.
+_OVERSIZED = "\xde\xad" * 2048
+
+
+def corrupt_value(param: str | None) -> Any:
+    """The replacement value for a ``corrupt_value`` fault."""
+    if param == "nan":
+        return float("nan")
+    if param == "oversized":
+        return _OVERSIZED
+    return None  # "wrong_type" (default): value vanishes entirely
+
+
+def corrupt_timestamp(param: str | None, timestamp: float) -> float:
+    """The replacement timestamp for a ``corrupt_timestamp`` fault."""
+    if param == "backwards":
+        return timestamp - 1.0e6  # ancient: certain late-drop
+    return float("nan")  # "garbage" (default)
+
+
+def apply_corruption(element: Element, kind: str,
+                     param: str | None) -> Element:
+    """Poison one element in place of the original."""
+    if kind == "corrupt_value":
+        return element.with_value(corrupt_value(param))
+    if kind == "corrupt_timestamp":
+        return Element(element.value,
+                       corrupt_timestamp(param, element.timestamp),
+                       element.key)
+    return element  # udf_exception leaves the record intact
+
+
+# -- enforcement -------------------------------------------------------------
+
+
+def _capture(op: Any) -> tuple[Any, int, int]:
+    return op.snapshot(), op.processed, op.emitted
+
+
+def _rollback(op: Any, state: tuple[Any, int, int]) -> None:
+    snap, processed, emitted = state
+    op.restore(snap)
+    op.processed = processed
+    op.emitted = emitted
+
+
+def _attempt(op: Any, element: Element,
+             handler: Callable[[StreamItem], list[StreamItem]] | None,
+             ) -> list[StreamItem]:
+    return op.handle(element) if handler is None else handler(element)
+
+
+def guard_item(op: Any, item: StreamItem, policy: ErrorPolicy,
+               dead_letters: list[Element],
+               fault: tuple[str, str | None, str] | None = None,
+               handler: Callable[[StreamItem], list[StreamItem]] | None
+               = None) -> list[StreamItem]:
+    """Process one item under ``policy``; the per-item isolation unit.
+
+    ``fault`` is an injected data fault ``(kind, param, detail)`` for
+    this record.  ``handler`` overrides ``op.handle`` (joins pass a
+    side-aware callable).  Failed attempts roll the operator back to a
+    pre-attempt snapshot so a partially-applied ``process`` cannot
+    leak state.
+    """
+    if not isinstance(item, Element):
+        # Watermarks/markers carry no data to poison; progress handling
+        # failing is an engine bug, not a data fault.
+        return _attempt(op, item, handler)
+    element = item
+    injected = fault is not None
+    if injected:
+        kind, param, _detail = fault
+        element = apply_corruption(element, kind, param)
+    if policy.kind == "fail" and not injected:
+        return _attempt(op, element, handler)
+    state = _capture(op)
+    try:
+        if injected and kind == "udf_exception":
+            raise DataFaultError(fault[2])
+        return _attempt(op, element, handler)
+    except _PASSTHROUGH:
+        raise
+    except Exception as exc:
+        _rollback(op, state)
+        effective = policy.kind
+        attempts = 0
+        if effective == "retry":
+            persistent = injected and kind == "udf_exception"
+            while attempts < policy.attempts:
+                attempts += 1
+                if persistent:
+                    continue  # the record itself is poisoned: refire
+                state = _capture(op)
+                try:
+                    return _attempt(op, element, handler)
+                except _PASSTHROUGH:
+                    raise
+                except Exception as again:
+                    _rollback(op, state)
+                    exc = again
+            effective = policy.escalate
+        if effective == "skip":
+            return []
+        if effective == "dead_letter":
+            dead_letters.append(dead_letter_element(
+                element, op.name, exc,
+                fault=fault[0] if injected else "error",
+                attempts=attempts))
+            return []
+        raise
+
+
+def _poison_segments(items: Iterable[StreamItem],
+                     faults: dict[int, tuple[str, str | None, str]],
+                     ) -> list[tuple[str, Any]]:
+    """Partition a mixed item list at poisoned element offsets.
+
+    Returns ``("run", [items...])`` segments safe for the batch kernel
+    interleaved with ``("poison", element, fault)`` single records, in
+    stream order — the validity-mask split that keeps clean slices on
+    the vectorized path.  Batches are sliced zero-copy at the cuts.
+    """
+    segments: list[tuple[str, Any]] = []
+    run: list[StreamItem] = []
+    offset = 0
+
+    def _cut() -> None:
+        nonlocal run
+        if run:
+            segments.append(("run", run))
+            run = []
+
+    for item in items:
+        if type(item) is RecordBatch:
+            n = len(item)
+            hits = sorted(k for k in faults if offset <= k < offset + n)
+            if not hits:
+                run.append(item)
+            else:
+                pos = 0
+                for k in hits:
+                    local = k - offset
+                    if local > pos:
+                        run.append(item.slice(pos, local))
+                    _cut()
+                    segments.append(
+                        ("poison",
+                         item.slice(local, local + 1).to_elements()[0],
+                         faults[k]))
+                    pos = local + 1
+                if pos < n:
+                    run.append(item.slice(pos, n))
+            offset += n
+        elif isinstance(item, Element):
+            fault = faults.get(offset)
+            if fault is None:
+                run.append(item)
+            else:
+                _cut()
+                segments.append(("poison", item, fault))
+            offset += 1
+        else:
+            run.append(item)  # watermarks: weight 0 in fault counting
+    _cut()
+    return segments
+
+
+def guard_batch(op: Any, items: list[StreamItem], policy: ErrorPolicy,
+                process: Callable[[list[StreamItem]], list[StreamItem]],
+                dead_letters: list[Element],
+                faults: dict[int, tuple[str, str | None, str]] | None
+                = None,
+                handler: Callable[[StreamItem], list[StreamItem]] | None
+                = None) -> list[StreamItem]:
+    """Run one operator's batch under its error policy.
+
+    ``faults`` maps element-weighted offsets within ``items`` to
+    injected data faults; those rows are processed in per-item
+    isolation while every clean slice keeps the batch kernel.  Without
+    known faults the batch runs optimistically; a genuine exception
+    rolls the operator back to the pre-batch snapshot and replays the
+    batch per-item so only the failing records pay the policy.
+    """
+    if faults:
+        out: list[StreamItem] = []
+        for segment in _poison_segments(items, faults):
+            if segment[0] == "run":
+                out.extend(guard_batch(op, segment[1], policy, process,
+                                       dead_letters, None, handler))
+            else:
+                out.extend(guard_item(op, segment[1], policy,
+                                      dead_letters, segment[2], handler))
+        return out
+    if policy.kind == "fail":
+        return process(items)
+    state = _capture(op)
+    try:
+        return process(items)
+    except _PASSTHROUGH:
+        raise
+    except Exception:
+        _rollback(op, state)
+        out = []
+        for item in items:
+            if type(item) is RecordBatch:
+                for element in item.to_elements():
+                    out.extend(guard_item(op, element, policy,
+                                          dead_letters, None, handler))
+            else:
+                out.extend(guard_item(op, item, policy, dead_letters,
+                                      None, handler))
+        return out
+
+
+# -- bounded restarts --------------------------------------------------------
+
+
+class RestartBudget:
+    """Bounded, backed-off restarts with flapping detection.
+
+    Supervisors (``run_with_recovery`` / ``run_coordinated``) consult
+    the budget on every failure: each restart consumes one attempt and
+    sleeps a seeded, capped exponential backoff on the simulated clock.
+    A restart that follows *no forward progress* (no new checkpoint
+    since the previous failure) counts toward the flapping streak;
+    ``flap_threshold`` consecutive no-progress restarts escalate to
+    :class:`~repro.util.errors.RestartsExhausted` immediately — the
+    job is permanently poisoned and further restarts only mask it.
+    """
+
+    def __init__(self, max_restarts: int = 16, *,
+                 base_delay_s: float = 0.25, multiplier: float = 2.0,
+                 max_delay_s: float = 30.0, jitter: float = 0.1,
+                 flap_threshold: int = 0, seed: int = 0,
+                 clock: SimClock | None = None) -> None:
+        if max_restarts < 0:
+            raise ConfigError("max_restarts must be >= 0")
+        if base_delay_s < 0 or max_delay_s < 0:
+            raise ConfigError("delays must be non-negative")
+        if multiplier < 1.0:
+            raise ConfigError("multiplier must be >= 1")
+        if not 0.0 <= jitter < 1.0:
+            raise ConfigError("jitter must be in [0, 1)")
+        if flap_threshold < 0:
+            raise ConfigError("flap_threshold must be >= 0 (0 disables)")
+        self.max_restarts = max_restarts
+        self.base_delay_s = base_delay_s
+        self.multiplier = multiplier
+        self.max_delay_s = max_delay_s
+        self.jitter = jitter
+        self.flap_threshold = flap_threshold
+        self.clock = clock
+        self._rng = make_rng((int(seed), 0xB0D6E7))
+        self.restarts = 0
+        self.total_backoff_s = 0.0
+        self._flap_streak = 0
+
+    def bind_clock(self, clock: SimClock) -> None:
+        """Late-bind the run's clock (supervisors own clock creation)."""
+        if self.clock is None:
+            self.clock = clock
+
+    def on_failure(self, error: Exception, *,
+                   made_progress: bool = True) -> float:
+        """Account one failure; returns the backoff slept before the
+        restart, or raises ``RestartsExhausted`` refusing it."""
+        if made_progress:
+            self._flap_streak = 0
+        else:
+            self._flap_streak += 1
+        if self._flap_streak and self.flap_threshold \
+                and self._flap_streak >= self.flap_threshold:
+            raise RestartsExhausted(
+                f"flapping: {self._flap_streak} consecutive restarts "
+                f"without a new checkpoint (after {self.restarts} "
+                f"restarts, {self.total_backoff_s:.3f}s backoff); "
+                f"last error: {error!r}",
+                restarts=self.restarts, reason="flapping",
+                last_error=error)
+        if self.restarts >= self.max_restarts:
+            raise RestartsExhausted(
+                f"restart budget exhausted: {self.restarts} restarts "
+                f"consumed (max {self.max_restarts}, "
+                f"{self.total_backoff_s:.3f}s total backoff); "
+                f"last error: {error!r}",
+                restarts=self.restarts, reason="budget",
+                last_error=error)
+        delay = min(self.max_delay_s,
+                    self.base_delay_s * self.multiplier ** self.restarts)
+        if self.jitter:
+            delay *= 1.0 + self.jitter * (self._rng.random() * 2.0 - 1.0)
+        self.restarts += 1
+        self.total_backoff_s += delay
+        if self.clock is not None and delay > 0.0:
+            self.clock.advance(delay)
+        return delay

@@ -77,6 +77,7 @@ from .batch import (
 )
 from .chain import ChainedOperator
 from .element import CheckpointBarrier, Element, StreamItem, Watermark
+from .errors import DLQ_SINK, FAIL, ErrorPolicy, guard_batch, guard_item
 from .graph import JobGraph
 from .join import IntervalJoinOperator
 from .operators import Operator
@@ -345,6 +346,12 @@ class ParallelCheckpoint:
     #: restore rewinds shed accounting together with source positions
     #: (replayed input re-sheds the same elements, counted once).
     shed_state: dict[str, Any] = field(default_factory=dict)
+    #: chaos data-fault counters at the cut (per physical operator
+    #: clone; see FaultInjector.data_counts): data-fault windows name
+    #: records, so a restore rewinds them and replay re-poisons the
+    #: same records — keeping committed output identical to a
+    #: crash-free run under the same data faults.
+    data_counts: dict[str, int] = field(default_factory=dict)
 
 
 class ParallelExecutor:
@@ -431,6 +438,7 @@ class ParallelExecutor:
             }
         else:
             self.sinks = {s: SinkBuffer(s) for s in job.sinks}
+        self._wire_error_policies()
         # -- sources: split buffers + positions ---------------------------
         self._split_buffers: dict[str, dict[int, list[Element]]] = {}
         self._split_positions: dict[str, dict[int, int]] = {}
@@ -539,6 +547,97 @@ class ParallelExecutor:
                 for i in range(self._node_parallelism(edge.up)):
                     feeders.append((edge.up, i))
         return tuple(feeders)
+
+    def _wire_error_policies(self) -> None:
+        """Precompute per-node error-policy enforcement and create the
+        reserved dead-letter sink when any policy can dead-letter.
+
+        ``self._guard`` maps guarded single-operator execution nodes to
+        their policy; fused chains enforce per member internally (the
+        per-subtask chain clones get policies / the shared dead-letter
+        list / the injector's fault source installed here).  The DLQ
+        sink mirrors the job's sink flavour: transactional runs stage
+        dead letters through the same 2PC protocol as regular output,
+        so a crash can neither lose nor duplicate them."""
+        policies = self.job.error_policies
+        self._data_chaos = (self.injector is not None
+                            and getattr(self.injector, "has_data_faults",
+                                        False))
+        self._dead_letters: list[Element] = []
+        self._guard: dict[str, ErrorPolicy] = {}
+        dlq_nodes: list[str] = []
+        for name in self.graph.topo:
+            node = self.graph.nodes[name]
+            if len(node.members) > 1:
+                member_policies = {m: policies[m] for m in node.members
+                                   if m in policies}
+                if member_policies or self._data_chaos:
+                    for op in self._ops[name]:
+                        op.policies = member_policies
+                        op.dead_letters = self._dead_letters
+                        if self._data_chaos:
+                            op.fault_source = self.injector.data_directives
+                if any(p.can_dead_letter
+                       for p in member_policies.values()):
+                    dlq_nodes.append(name)
+            else:
+                policy = policies.get(node.members[0])
+                if policy is not None and policy.kind != "fail":
+                    self._guard[name] = policy
+                elif self._data_chaos:
+                    self._guard[name] = policy or FAIL
+                if policy is not None and policy.can_dead_letter:
+                    dlq_nodes.append(name)
+        self._dlq_nodes = set(dlq_nodes)
+        if self.job.needs_dead_letters:
+            if self.transactional_sinks:
+                feeders = tuple(
+                    (n, i) for n in dlq_nodes
+                    for i in range(self.graph.nodes[n].parallelism))
+                self.sinks[DLQ_SINK] = TransactionalSink(DLQ_SINK, feeders)
+            else:
+                self.sinks[DLQ_SINK] = SinkBuffer(DLQ_SINK)
+
+    def _guarded_process(self, op, policy):
+        """A ``process_batch`` replacement enforcing ``policy`` (and any
+        injected data faults) on every batch through ``op``."""
+        def process(batch):
+            faults = (self.injector.data_directives(op, batch)
+                      if self._data_chaos else None)
+            return guard_batch(op, batch, policy, op.process_batch,
+                               self._dead_letters, faults)
+        return process
+
+    def _guarded_side_process(self, op, policy, side):
+        """Like :meth:`_guarded_process` for one side of a join."""
+        handler = lambda it, _s=side: (  # noqa: E731
+            op.on_watermark_side(_s, it) if isinstance(it, Watermark)
+            else op.process_side(_s, it))
+
+        def process(batch):
+            faults = (self.injector.data_directives(op, batch)
+                      if self._data_chaos else None)
+            return guard_batch(
+                op, batch, policy,
+                lambda items, _s=side: op.process_side_batch(_s, items),
+                self._dead_letters, faults, handler=handler)
+        return process
+
+    def _emit_dead_letters(self, name: str, idx: int) -> None:
+        """Route dead letters collected while subtask (name, idx) was
+        processing into the reserved DLQ sink.  Transactional runs stage
+        them against this feeder's open epoch; the sink frontier gauge is
+        left alone (a poisoned record's timestamp may be garbage)."""
+        letters = self._dead_letters
+        sink = self.sinks[DLQ_SINK]
+        if self.transactional_sinks:
+            sink.deliver(list(letters), (name, idx))
+        else:
+            sink.elements.extend(letters)
+        if self.metrics is not None:
+            self.metrics.counter("sink.delivered",
+                                 sink=DLQ_SINK).inc(len(letters))
+        letters.clear()
 
     # -- checkpoint coordination ---------------------------------------------
 
@@ -1295,36 +1394,54 @@ class ParallelExecutor:
         op = self._ops[name][idx]
         injector = self.injector
         join = isinstance(op, IntervalJoinOperator)
+        guard = self._guard.get(name)
         if self.batch_mode:
             if join:
                 if self.columnar:
                     items = decode_items(items)
-                if injector is None:
-                    out = op.process_side_batch(side, items)
+                if guard is None:
+                    process = (lambda batch, _s=side:
+                               op.process_side_batch(_s, batch))
                 else:
-                    out = injector.intercept_batch(
-                        op, items,
-                        lambda batch, _s=side: op.process_side_batch(_s,
-                                                                     batch))
+                    process = self._guarded_side_process(op, guard, side)
+            elif guard is None:
+                process = op.process_batch
             else:
-                if injector is None:
-                    out = op.process_batch(items)
-                else:
-                    out = injector.intercept_batch(op, items,
-                                                   op.process_batch)
+                process = self._guarded_process(op, guard)
+            if injector is None:
+                out = process(items)
+            else:
+                out = injector.intercept_batch(op, items, process)
             self._emit(name, idx, out)
+            if self._dead_letters:
+                self._emit_dead_letters(name, idx)
             return
         for item in items:
             if injector is not None:
                 injector.before_item(op)
             if join:
                 if isinstance(item, Watermark):
-                    out = op.on_watermark_side(side, item)
+                    handler = (lambda it, _s=side:
+                               op.on_watermark_side(_s, it))
                 else:
-                    out = op.process_side(side, item)
+                    handler = (lambda it, _s=side:
+                               op.process_side(_s, it))
             else:
-                out = op.handle(item)
+                handler = None
+            if guard is None:
+                out = (handler(item) if handler is not None
+                       else op.handle(item))
+            else:
+                fault = None
+                if self._data_chaos:
+                    faults = injector.data_directives(op, (item,))
+                    if faults:
+                        fault = faults.get(0)
+                out = guard_item(op, item, guard, self._dead_letters,
+                                 fault, handler=handler)
             self._emit(name, idx, out)
+        if self._dead_letters:
+            self._emit_dead_letters(name, idx)
 
     def _drain_cycle(self) -> int:
         moved = 0
@@ -1485,6 +1602,14 @@ class ParallelExecutor:
             self._coordinator.capture_aligned_wm(
                 (name, idx, side), self._aligned_wm[(name, idx, side)])
         self._emit(name, idx, [CheckpointBarrier(checkpoint_id)])
+        if name in self._dlq_nodes and DLQ_SINK in self.sinks \
+                and self.transactional_sinks:
+            # Dead-letter feeders also gate the DLQ's 2PC pre-commit:
+            # this subtask's barrier closes its dead-letter epoch.
+            cid = self.sinks[DLQ_SINK].on_barrier((name, idx),
+                                                  checkpoint_id)
+            if cid is not None and self._coordinator is not None:
+                self._coordinator.on_sink_ack(cid, DLQ_SINK)
         self._capture_rr(name, idx)
 
     def _subtask_sides(self, name: str, idx: int) -> list[str | None]:
@@ -1514,6 +1639,17 @@ class ParallelExecutor:
                 scalar[m] = clone.snapshot()
         self._coordinator.on_subtask_ack(checkpoint_id, name, idx,
                                          keyed, scalar)
+        if self._data_chaos:
+            # This subtask's data-fault counters are exactly at the
+            # barrier cut: everything pre-barrier is processed, nothing
+            # post-barrier is.  Report them so the assembled checkpoint
+            # can rewind fault windows to the same records on restore.
+            all_counts = self.injector.data_counts()
+            self._coordinator.capture_data_counts(
+                checkpoint_id,
+                {self._clones[m][idx].name:
+                 all_counts.get(self._clones[m][idx].name, 0)
+                 for m in node.members})
         if self.profiler is not None:
             self.profiler.record("checkpoint.snapshot_s", started,
                                  op=subtask)
@@ -1735,6 +1871,8 @@ class ParallelExecutor:
                 "rr": dict(self._rr),
             },
             shed_state=self.shed_state_snapshot(),
+            data_counts=(self.injector.data_counts()
+                         if self._data_chaos else {}),
         )
         if self.profiler is not None:
             self.profiler.record("checkpoint.duration_s", started)
@@ -1847,6 +1985,13 @@ class ParallelExecutor:
         for aligner in self._aligners.values():
             aligner.reset()
         self.apply_shed_state(checkpoint.shed_state)
+        if self._data_chaos:
+            # Data-fault windows name records, not wall-clock events:
+            # rewinding the counters makes replay re-poison exactly the
+            # records the lost epoch poisoned, so committed output stays
+            # identical to a crash-free run under the same data faults.
+            self.injector.restore_data_counts(checkpoint.data_counts)
+        self._dead_letters.clear()
         self._flushed = False
         if self._coordinator is not None:
             self._coordinator.on_executor_restored()

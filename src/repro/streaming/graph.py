@@ -24,6 +24,7 @@ import networkx as nx
 
 from ..util.errors import JobGraphError
 from .element import Element
+from .errors import DLQ_SINK, ErrorPolicy
 from .join import IntervalJoinOperator
 from .operators import (
     FilterOperator,
@@ -104,6 +105,16 @@ class JobGraph:
     #: two regions: a WAN hop in a dataflow is an explicit design
     #: decision, never an inference (see CONTRIBUTING.md).
     cross_region_edges: set[tuple[str, str]] = field(default_factory=set)
+    #: per-operator error policies (operator name ->
+    #: :class:`~repro.streaming.errors.ErrorPolicy`).  Undeclared
+    #: operators default to FAIL — exactly the pre-policy behaviour.
+    error_policies: dict[str, "ErrorPolicy"] = field(default_factory=dict)
+
+    @property
+    def needs_dead_letters(self) -> bool:
+        """Whether any declared policy can route records to the DLQ
+        (executors add the reserved DLQ sink only then)."""
+        return any(p.can_dead_letter for p in self.error_policies.values())
 
     def validate(self) -> None:
         graph = nx.DiGraph()
@@ -161,6 +172,18 @@ class JobGraph:
                 raise JobGraphError(
                     f"declared cross-region edge {up!r} -> {down!r} does "
                     "not exist in the job graph")
+        if DLQ_SINK in self.sinks:
+            raise JobGraphError(
+                f"sink name {DLQ_SINK!r} is reserved for the dead-letter "
+                "queue")
+        for name, policy in self.error_policies.items():
+            if name not in self.operators:
+                raise JobGraphError(
+                    f"error policy declared for unknown operator {name!r}")
+            if not isinstance(policy, ErrorPolicy):
+                raise JobGraphError(
+                    f"error policy for {name!r} must be an ErrorPolicy, "
+                    f"got {type(policy).__name__}")
         self._topo_order = [n for n in nx.topological_sort(graph)]
 
     def topological_operators(self) -> list[str]:
@@ -261,6 +284,11 @@ class _StreamHandle:
         self._builder._add_edge(self._node, operator.name, None)
         return _StreamHandle(self._builder, operator.name)
 
+    def on_error(self, policy: ErrorPolicy) -> "_StreamHandle":
+        """Declare the error policy of the operator at the cursor."""
+        self._builder.on_error(self._node, policy)
+        return self
+
     @property
     def node(self) -> str:
         return self._node
@@ -278,6 +306,7 @@ class JobBuilder:
         self._counters: dict[str, int] = {}
         self._regions: dict[str, str] = {}
         self._cross_region: set[tuple[str, str]] = set()
+        self._error_policies: dict[str, ErrorPolicy] = {}
 
     def _auto(self, name: str | None, kind: str) -> str:
         if name is not None:
@@ -320,6 +349,10 @@ class JobBuilder:
         self._edges.append((up, down, side))
 
     def _add_sink(self, name: str) -> None:
+        if name == DLQ_SINK:
+            raise JobGraphError(
+                f"sink name {DLQ_SINK!r} is reserved for the "
+                "dead-letter queue")
         if name in self._sources or name in self._operators:
             raise JobGraphError(
                 f"sink name {name!r} collides with an existing "
@@ -330,6 +363,17 @@ class JobBuilder:
     def pin_region(self, node: str, region: str) -> "JobBuilder":
         """Pin a named node to a region."""
         self._regions[node] = region
+        return self
+
+    def on_error(self, operator: str, policy: ErrorPolicy) -> "JobBuilder":
+        """Declare an operator's error policy (FAIL / SKIP / RETRY(n) /
+        DEAD_LETTER from :mod:`repro.streaming.errors`).  Validated at
+        :meth:`build`; undeclared operators keep the FAIL default."""
+        if not isinstance(policy, ErrorPolicy):
+            raise JobGraphError(
+                f"on_error({operator!r}) needs an ErrorPolicy, got "
+                f"{type(policy).__name__}")
+        self._error_policies[operator] = policy
         return self
 
     def declare_cross_region(self, up: str, down: str) -> "JobBuilder":
@@ -345,6 +389,7 @@ class JobBuilder:
                        operators=dict(self._operators),
                        edges=list(self._edges), sinks=set(self._sinks),
                        regions=dict(self._regions),
-                       cross_region_edges=set(self._cross_region))
+                       cross_region_edges=set(self._cross_region),
+                       error_policies=dict(self._error_policies))
         job.validate()
         return job

@@ -26,7 +26,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Mapping
 
-from ..util.errors import JobGraphError
+from ..util.errors import JobGraphError, NetworkError
 
 __all__ = ["RegionPlacement", "placement_from_topology"]
 
@@ -118,8 +118,10 @@ def placement_from_topology(topology: Any,
                 for b in members[rb]:
                     try:
                         latency = topology.nominal_path_latency(a, b)
-                    except Exception:
-                        continue  # unreachable right now
+                    except NetworkError:
+                        # Unreachable right now; anything else (a typo'd
+                        # node name, a broken topology) should surface.
+                        continue
                     if best is None or latency < best:
                         best = latency
             if best is not None:

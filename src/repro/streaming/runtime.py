@@ -47,6 +47,7 @@ from .batch import (ColumnarStream, RecordBatch, decode_items, elements_of,
                     items_weight, take_prefix)
 from .chain import ChainedOperator
 from .element import Element, StreamItem, Watermark
+from .errors import DLQ_SINK, FAIL, ErrorPolicy, guard_batch, guard_item
 from .graph import JobGraph
 from .join import IntervalJoinOperator
 from .operators import Operator
@@ -62,6 +63,10 @@ class Checkpoint:
     source_positions: dict[str, int]
     operator_state: dict[str, Any]
     emitted_to_sinks: dict[str, int]
+    #: chaos data-fault counters at the cut (see FaultInjector
+    #: .data_counts): fault windows name records, so replay after a
+    #: restore must rewind them to re-poison the same records
+    data_counts: dict[str, int] = field(default_factory=dict)
 
 
 @dataclass
@@ -160,6 +165,11 @@ class Executor:
         self.sinks: dict[str, SinkBuffer] = {
             s: SinkBuffer(s) for s in job.sinks
         }
+        if job.needs_dead_letters:
+            # The reserved DLQ sink rides the normal sink machinery, so
+            # checkpoints snapshot/truncate it like any other sink and
+            # recovery keeps it exactly-once.
+            self.sinks[DLQ_SINK] = SinkBuffer(DLQ_SINK)
         self._job_span: Any = None
         self._obs_spans: dict[str, Any] = {}
         self._max_event_ts = float("-inf")
@@ -229,6 +239,69 @@ class Executor:
         self._down: dict[str, list[tuple[str, str | None]]] = {}
         for up, down, side in self._exec_edges:
             self._down.setdefault(up, []).append((down, side))
+        self._wire_error_policies()
+
+    def _wire_error_policies(self) -> None:
+        """Precompute error-policy enforcement per execution node.
+
+        ``self._guard`` maps guarded *unfused* nodes to their policy;
+        fused chains enforce per member internally (policies /
+        dead-letter list / fault source installed here).  Jobs without
+        declared policies and without data-fault chaos get an empty
+        map — the drain loops then take exactly the pre-policy path.
+        """
+        policies = self.job.error_policies
+        self._data_chaos = (self.injector is not None
+                            and getattr(self.injector,
+                                        "has_data_faults", False))
+        self._dead_letters: list[Element] = []
+        self._guard: dict[str, ErrorPolicy] = {}
+        for name, op in self._exec_ops.items():
+            if isinstance(op, ChainedOperator):
+                member_policies = {m: policies[m]
+                                   for m in op.member_names
+                                   if m in policies}
+                if member_policies or self._data_chaos:
+                    op.policies = member_policies
+                    op.dead_letters = self._dead_letters
+                    if self._data_chaos:
+                        op.fault_source = self.injector.data_directives
+            else:
+                policy = policies.get(name)
+                if policy is not None and policy.kind != "fail":
+                    self._guard[name] = policy
+                elif self._data_chaos:
+                    self._guard[name] = policy or FAIL
+
+    def _deliver_dead_letters(self) -> None:
+        """Move collected dead letters into the reserved DLQ sink."""
+        self.sinks[DLQ_SINK].elements.extend(self._dead_letters)
+        self._dead_letters.clear()
+
+    def _guarded_process(self, op, policy):
+        """A ``process_batch`` replacement enforcing ``policy`` (and any
+        injected data faults) on every batch through ``op``."""
+        def process(batch):
+            faults = (self.injector.data_directives(op, batch)
+                      if self._data_chaos else None)
+            return guard_batch(op, batch, policy, op.process_batch,
+                               self._dead_letters, faults)
+        return process
+
+    def _guarded_side_process(self, op, policy, side):
+        """Like :meth:`_guarded_process` for one side of a join."""
+        handler = lambda it, _s=side: (  # noqa: E731
+            op.on_watermark_side(_s, it) if isinstance(it, Watermark)
+            else op.process_side(_s, it))
+
+        def process(batch):
+            faults = (self.injector.data_directives(op, batch)
+                      if self._data_chaos else None)
+            return guard_batch(
+                op, batch, policy,
+                lambda items, _s=side: op.process_side_batch(_s, items),
+                self._dead_letters, faults, handler=handler)
+        return process
 
     def chained_nodes(self) -> dict[str, list[str]]:
         """Execution-node name -> member operator names for fused chains."""
@@ -472,6 +545,7 @@ class Executor:
             started = (profiler.timer()
                        if profiler is not None and not chained else 0.0)
             drained = 0
+            guard = self._guard.get(name)
             if isinstance(op, IntervalJoinOperator):
                 for side in ("left", "right"):
                     pending = self._take_channel(name, side)
@@ -484,13 +558,17 @@ class Executor:
                         pending = decode_items(pending)
                     moved += len(pending)
                     drained += len(pending)
-                    if injector is None:
-                        out = op.process_side_batch(side, pending)
+                    if guard is None:
+                        process = (lambda batch, _s=side:
+                                   op.process_side_batch(_s, batch))
                     else:
-                        out = injector.intercept_batch(
-                            op, pending,
-                            lambda batch, _s=side:
-                                op.process_side_batch(_s, batch))
+                        process = self._guarded_side_process(op, guard,
+                                                             side)
+                    if injector is None:
+                        out = process(pending)
+                    else:
+                        out = injector.intercept_batch(op, pending,
+                                                       process)
                     self._route_batch(name, out)
             else:
                 pending = self._take_channel(name, None)
@@ -500,12 +578,17 @@ class Executor:
                           else len(pending))
                 moved += weight
                 drained = weight
-                if injector is None:
-                    out = op.process_batch(pending)
+                if guard is None:
+                    process = op.process_batch
                 else:
-                    out = injector.intercept_batch(op, pending,
-                                                   op.process_batch)
+                    process = self._guarded_process(op, guard)
+                if injector is None:
+                    out = process(pending)
+                else:
+                    out = injector.intercept_batch(op, pending, process)
                 self._route_batch(name, out)
+            if self._dead_letters:
+                self._deliver_dead_letters()
             if drained:
                 if metrics is not None:
                     self._batch_size_summary(name).observe(drained)
@@ -521,6 +604,7 @@ class Executor:
         profiler = self.profiler
         for name in self._topo:
             op = self._exec_ops[name]
+            guard = self._guard.get(name)
             for side in ([None] if not isinstance(op, IntervalJoinOperator)
                          else ["left", "right"]):
                 pending = self._take_channel(name, side)
@@ -533,12 +617,28 @@ class Executor:
                         injector.before_item(op)  # may raise a crash
                     if isinstance(op, IntervalJoinOperator):
                         if isinstance(item, Watermark):
-                            out = op.on_watermark_side(side, item)
+                            handler = (lambda it, _s=side:
+                                       op.on_watermark_side(_s, it))
                         else:
-                            out = op.process_side(side, item)
+                            handler = (lambda it, _s=side:
+                                       op.process_side(_s, it))
                     else:
-                        out = op.handle(item)
+                        handler = None
+                    if guard is None:
+                        out = (handler(item) if handler is not None
+                               else op.handle(item))
+                    else:
+                        fault = None
+                        if self._data_chaos:
+                            faults = injector.data_directives(op, (item,))
+                            if faults:
+                                fault = faults.get(0)
+                        out = guard_item(op, item, guard,
+                                         self._dead_letters, fault,
+                                         handler=handler)
                     self._route(name, out)
+                if self._dead_letters:
+                    self._deliver_dead_letters()
                 if metrics is not None:
                     self._batch_size_summary(name).observe(len(pending))
                 if profiler is not None:
@@ -685,6 +785,8 @@ class Executor:
             operator_state={name: op.snapshot()
                             for name, op in self.job.operators.items()},
             emitted_to_sinks={s: len(buf) for s, buf in self.sinks.items()},
+            data_counts=(self.injector.data_counts()
+                         if self._data_chaos else {}),
         )
         if self.profiler is not None:
             self.profiler.record("checkpoint.duration_s", started)
@@ -714,6 +816,9 @@ class Executor:
             del self.sinks[sink].elements[count:]
         for channel in self._channels.values():
             channel.clear()
+        if self._data_chaos:
+            self.injector.restore_data_counts(checkpoint.data_counts)
+        self._dead_letters.clear()
         self._flushed = False
         if self.metrics is not None:
             self.metrics.counter("executor.restores").inc()

@@ -118,6 +118,45 @@ class CoordinatorDown(StreamError):
     """
 
 
+class DataFaultError(StreamError):
+    """A record could not be processed: malformed value, garbage
+    timestamp, or a deterministically-throwing UDF.
+
+    Data faults are *non-transient*: retrying the same record yields the
+    same failure, so retry layers (see ``util.retry``) should treat this
+    as non-retryable and per-operator error policies decide the record's
+    fate instead (skip, dead-letter, or fail the job).
+    """
+
+
+class CheckpointIntegrityError(CheckpointError):
+    """A stored checkpoint failed verification: its manifest checksum or
+    snapshot payload digest no longer matches what was recorded at
+    finalize time.  Restore logic falls back to the newest checkpoint
+    that still verifies; this error surfaces only when none does.
+    """
+
+
+class RestartsExhausted(StreamError):
+    """A supervisor gave up restarting a job.
+
+    Either the restart budget ran out, or flapping detection tripped:
+    too many consecutive restarts without any forward progress, the
+    signature of a permanently-poisoned job that recovery can only mask,
+    never fix.  ``restarts`` counts the restarts consumed, ``reason``
+    is ``"budget"`` or ``"flapping"``, and ``last_error`` is the failure
+    that triggered the final, refused restart.
+    """
+
+    def __init__(self, message: str, *, restarts: int = 0,
+                 reason: str = "budget",
+                 last_error: Exception | None = None):
+        super().__init__(message)
+        self.restarts = restarts
+        self.reason = reason
+        self.last_error = last_error
+
+
 class StoreError(ReproError):
     """Tiered serving store misuse (bad shard config, rewound apply)."""
 

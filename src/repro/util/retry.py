@@ -42,6 +42,15 @@ class RetryPolicy:
     retries.  ``deadline_s`` bounds the total backoff slept; a retry
     whose delay would cross it raises :class:`RetryExhausted` instead of
     sleeping past the budget.
+
+    ``retryable`` filters *which* caught exceptions are worth retrying:
+    when set, an exception that is not an instance of one of these
+    classes re-raises immediately instead of burning the backoff
+    budget.  Non-transient failures — a malformed record raising
+    :class:`~repro.util.errors.DataFaultError`, a config error — look
+    identical to transient ones to an indiscriminate retry loop, but no
+    amount of backoff fixes them.  ``None`` (the default) keeps the
+    historical behaviour: everything ``retry_on`` catches is retried.
     """
 
     max_attempts: int = 8
@@ -51,6 +60,7 @@ class RetryPolicy:
     jitter: float = 0.1
     deadline_s: float | None = None
     seed: int = 0
+    retryable: tuple[type[BaseException], ...] | None = None
 
     def __post_init__(self) -> None:
         if self.max_attempts < 1:
@@ -63,6 +73,13 @@ class RetryPolicy:
             raise ConfigError("jitter must be in [0, 1)")
         if self.deadline_s is not None and self.deadline_s < 0:
             raise ConfigError("deadline_s must be non-negative")
+        if self.retryable is not None:
+            object.__setattr__(self, "retryable", tuple(self.retryable))
+            if not all(isinstance(c, type) and
+                       issubclass(c, BaseException)
+                       for c in self.retryable):
+                raise ConfigError(
+                    "retryable must be exception classes")
 
     def delays(self, n: int | None = None) -> list[float]:
         """The first ``n`` jittered delays (default: one per retry)."""
@@ -101,13 +118,20 @@ class Retrier:
              retry_on: tuple[type[BaseException], ...] | Iterable[
                  type[BaseException]] = (Exception,),
              on_retry: Callable[[int, BaseException], None] | None = None,
+             retryable: tuple[type[BaseException], ...] | Iterable[
+                 type[BaseException]] | None = None,
              ) -> Any:
         """Call ``fn`` until it succeeds or the policy gives up.
 
         ``on_retry(attempt, error)`` fires before each backoff — the
         hook producers use to switch from ``send`` to ``resend_last``.
+        ``retryable`` overrides the policy's non-transient filter for
+        this call: a caught exception not matching it re-raises
+        immediately (no backoff, no :class:`RetryExhausted` wrapper).
         """
         retry_on = tuple(retry_on)
+        transient = (tuple(retryable) if retryable is not None
+                     else self.policy.retryable)
         policy = self.policy
         slept = 0.0
         attempt = 1
@@ -116,6 +140,9 @@ class Retrier:
             try:
                 return fn()
             except retry_on as exc:
+                if transient is not None \
+                        and not isinstance(exc, transient):
+                    raise
                 if attempt >= policy.max_attempts:
                     raise RetryExhausted(
                         f"gave up after {attempt} attempts: {exc}",

@@ -1,0 +1,205 @@
+"""CheckpointStore integrity: checksums, quarantine, fallback, debris.
+
+Tier-1 coverage for the store-level integrity machinery — manifest
+self-checksums, payload digests, quarantine-aware ``latest()``, the
+finalize-after-abort guard, and pruning's handling of quarantined and
+recovery debris.  End-to-end corruption-under-chaos lives in the
+``datafault``-marked suite and ``tools/check_robustness.py --datafault``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.streaming.coordinator import (
+    ABORTED,
+    FINALIZED,
+    PENDING,
+    CheckpointManifest,
+    CheckpointStore,
+)
+from repro.streaming.execution import ParallelCheckpoint
+from repro.util.errors import CheckpointError, CheckpointIntegrityError
+
+
+def ckpt(cid, marker="state"):
+    return ParallelCheckpoint(
+        checkpoint_id=cid,
+        num_key_groups=8,
+        parallelism={"double": 2},
+        num_splits={"events": 1},
+        source_positions={"events": {0: cid * 10}},
+        keyed_state={"double": {0: {"marker": marker}}},
+        scalar_state={"double": [None, None]},
+        sink_elements={"out": []},
+    )
+
+
+def finalize(store, cid, **kw):
+    manifest = CheckpointManifest(checkpoint_id=cid, started_at=float(cid))
+    store.record(manifest)
+    store.finalize(ckpt(cid, **kw), manifest)
+    return manifest
+
+
+# -- digests and verification ------------------------------------------------
+
+
+def test_finalize_records_digest_and_checksum():
+    store = CheckpointStore(keep=2)
+    manifest = finalize(store, 1)
+    assert manifest.status == FINALIZED
+    assert manifest.payload_digest and manifest.checksum
+    assert store.verify(1)
+
+
+def test_verify_fails_closed_on_missing_or_pending():
+    store = CheckpointStore(keep=2)
+    assert not store.verify(99)  # never existed
+    pending = CheckpointManifest(checkpoint_id=1)
+    store.record(pending)
+    assert pending.status == PENDING
+    assert not store.verify(1)  # manifest without snapshot: crash debris
+
+
+def test_corrupt_payload_detected():
+    store = CheckpointStore(keep=2)
+    finalize(store, 1)
+    store.corrupt(1, mode="payload")
+    assert not store.verify(1)
+    with pytest.raises(CheckpointIntegrityError):
+        store.require(1)
+    assert store.quarantined == {1}
+    assert store.integrity_failures == 1
+
+
+def test_corrupt_manifest_detected():
+    store = CheckpointStore(keep=2)
+    finalize(store, 1)
+    store.corrupt(1, mode="manifest")
+    assert not store.verify(1)
+    with pytest.raises(CheckpointIntegrityError):
+        store.require(1)
+
+
+def test_corrupt_rejects_unknown_target_and_mode():
+    store = CheckpointStore(keep=2)
+    with pytest.raises(CheckpointError):
+        store.corrupt(7)
+    finalize(store, 1)
+    with pytest.raises(CheckpointError):
+        store.corrupt(1, mode="gamma_ray")
+
+
+# -- quarantine-aware latest() ----------------------------------------------
+
+
+def test_latest_falls_back_past_corrupt_newest():
+    store = CheckpointStore(keep=2)
+    finalize(store, 1, marker="old")
+    finalize(store, 2, marker="new")
+    store.corrupt(2, mode="payload")
+    restored = store.latest()
+    assert restored is not None and restored.checkpoint_id == 1
+    assert store.quarantined == {2}
+    assert store.integrity_failures == 1
+    # A second lookup must not double-count the same rotten snapshot.
+    assert store.latest().checkpoint_id == 1
+    assert store.integrity_failures == 1
+
+
+def test_latest_none_when_everything_rotten():
+    store = CheckpointStore(keep=2)
+    finalize(store, 1)
+    finalize(store, 2)
+    store.corrupt(1, mode="payload")
+    store.corrupt(2, mode="manifest")
+    assert store.latest() is None
+    assert store.quarantined == {1, 2}
+    assert store.integrity_failures == 2
+
+
+def test_require_skips_quarantine_recount():
+    store = CheckpointStore(keep=2)
+    finalize(store, 1)
+    store.corrupt(1, mode="payload")
+    assert store.latest() is None  # quarantines id 1
+    with pytest.raises(CheckpointIntegrityError):
+        store.require(1)
+    assert store.integrity_failures == 1
+
+
+# -- abort / finalize ordering ----------------------------------------------
+
+
+def test_finalize_after_abort_raises():
+    store = CheckpointStore(keep=2)
+    manifest = CheckpointManifest(checkpoint_id=1)
+    store.record(manifest)
+    store.abort(1)
+    assert manifest.status == ABORTED
+    with pytest.raises(CheckpointError):
+        store.finalize(ckpt(1), manifest)
+    assert store.snapshot(1) is None
+
+
+def test_abort_only_demotes_pending():
+    store = CheckpointStore(keep=2)
+    manifest = finalize(store, 1)
+    store.abort(1)  # finalized manifests are immune
+    assert manifest.status == FINALIZED
+    assert store.verify(1)
+
+
+def test_id_mismatch_rejected():
+    store = CheckpointStore(keep=2)
+    manifest = CheckpointManifest(checkpoint_id=2)
+    store.record(manifest)
+    with pytest.raises(CheckpointError):
+        store.finalize(ckpt(1), manifest)
+
+
+# -- pruning with quarantine and recovery debris -----------------------------
+
+
+def test_quarantined_snapshot_does_not_crowd_out_fallback():
+    store = CheckpointStore(keep=1)
+    finalize(store, 1)
+    finalize(store, 2)
+    # keep=1 pruned id 1; corrupt the sole survivor, then finalize a
+    # replacement: the quarantined snapshot must not count against
+    # ``keep`` and push the healthy one out.
+    store.corrupt(2, mode="payload")
+    assert store.latest() is None
+    finalize(store, 3)
+    assert store.latest().checkpoint_id == 3
+    assert 3 in store.retained_ids()
+
+
+def test_prune_reclaims_stale_quarantined_debris():
+    store = CheckpointStore(keep=2)
+    finalize(store, 1)
+    finalize(store, 2)
+    store.corrupt(2, mode="payload")
+    assert store.latest().checkpoint_id == 1  # quarantines 2
+    finalize(store, 3)
+    finalize(store, 4)
+    finalize(store, 5)
+    # healthy = {4, 5}; the quarantined id 2 is now older than the
+    # oldest healthy snapshot — dead weight recovery can never target.
+    assert store.snapshot(2) is None
+    assert store.retained_ids() == [4, 5]
+
+
+def test_recovery_debris_never_a_restore_target():
+    store = CheckpointStore(keep=3)
+    finalize(store, 1)
+    # Crash mid-attempt: pending manifest, no snapshot committed.
+    store.record(CheckpointManifest(checkpoint_id=2))
+    store.record(CheckpointManifest(checkpoint_id=3))
+    store.abort(3)
+    assert store.latest().checkpoint_id == 1
+    assert store.latest_manifest().checkpoint_id == 1
+    # A rebuilt coordinator must not reuse ids the dead one claimed,
+    # even ids that only ever reached pending/aborted.
+    assert store.next_checkpoint_id() == 4

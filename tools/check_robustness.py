@@ -16,7 +16,18 @@ records, and times out an offload task — then the gate asserts:
 Exit 0 when all hold, 1 otherwise.  Runs the ``chaos``-marked suite
 first unless ``--skip-tests``.
 
+``--datafault`` switches to the data-fault tolerance gate instead: the
+``datafault``-marked suite, then (1) committed sink + committed DLQ
+under data faults is invariant to layered operator crashes, rerun
+bit-identical, across per-item/batched/chained modes supervised and
+coordinated at parallelism 1/2/4; (2) on a pass-through pipeline the
+sink and the dead-lettered originals partition the fault-free output
+exactly; (3) corrupted newest checkpoints are quarantined with
+fallback restore still exactly-once; (4) a persistently poisoned job
+terminates on its restart budget with a diagnostic.
+
 Usage:  python tools/check_robustness.py [--seed N] [--skip-tests]
+                                         [--datafault]
 """
 
 from __future__ import annotations
@@ -29,6 +40,8 @@ from gatelib import Gate, ensure_paths, run_suite
 ensure_paths()
 
 from repro.chaos import (  # noqa: E402
+    SITE_CHECKPOINT,
+    SITE_DATA,
     SITE_FETCH,
     SITE_OFFLOAD,
     SITE_OPERATOR,
@@ -170,6 +183,188 @@ def check_recovery_mttr(seed: int) -> bool:
     return exactly_once and regional and beats_full
 
 
+# -- data-fault tolerance (the `--datafault` gate) ---------------------------
+
+
+def _rrepr(values: list) -> list[str]:
+    """Bit-exact comparison that treats NaN as equal to itself
+    (corrupted records legitimately carry NaN values/timestamps)."""
+    return [repr(v) for v in values]
+
+
+def _data_specs() -> tuple[FaultSpec, ...]:
+    return (FaultSpec("udf_exception", SITE_DATA, at=13, count=3,
+                      target="double"),
+            FaultSpec("corrupt_value", SITE_DATA, at=57, count=2,
+                      param="nan", target="double"))
+
+
+def _crash_specs() -> tuple[FaultSpec, ...]:
+    return (FaultSpec("operator_crash", SITE_OPERATOR, at=40,
+                      target="window_sum"),
+            FaultSpec("operator_crash", SITE_OPERATOR, at=120,
+                      target="double"))
+
+
+def _guarded_reference(seed: int):
+    from repro.streaming.errors import DEAD_LETTER
+
+    job = reference_job(reference_events(seed=seed, n=200))
+    job.error_policies["double"] = DEAD_LETTER
+    job.error_policies["drop_tiny"] = DEAD_LETTER
+    return job
+
+
+def check_dlq_exactly_once(seed: int) -> bool:
+    """Committed sink + committed DLQ under data faults must not move
+    when operator crashes are layered on top — and a rerun of the same
+    schedule must be bit-identical."""
+    print("\n== DLQ exactly-once under data faults x crashes ==")
+    ok = True
+    for parallelism in (None, 1, 2, 4):
+        for batch_mode, chaining in MODES:
+            def once(specs):
+                injector = FaultInjector(FaultPlan(
+                    specs=specs, seed=seed, name="datafault-gate"))
+                if parallelism is None:
+                    report = run_with_recovery(
+                        _guarded_reference(seed), injector,
+                        batch_mode=batch_mode, chaining=chaining)
+                else:
+                    report = run_coordinated(
+                        _guarded_reference(seed), injector,
+                        parallelism=parallelism, batch_mode=batch_mode,
+                        chaining=chaining, interval_cycles=2)
+                return {name: _rrepr(values) for name, values
+                        in report.sink_values.items()}, report
+            golden, _ = once(_data_specs())
+            chaosed, report = once(_data_specs() + _crash_specs())
+            rerun, _ = once(_data_specs() + _crash_specs())
+            identical = golden == chaosed and chaosed == rerun
+            ok = ok and identical and report.crashes >= 1
+            mode = ("chained" if chaining else
+                    "batched" if batch_mode else "per-item")
+            label = ("supervised" if parallelism is None
+                     else f"coordinated p={parallelism}")
+            dlq = len(golden.get("__dlq__", ()))
+            print(f"  {label:>15} {mode:>8}: dlq={dlq} "
+                  f"crashes={report.crashes} "
+                  f"{'IDENTICAL' if identical else 'DIVERGED'}")
+    return ok
+
+
+def check_dlq_accounting(seed: int) -> bool:
+    """On a pass-through pipeline, committed sink + dead-lettered
+    originals must partition the fault-free output exactly."""
+    from repro.streaming import Element, JobBuilder
+    from repro.streaming.errors import DEAD_LETTER
+
+    print("\n== DLQ accounting (sink + DLQ partitions the input) ==")
+
+    def build():
+        events = [Element({"k": i % 4, "v": float(i)},
+                          timestamp=float(i) * 0.25) for i in range(300)]
+        builder = JobBuilder("datafault-accounting")
+        (builder.source("events", events)
+                .map(lambda v: v, name="ident")
+                .on_error(DEAD_LETTER)
+                .sink("out"))
+        return builder.build()
+
+    golden = fault_free_sinks(build)
+    specs = (FaultSpec("udf_exception", SITE_DATA, at=11, count=5,
+                       target="ident"),
+             FaultSpec("operator_crash", SITE_OPERATOR, at=150,
+                       target="ident"))
+    injector = FaultInjector(FaultPlan(specs=specs, seed=seed,
+                                       name="accounting-gate"))
+    report = run_with_recovery(build(), injector)
+    sink = report.sink_values["out"]
+    dlq = report.sink_values["__dlq__"]
+    union = sorted(_rrepr(sink) + _rrepr([d.value for d in dlq]))
+    partitions = union == sorted(_rrepr(golden["out"]))
+    disjoint = len(sink) + len(dlq) == len(golden["out"])
+    print(f"  sink={len(sink)} dlq={len(dlq)} "
+          f"fault-free={len(golden['out'])} "
+          f"{'PARTITIONS' if partitions and disjoint else 'LEAKS'}")
+    return partitions and disjoint and len(dlq) == 5
+
+
+def check_checkpoint_integrity(seed: int) -> bool:
+    """Rotting the newest checkpoints must quarantine them and fall
+    back to the newest verifiable one — output still exactly-once."""
+    from repro.streaming.coordinator import CheckpointStore
+
+    print("\n== checkpoint integrity (corruption -> fallback restore) ==")
+    golden = run_coordinated(_guarded_reference(seed), None,
+                             parallelism=2, interval_cycles=1,
+                             source_batch=16)
+    specs = (FaultSpec("checkpoint_corruption", SITE_CHECKPOINT, at=2,
+                       count=1000, param="payload"),
+             FaultSpec("operator_crash", SITE_OPERATOR, at=110,
+                       target="window_sum"))
+    store = CheckpointStore(keep=100)
+    report = run_coordinated(
+        _guarded_reference(seed),
+        FaultInjector(FaultPlan(specs=specs, seed=seed,
+                                name="integrity-gate")),
+        parallelism=2, interval_cycles=1, source_batch=16, store=store)
+    identical = all(
+        _rrepr(golden.sink_values[name]) == _rrepr(report.sink_values[name])
+        for name in golden.sink_values)
+    detected = report.integrity_failures >= 1 and bool(store.quarantined)
+    print(f"  quarantined={len(store.quarantined)} "
+          f"integrity_failures={report.integrity_failures} "
+          f"full_restores={report.full_restores} "
+          f"sinks {'IDENTICAL' if identical else 'DIVERGED'}")
+    return identical and detected
+
+
+def check_restart_budget(seed: int) -> bool:
+    """A persistently poisoned record under FAIL policy must terminate
+    with a RestartsExhausted diagnostic, not loop forever."""
+    from repro.streaming.errors import RestartBudget
+    from repro.util.errors import RestartsExhausted
+
+    print("\n== restart budget (poisoned job goes terminal) ==")
+    specs = (FaultSpec("udf_exception", SITE_DATA, at=40, count=1,
+                       target="double"),)
+
+    def poisoned():
+        return reference_job(reference_events(seed=seed, n=200))
+
+    outcomes = []
+    for label, budget in (
+            ("flapping", RestartBudget(max_restarts=50, flap_threshold=3,
+                                       seed=seed)),
+            ("budget", RestartBudget(max_restarts=3, flap_threshold=0,
+                                     seed=seed))):
+        try:
+            run_with_recovery(
+                poisoned(),
+                FaultInjector(FaultPlan(specs=specs, seed=seed,
+                                        name="budget-gate")),
+                restart_budget=budget)
+            outcomes.append((label, None))
+        except RestartsExhausted as exc:
+            outcomes.append((label, exc))
+    ok = True
+    for label, exc in outcomes:
+        hit = exc is not None and exc.reason == label
+        ok = ok and hit
+        print(f"  {label:>8}: "
+              + (f"terminal after {exc.restarts} restarts"
+                 if hit else "DID NOT ESCALATE"))
+    return ok
+
+
+def check_datafault(seed: int) -> bool:
+    return (check_dlq_exactly_once(seed)
+            and check_dlq_accounting(seed)
+            and check_checkpoint_integrity(seed)
+            and check_restart_budget(seed))
+
+
 def check_trace_reproducibility(seed: int, first: list) -> bool:
     print("\n== trace reproducibility (same seed, second run) ==")
     _, second = check_quietly(seed)
@@ -197,8 +392,19 @@ def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--seed", type=int, default=0)
     parser.add_argument("--skip-tests", action="store_true",
-                        help="skip the chaos-marked pytest suite")
+                        help="skip the marked pytest suite")
+    parser.add_argument("--datafault", action="store_true",
+                        help="run the data-fault tolerance gate instead "
+                             "(datafault suite + DLQ/integrity/budget)")
     args = parser.parse_args()
+
+    if args.datafault:
+        gate = Gate("check_robustness[datafault]")
+        if not args.skip_tests and not run_suite("datafault test suite",
+                                                 "datafault"):
+            return gate.fail("datafault suite")
+        return gate.verdict(check_datafault(args.seed),
+                            "data-fault tolerance checks")
 
     gate = Gate("check_robustness")
     if not args.skip_tests and not run_suite("chaos test suite",
